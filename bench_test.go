@@ -1,0 +1,116 @@
+package c3_test
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, each driving the same experiment code cmd/c3bench
+// uses (at reduced scale — see EXPERIMENTS.md for paper-scale settings),
+// plus protocol micro-benchmarks.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"c3"
+)
+
+// BenchmarkTableIV runs the litmus matrix of Table IV: 7 tests x
+// {MESI-CXL-MESI, MESI-CXL-MOESI} x {Arm-Arm, TSO-Arm, TSO-TSO}.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := c3.TableIV(4, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AllPass() {
+			b.Fatalf("forbidden outcomes: %v", rep.Details)
+		}
+	}
+}
+
+// BenchmarkFig9 runs the MCM-mix comparison (ARM-ARM vs mixed vs
+// TSO-TSO on homogeneous and heterogeneous protocol setups).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := c3.Fig9(c3.ExpOptions{
+			CoresPerCluster: 2, OpsScale: 0.1, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pc := range c3.Fig9ProtoCombos() {
+			if rep.Norm[pc]["TSO-TSO"] == nil {
+				b.Fatal("missing TSO-TSO series")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 runs all 33 workloads on the four protocol
+// combinations and reports the normalized slowdowns.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := c3.Fig10(c3.ExpOptions{
+			CoresPerCluster: 2, OpsScale: 0.1, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, combo := range c3.Fig10Combos() {
+				b.Logf("%s: geomean %.3f range %.3f-%.3f", combo,
+					rep.Mean[combo], rep.Range[combo][0], rep.Range[combo][1])
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 runs the miss-latency breakdowns for the paper's
+// selected workloads (histogram, barnes, lu-ncont, vips).
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := c3.Fig11(c3.ExpOptions{
+			CoresPerCluster: 2, OpsScale: 0.2, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Breakdown) != 4 {
+			b.Fatalf("expected 4 workloads, got %d", len(rep.Breakdown))
+		}
+	}
+}
+
+// BenchmarkGenerate measures compound-FSM synthesis (the c3gen path).
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c3.GenerateTable("moesi", "cxl"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadThroughput measures raw simulation speed on one
+// representative kernel (simulated cycles per wall-clock run).
+func BenchmarkWorkloadThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := c3.RunWorkload("canneal", c3.WorkloadConfig{
+			CoresPerCluster: 2, OpsScale: 0.2, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Time == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkVerifyMP measures the model checker on the MP shape.
+func BenchmarkVerifyMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := c3.Verify("MP", c3.VerifyConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

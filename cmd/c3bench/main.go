@@ -1,0 +1,87 @@
+// Command c3bench regenerates the paper's evaluation artifacts:
+//
+//	c3bench -exp fig9    # MCM-mix comparison (Sec. VI-B)
+//	c3bench -exp fig10   # protocol-mix comparison (Sec. VI-C)
+//	c3bench -exp fig11   # miss-latency breakdowns (Sec. VI-C1)
+//	c3bench -exp tab4    # the litmus matrix (Sec. VI-A)
+//	c3bench -exp all
+//
+// Scale knobs: -scale multiplies kernel op budgets, -cores sets cores
+// per cluster, -iters sets litmus iterations per cell. The defaults
+// complete in minutes; the paper-scale equivalents are documented in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"c3"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9|fig10|fig11|tab4|hybrid|all")
+	scale := flag.Float64("scale", 1.0, "workload op-budget scale")
+	cores := flag.Int("cores", 4, "cores per cluster")
+	iters := flag.Int("iters", 400, "litmus iterations per Table IV cell")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "per-run progress")
+	out := flag.String("out", "", "also write each experiment's table to <out>/<exp>.txt")
+	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "c3bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := c3.ExpOptions{CoresPerCluster: *cores, OpsScale: *scale, Seed: *seed}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	run := func(name string, f func() (interface{ Render() string }, error)) {
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3bench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		body := r.Render()
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), body)
+		if *out != "" {
+			file := filepath.Join(*out, strings.ToLower(strings.ReplaceAll(
+				strings.Fields(name)[0], ".", ""))+".txt")
+			if err := os.WriteFile(file, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "c3bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	want := func(n string) bool { return *exp == "all" || *exp == n }
+	if want("tab4") {
+		run("Table IV", func() (interface{ Render() string }, error) {
+			return c3.TableIV(*iters, *seed)
+		})
+	}
+	if want("fig9") {
+		run("Fig. 9", func() (interface{ Render() string }, error) { return c3.Fig9(opts) })
+	}
+	if want("fig10") {
+		run("Fig. 10", func() (interface{ Render() string }, error) { return c3.Fig10(opts) })
+	}
+	if want("fig11") {
+		run("Fig. 11", func() (interface{ Render() string }, error) { return c3.Fig11(opts) })
+	}
+	if want("hybrid") {
+		run("Hybrid (extension)", func() (interface{ Render() string }, error) {
+			return c3.Hybrid(opts)
+		})
+	}
+}

@@ -1,0 +1,45 @@
+// Command c3gen runs the C3 generator: it merges a local-protocol SSP
+// spec with a global-protocol spec and prints the resulting compound
+// translation table (the paper's Table II), its forbidden compound
+// states, and the reachable stable-state set.
+//
+// Usage:
+//
+//	c3gen -local moesi -global cxl     # one pairing
+//	c3gen -all                         # every embedded pairing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c3"
+)
+
+func main() {
+	local := flag.String("local", "mesi", "local protocol: mesi|moesi|mesif|rcc")
+	global := flag.String("global", "cxl", "global protocol: cxl|hmesi")
+	all := flag.Bool("all", false, "generate every embedded pairing")
+	flag.Parse()
+
+	if *all {
+		for _, l := range c3.LocalProtocols() {
+			for _, g := range c3.GlobalProtocols() {
+				dump(l, g)
+			}
+		}
+		return
+	}
+	dump(*local, *global)
+}
+
+func dump(local, global string) {
+	t, err := c3.GenerateTable(local, global)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3gen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(t.Render())
+	fmt.Println()
+}

@@ -1,0 +1,95 @@
+// Command c3litmus runs litmus-test campaigns on the simulated
+// heterogeneous CXL system (Sec. VI-A of the paper).
+//
+// Usage:
+//
+//	c3litmus -table -iters 1000            # the full Table IV matrix
+//	c3litmus -test MP -iters 5000          # one test
+//	c3litmus -test SB -unsynced            # the paper's control runs
+//	c3litmus -test IRIW -mcm0 tso -mcm1 arm -local1 moesi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c3"
+)
+
+func main() {
+	test := flag.String("test", "", "litmus test name (see -list)")
+	list := flag.Bool("list", false, "list available tests")
+	table := flag.Bool("table", false, "run the full Table IV matrix")
+	iters := flag.Int("iters", 1000, "iterations per campaign (paper: 100000)")
+	local0 := flag.String("local0", "mesi", "cluster 0 protocol")
+	local1 := flag.String("local1", "mesi", "cluster 1 protocol")
+	global := flag.String("global", "cxl", "global protocol: cxl|hmesi")
+	mcm0 := flag.String("mcm0", "arm", "cluster 0 MCM: arm|tso|sc")
+	mcm1 := flag.String("mcm1", "arm", "cluster 1 MCM: arm|tso|sc")
+	unsynced := flag.Bool("unsynced", false, "strip all synchronization (control run)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	trace := flag.Bool("trace", false, "print the coherence-message trace of the first iteration")
+	flag.Parse()
+
+	if *list {
+		for _, n := range c3.LitmusTests() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *table {
+		rep, err := c3.TableIV(*iters, *seed)
+		fail(err)
+		fmt.Print(rep.Render())
+		if !rep.AllPass() {
+			os.Exit(1)
+		}
+		return
+	}
+	if *test == "" {
+		fmt.Fprintln(os.Stderr, "c3litmus: -test, -table or -list required")
+		os.Exit(2)
+	}
+	m0, err := parseMCM(*mcm0)
+	fail(err)
+	m1, err := parseMCM(*mcm1)
+	fail(err)
+	res, err := c3.RunLitmus(*test, c3.LitmusConfig{
+		Locals:   [2]string{*local0, *local1},
+		Global:   *global,
+		MCMs:     [2]c3.MCM{m0, m1},
+		Iters:    *iters,
+		Unsynced: *unsynced,
+		Seed:     *seed,
+		Trace:    *trace,
+	})
+	fail(err)
+	fmt.Printf("%s: %d iterations, %d distinct outcomes, %d forbidden\n",
+		res.Test, res.Iters, res.Distinct, res.Forbidden)
+	if res.Forbidden > 0 {
+		fmt.Printf("example forbidden outcome: %s\n", res.ForbiddenExample)
+		if !*unsynced {
+			os.Exit(1)
+		}
+	}
+}
+
+func parseMCM(s string) (c3.MCM, error) {
+	switch s {
+	case "arm", "weak":
+		return c3.ARM, nil
+	case "tso":
+		return c3.TSO, nil
+	case "sc":
+		return c3.SC, nil
+	}
+	return 0, fmt.Errorf("unknown MCM %q", s)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3litmus:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command c3sim runs one of the paper's 33 workload kernels on a
+// simulated two-cluster heterogeneous CXL system and reports execution
+// time and the Fig. 11-style miss breakdown.
+//
+// Usage:
+//
+//	c3sim -w histogram
+//	c3sim -w barnes -global hmesi -cores 4
+//	c3sim -w vips -local1 moesi -mcm0 tso
+//	c3sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c3"
+	"c3/internal/workload"
+)
+
+func main() {
+	w := flag.String("w", "", "workload name (see -list)")
+	list := flag.Bool("list", false, "list the 33 kernels")
+	global := flag.String("global", "cxl", "global protocol: cxl|hmesi")
+	local0 := flag.String("local0", "mesi", "cluster 0 protocol")
+	local1 := flag.String("local1", "mesi", "cluster 1 protocol")
+	mcm0 := flag.String("mcm0", "arm", "cluster 0 MCM: arm|tso|sc")
+	mcm1 := flag.String("mcm1", "arm", "cluster 1 MCM")
+	cores := flag.Int("cores", 4, "cores per cluster")
+	scale := flag.Float64("scale", 1.0, "op-budget scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	hybrid := flag.Bool("hybrid", false, "home private data in cluster-local memory (Sec. IV-D4)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range c3.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *w == "" {
+		fmt.Fprintln(os.Stderr, "c3sim: -w required (see -list)")
+		os.Exit(2)
+	}
+	spec, ok := workload.ByName(*w)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "c3sim: unknown workload %q\n", *w)
+		os.Exit(1)
+	}
+	run, sys, err := workload.RunOn(workload.RunConfig{
+		Spec:            spec,
+		Global:          *global,
+		Locals:          [2]string{*local0, *local1},
+		MCMs:            [2]c3.MCM{mcm(*mcm0), mcm(*mcm1)},
+		CoresPerCluster: *cores,
+		OpsScale:        *scale,
+		Seed:            *seed,
+		Hybrid:          *hybrid,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload  %s\nconfig    %s\ntime      %d cycles (%.2f us at 2 GHz)\n",
+		run.Name, run.Config, run.Time, float64(run.Time)/2000.0)
+	fmt.Printf("ops       %d (MPKI %.1f)\n", run.Miss.Ops, run.Miss.MPKI())
+	fmt.Printf("\nmiss cycles by latency band and op type:\n%s", run.Miss.Render())
+
+	fmt.Println("\ncontroller counters:")
+	for ci, cl := range sys.Clusters {
+		st := cl.C3.Stats
+		fmt.Printf("  C3[%d] (%s): reqs=%d delegations=%d snoops=%d conflicts=%d(dir-first %d) evictions=%d writebacks=%d stalled=%d",
+			ci, cl.Cfg.Protocol, st.LocalReqs, st.Delegations, st.SnoopsServed,
+			st.Conflicts, st.ConflictsDirFirst, st.Evictions, st.Writebacks, st.Stalled)
+		if st.LocalMemReads+st.LocalMemWrites > 0 {
+			fmt.Printf(" localmem=%dR/%dW", st.LocalMemReads, st.LocalMemWrites)
+		}
+		fmt.Println()
+	}
+	if sys.DCOH != nil {
+		d := sys.DCOH.Stats
+		fmt.Printf("  DCOH: reads=%d writes=%d snoops=%d conflicts=%d stalls=%d\n",
+			d.Reads, d.Writes, d.Snoops, d.Conflicts, d.Stalls)
+	}
+	if sys.HDir != nil {
+		d := sys.HDir.Stats
+		fmt.Printf("  HMESI dir: reads=%d writes=%d fwds=%d invs=%d stalls=%d\n",
+			d.Reads, d.Writes, d.Fwds, d.Invs, d.Stalls)
+	}
+	fmt.Printf("  fabric: %d msgs, %d bytes\n", sys.Net.Stats.TotalMsgs(), sys.Net.Stats.TotalBytes())
+}
+
+func mcm(s string) c3.MCM {
+	switch s {
+	case "tso":
+		return c3.TSO
+	case "sc":
+		return c3.SC
+	default:
+		return c3.ARM
+	}
+}

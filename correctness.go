@@ -1,0 +1,134 @@
+package c3
+
+import (
+	"fmt"
+	"os"
+
+	"c3/internal/cpu"
+	"c3/internal/litmus"
+	"c3/internal/verif"
+)
+
+// LitmusConfig parameterizes a litmus campaign.
+type LitmusConfig struct {
+	// Locals are the two clusters' protocols (default mesi/mesi).
+	Locals [2]string
+	// Global is "cxl" (default) or "hmesi".
+	Global string
+	// MCMs per cluster; threads are distributed round-robin.
+	MCMs [2]MCM
+	// Iters is the number of randomized executions (default 100).
+	Iters int
+	// Unsynced strips all fences/annotations (the paper's control runs);
+	// otherwise fences are kept, refined per thread MCM (ArMOR-style).
+	Unsynced bool
+	Seed     int64
+	// Trace prints the first iteration's coherence-message trace to
+	// stdout (cmd/c3litmus -trace).
+	Trace bool
+}
+
+// LitmusResult summarizes a campaign.
+type LitmusResult struct {
+	Test             string
+	Iters            int
+	Distinct         int
+	Forbidden        int
+	ForbiddenExample string
+	// Outcomes histograms every observed outcome.
+	Outcomes map[string]int
+}
+
+// LitmusTests lists the corpus (the first seven are Table IV's set).
+func LitmusTests() []string {
+	var out []string
+	for _, t := range litmus.Tests() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// RunLitmus executes one litmus campaign.
+func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
+	tc, ok := litmus.ByName(test)
+	if !ok {
+		return nil, fmt.Errorf("c3: unknown litmus test %q", test)
+	}
+	if cfg.Locals[0] == "" {
+		cfg.Locals = [2]string{"mesi", "mesi"}
+	}
+	if cfg.Global == "" {
+		cfg.Global = "cxl"
+	}
+	mode := litmus.SyncFull
+	if cfg.Unsynced {
+		mode = litmus.SyncNone
+	}
+	rcfg := litmus.RunnerConfig{
+		Locals: cfg.Locals, Global: cfg.Global, MCMs: [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
+		Iters: cfg.Iters, Sync: mode, BaseSeed: cfg.Seed,
+	}
+	if cfg.Trace {
+		rcfg.TraceTo = os.Stdout
+	}
+	res, err := litmus.Run(tc, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LitmusResult{
+		Test: res.Test, Iters: res.Iters, Distinct: res.Distinct(),
+		Forbidden: res.Forbidden, ForbiddenExample: res.ForbiddenExample,
+		Outcomes: res.Outcomes,
+	}, nil
+}
+
+// VerifyConfig parameterizes exhaustive model checking.
+type VerifyConfig struct {
+	Locals [2]string // MESI-family protocols (default mesi/mesi)
+	Global string    // "cxl" (default) or "hmesi"
+	MCMs   [2]MCM
+	// TinyLLC forces CXL-cache evictions (Fig. 7 flows) into the
+	// explored space.
+	TinyLLC   bool
+	MaxStates uint64
+}
+
+// VerifyReport summarizes an exhaustive exploration.
+type VerifyReport struct {
+	Test      string
+	States    uint64
+	Terminals uint64
+	Outcomes  int
+	Truncated bool
+}
+
+// Verify exhaustively model-checks the named litmus shape on a small C3
+// system, checking deadlock freedom, SWMR, Rule I's forbidden compound
+// states, and the absence of forbidden outcomes.
+func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
+	tc, ok := litmus.ByName(test)
+	if !ok {
+		return nil, fmt.Errorf("c3: unknown litmus test %q", test)
+	}
+	if cfg.Locals[0] == "" {
+		cfg.Locals = [2]string{"mesi", "mesi"}
+	}
+	if cfg.Global == "" {
+		cfg.Global = "cxl"
+	}
+	rep, err := verif.Check(verif.ModelConfig{
+		Test:    tc,
+		Locals:  cfg.Locals,
+		Global:  cfg.Global,
+		MCMs:    [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
+		Sync:    litmus.SyncFull,
+		TinyLLC: cfg.TinyLLC,
+	}, verif.CheckerConfig{MaxStates: cfg.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	return &VerifyReport{
+		Test: test, States: rep.States, Terminals: rep.Terminals,
+		Outcomes: len(rep.Outcomes), Truncated: rep.Truncated,
+	}, nil
+}

@@ -1,0 +1,98 @@
+// Pooling demonstrates the paper's motivating scenario (Fig. 1 and
+// Sec. IV-D2): heterogeneous compute — a CPU cluster with an
+// invalidation-based protocol and a GPU-style cluster with
+// release-consistency coherence (RCC) — sharing one cache-coherent CXL
+// memory pool.
+//
+// A producer on the RCC cluster fills a buffer and publishes it with a
+// store-release (Fig. 8's flow: C3 acquires global ownership before
+// acking the release); a consumer on the MESI/TSO cluster spins on the
+// flag and then reads the buffer. The example drives the system through
+// the low-level API (System.Raw) to show how custom instruction sources
+// plug in.
+//
+// Run with: go run ./examples/pooling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c3"
+	"c3/internal/cpu"
+	"c3/internal/mem"
+)
+
+const (
+	bufBase  = mem.Addr(0x50000)
+	bufWords = 16
+	flagAddr = bufBase + bufWords*mem.LineBytes
+)
+
+func main() {
+	sys, err := c3.NewSystem(c3.Config{
+		Global: "cxl",
+		Clusters: []c3.Cluster{
+			{Protocol: "rcc", MCM: c3.ARM, Cores: 1},  // the accelerator
+			{Protocol: "mesi", MCM: c3.TSO, Cores: 1}, // the host CPU
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s\n", sys.Proto())
+
+	// Producer (RCC): write the buffer, then release-store the flag.
+	var prog []cpu.Instr
+	for i := 0; i < bufWords; i++ {
+		prog = append(prog, cpu.Instr{Kind: cpu.Store,
+			Addr: bufBase + mem.Addr(i)*mem.LineBytes, Val: uint64(100 + i)})
+	}
+	prog = append(prog, cpu.Instr{Kind: cpu.Store, Addr: flagAddr, Val: 1, Rel: true})
+	producer := cpu.NewSliceSource(prog)
+
+	// Consumer (MESI/TSO): acquire-spin on the flag, then read the
+	// buffer back.
+	var got []uint64
+	stage := 0
+	consumer := &cpu.FuncSource{
+		NextFn: func() (cpu.Instr, bool) {
+			switch {
+			case stage == 0:
+				return cpu.Instr{Kind: cpu.Load, Addr: flagAddr, Reg: 0, Acq: true,
+					CtrlDep: true}, true
+			case stage <= bufWords:
+				return cpu.Instr{Kind: cpu.Load,
+					Addr: bufBase + mem.Addr(stage-1)*mem.LineBytes, Reg: stage}, true
+			}
+			return cpu.Instr{}, false
+		},
+		CompleteFn: func(in cpu.Instr, v uint64) {
+			switch {
+			case stage == 0 && in.Reg == 0 && v == 1:
+				stage = 1
+			case stage >= 1 && in.Reg == stage:
+				got = append(got, v)
+				stage++
+			}
+		},
+	}
+
+	raw := sys.Raw()
+	raw.AttachSource(0, 0, producer)
+	raw.AttachSource(1, 0, consumer)
+	if !raw.Run(50_000_000) {
+		log.Fatal("system wedged")
+	}
+
+	fmt.Printf("consumer observed %d words after the release: %v...\n", len(got), got[:4])
+	for i, v := range got {
+		if v != uint64(100+i) {
+			log.Fatalf("word %d: got %d, want %d — release visibility broken", i, v, 100+i)
+		}
+	}
+	fmt.Println("every pre-release write was visible: C3 bridged RCC and MESI/TSO correctly.")
+	fmt.Printf("finished at t=%d cycles; C3[rcc] delegated %d flows, C3[mesi] %d.\n",
+		raw.Time(), raw.Clusters[0].C3.Stats.Delegations, raw.Clusters[1].C3.Stats.Delegations)
+}

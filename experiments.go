@@ -1,0 +1,483 @@
+package c3
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"c3/internal/cpu"
+	"c3/internal/litmus"
+	"c3/internal/stats"
+	"c3/internal/workload"
+)
+
+// ExpOptions scales the experiment harness. The defaults regenerate the
+// shapes quickly; cmd/c3bench exposes flags for larger runs.
+type ExpOptions struct {
+	// Workloads restricts the kernel set (default: all 33).
+	Workloads []string
+	// CoresPerCluster (default 4; the paper calibrates 8-30 total).
+	CoresPerCluster int
+	// OpsScale multiplies each kernel's op budget (default 1.0).
+	OpsScale float64
+	Seed     int64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+func (o *ExpOptions) fill() {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.Names()
+	}
+	if o.CoresPerCluster <= 0 {
+		o.CoresPerCluster = 4
+	}
+	if o.OpsScale <= 0 {
+		o.OpsScale = 1.0
+	}
+}
+
+func (o *ExpOptions) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func runOne(name, global string, locals [2]string, mcms [2]MCM, o *ExpOptions) (stats.Run, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return stats.Run{}, fmt.Errorf("c3: unknown workload %q", name)
+	}
+	return workload.Run(workload.RunConfig{
+		Spec: spec, Global: global, Locals: locals,
+		MCMs:            [2]cpu.MCM{mcms[0], mcms[1]},
+		CoresPerCluster: o.CoresPerCluster, OpsScale: o.OpsScale, Seed: o.Seed,
+	})
+}
+
+// ---------------------------------------------------------------- Fig 9
+
+// Fig9Report holds the MCM-mix comparison (Sec. VI-B): per-suite
+// geometric-mean times for ARM-ARM, TSO-TSO and the heterogeneous
+// ARM/TSO mix, normalized to ARM-ARM, for both a homogeneous
+// (MESI-CXL-MESI) and a heterogeneous (MESI-CXL-MOESI) protocol setup.
+type Fig9Report struct {
+	// Norm[protoCombo][mcmCombo][suite] = geomean time / ARM-ARM geomean.
+	Norm map[string]map[string]map[string]float64
+}
+
+// Fig9MCMCombos lists the figure's MCM configurations.
+func Fig9MCMCombos() []string { return []string{"ARM-ARM", "ARM-TSO", "TSO-TSO"} }
+
+// Fig9ProtoCombos lists the figure's protocol configurations.
+func Fig9ProtoCombos() []string { return []string{"MESI-CXL-MESI", "MESI-CXL-MOESI"} }
+
+// Fig9 regenerates Figure 9.
+func Fig9(o ExpOptions) (*Fig9Report, error) {
+	o.fill()
+	mcms := map[string][2]MCM{
+		"ARM-ARM": {ARM, ARM},
+		"ARM-TSO": {ARM, TSO},
+		"TSO-TSO": {TSO, TSO},
+	}
+	protos := map[string][2]string{
+		"MESI-CXL-MESI":  {"mesi", "mesi"},
+		"MESI-CXL-MOESI": {"mesi", "moesi"},
+	}
+	rep := &Fig9Report{Norm: map[string]map[string]map[string]float64{}}
+	for _, pc := range Fig9ProtoCombos() {
+		series := map[string]map[string]*stats.Series{} // mcm -> suite -> series
+		for _, mc := range Fig9MCMCombos() {
+			series[mc] = map[string]*stats.Series{}
+			for _, name := range o.Workloads {
+				spec, _ := workload.ByName(name)
+				r, err := runOne(name, "cxl", protos[pc], mcms[mc], &o)
+				if err != nil {
+					return nil, err
+				}
+				suite := string(spec.Suite)
+				if series[mc][suite] == nil {
+					series[mc][suite] = &stats.Series{}
+				}
+				series[mc][suite].Add(r)
+				o.progress("fig9 %s %s %s: %d cycles", pc, mc, name, r.Time)
+			}
+		}
+		rep.Norm[pc] = map[string]map[string]float64{}
+		for _, mc := range Fig9MCMCombos() {
+			rep.Norm[pc][mc] = map[string]float64{}
+			for suite, s := range series[mc] {
+				base := series["ARM-ARM"][suite].GeoMeanTime()
+				rep.Norm[pc][mc][suite] = s.GeoMeanTime() / base
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig9Report) Render() string {
+	var b strings.Builder
+	suites := []string{"splash4", "parsec", "phoenix"}
+	for _, pc := range Fig9ProtoCombos() {
+		if r.Norm[pc] == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "Fig. 9 — %s (normalized to ARM-ARM)\n", pc)
+		fmt.Fprintf(&b, "%-10s", "MCM")
+		for _, s := range suites {
+			fmt.Fprintf(&b, " %10s", s)
+		}
+		fmt.Fprintln(&b)
+		for _, mc := range Fig9MCMCombos() {
+			fmt.Fprintf(&b, "%-10s", mc)
+			for _, s := range suites {
+				fmt.Fprintf(&b, " %10.3f", r.Norm[pc][mc][s])
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- Fig 10
+
+// Fig10Report holds per-workload execution times for the protocol-mix
+// comparison (Sec. VI-C), normalized to the MESI-MESI-MESI baseline.
+type Fig10Report struct {
+	// Norm[combo][workload] = time / baseline time.
+	Norm map[string]map[string]float64
+	// Mean[combo] = geometric-mean slowdown across workloads.
+	Mean map[string]float64
+	// Range[combo] = [min, max] slowdown.
+	Range map[string][2]float64
+}
+
+// Fig10Combos lists the figure's CXL protocol combinations.
+func Fig10Combos() []string {
+	return []string{"MESI-CXL-MESI", "MESI-CXL-MOESI", "MESI-CXL-MESIF"}
+}
+
+// Fig10 regenerates Figure 10.
+func Fig10(o ExpOptions) (*Fig10Report, error) {
+	o.fill()
+	combos := map[string]struct {
+		global string
+		locals [2]string
+	}{
+		"MESI-MESI-MESI": {"hmesi", [2]string{"mesi", "mesi"}},
+		"MESI-CXL-MESI":  {"cxl", [2]string{"mesi", "mesi"}},
+		"MESI-CXL-MOESI": {"cxl", [2]string{"mesi", "moesi"}},
+		"MESI-CXL-MESIF": {"cxl", [2]string{"mesi", "mesif"}},
+	}
+	mcms := [2]MCM{ARM, ARM} // fixed MCM, per Sec. VI-C
+	times := map[string]map[string]float64{}
+	for combo, c := range combos {
+		times[combo] = map[string]float64{}
+		for _, name := range o.Workloads {
+			r, err := runOne(name, c.global, c.locals, mcms, &o)
+			if err != nil {
+				return nil, err
+			}
+			times[combo][name] = float64(r.Time)
+			o.progress("fig10 %s %s: %d cycles", combo, name, r.Time)
+		}
+	}
+	rep := &Fig10Report{
+		Norm:  map[string]map[string]float64{},
+		Mean:  map[string]float64{},
+		Range: map[string][2]float64{},
+	}
+	for _, combo := range Fig10Combos() {
+		rep.Norm[combo] = map[string]float64{}
+		logSum, n := 0.0, 0
+		lo, hi := 1e9, 0.0
+		for _, name := range o.Workloads {
+			v := times[combo][name] / times["MESI-MESI-MESI"][name]
+			rep.Norm[combo][name] = v
+			logSum += ln(v)
+			n++
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rep.Mean[combo] = exp(logSum / float64(n))
+		rep.Range[combo] = [2]float64{lo, hi}
+	}
+	return rep, nil
+}
+
+// Render prints the figure as a table.
+func (r *Fig10Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 10 — execution time normalized to MESI-MESI-MESI")
+	var names []string
+	for n := range r.Norm[Fig10Combos()[0]] {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-18s", "workload")
+	for _, c := range Fig10Combos() {
+		fmt.Fprintf(&b, " %16s", c)
+	}
+	fmt.Fprintln(&b)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-18s", n)
+		for _, c := range Fig10Combos() {
+			fmt.Fprintf(&b, " %16.3f", r.Norm[c][n])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-18s", "geomean")
+	for _, c := range Fig10Combos() {
+		fmt.Fprintf(&b, " %16.3f", r.Mean[c])
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%-18s", "range")
+	for _, c := range Fig10Combos() {
+		fmt.Fprintf(&b, "    %5.3f-%-6.3f", r.Range[c][0], r.Range[c][1])
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// --------------------------------------------------------------- Fig 11
+
+// Fig11Report holds the miss-cycle breakdowns (Sec. VI-C1) for the
+// selected workloads under the baseline and CXL.
+type Fig11Report struct {
+	// Breakdown[workload][config] = miss-cycle histogram.
+	Breakdown map[string]map[string]stats.MissBreakdown
+}
+
+// Fig11Workloads returns the paper's selection: three CXL-sensitive
+// kernels plus the insensitive vips.
+func Fig11Workloads() []string {
+	return []string{"histogram", "barnes", "lu-ncont", "vips"}
+}
+
+// Fig11 regenerates Figure 11.
+func Fig11(o ExpOptions) (*Fig11Report, error) {
+	o.fill()
+	if len(o.Workloads) == 33 {
+		o.Workloads = Fig11Workloads()
+	}
+	rep := &Fig11Report{Breakdown: map[string]map[string]stats.MissBreakdown{}}
+	configs := map[string]struct {
+		global string
+		locals [2]string
+	}{
+		"MESI-MESI-MESI": {"hmesi", [2]string{"mesi", "mesi"}},
+		"MESI-CXL-MESI":  {"cxl", [2]string{"mesi", "mesi"}},
+	}
+	for _, name := range o.Workloads {
+		rep.Breakdown[name] = map[string]stats.MissBreakdown{}
+		for cfg, c := range configs {
+			r, err := runOne(name, c.global, c.locals, [2]MCM{ARM, ARM}, &o)
+			if err != nil {
+				return nil, err
+			}
+			rep.Breakdown[name][cfg] = r.Miss
+			o.progress("fig11 %s %s: %d miss cycles", name, cfg, r.Miss.TotalMissCycles())
+		}
+	}
+	return rep, nil
+}
+
+// Render prints the breakdowns.
+func (r *Fig11Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 11 — miss cycles by latency band and instruction type")
+	var names []string
+	for n := range r.Breakdown {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, cfg := range []string{"MESI-MESI-MESI", "MESI-CXL-MESI"} {
+			mb := r.Breakdown[n][cfg]
+			fmt.Fprintf(&b, "\n%s / %s (total %d miss cycles, MPKI %.1f)\n",
+				n, cfg, mb.TotalMissCycles(), mb.MPKI())
+			b.WriteString(mb.Render())
+		}
+		base := r.Breakdown[n]["MESI-MESI-MESI"]
+		cxl := r.Breakdown[n]["MESI-CXL-MESI"]
+		if hb := base.BandCycles(stats.BandHigh); hb > 0 {
+			fmt.Fprintf(&b, "high-band (cross-cluster) cycles: %.1f%% -> %.1f%% of misses (%.2fx growth)\n",
+				100*float64(hb)/float64(base.TotalMissCycles()),
+				100*float64(cxl.BandCycles(stats.BandHigh))/float64(cxl.TotalMissCycles()),
+				float64(cxl.BandCycles(stats.BandHigh))/float64(hb))
+		}
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------------- Table IV
+
+// TableIVReport holds the litmus matrix.
+type TableIVReport struct {
+	// Pass[protoCombo][mcmCombo][test] records a clean campaign.
+	Pass map[string]map[string]map[string]bool
+	// Details carries forbidden-outcome diagnostics on failure.
+	Details []string
+	Iters   int
+}
+
+// TableIV regenerates the litmus matrix of Table IV. iters configures
+// executions per cell (the paper uses 100k; tests use less).
+func TableIV(iters int, seed int64) (*TableIVReport, error) {
+	if iters <= 0 {
+		iters = 100
+	}
+	protoCombos := map[string][2]string{
+		"MESI-CXL-MESI":  {"mesi", "mesi"},
+		"MESI-CXL-MOESI": {"mesi", "moesi"},
+	}
+	mcmCombos := map[string][2]MCM{
+		"Arm-Arm": {ARM, ARM},
+		"TSO-Arm": {TSO, ARM},
+		"TSO-TSO": {TSO, TSO},
+	}
+	rep := &TableIVReport{Pass: map[string]map[string]map[string]bool{}, Iters: iters}
+	for pcName, locals := range protoCombos {
+		rep.Pass[pcName] = map[string]map[string]bool{}
+		for mcName, mcms := range mcmCombos {
+			rep.Pass[pcName][mcName] = map[string]bool{}
+			for _, test := range litmus.TableIVNames() {
+				tc, _ := litmus.ByName(test)
+				res, err := litmus.Run(tc, litmus.RunnerConfig{
+					Locals: locals, Global: "cxl",
+					MCMs:  [2]cpu.MCM{mcms[0], mcms[1]},
+					Iters: iters, Sync: litmus.SyncFull, BaseSeed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				ok := res.Forbidden == 0
+				rep.Pass[pcName][mcName][test] = ok
+				if !ok {
+					rep.Details = append(rep.Details, fmt.Sprintf(
+						"%s/%s/%s: %d forbidden (%s)", pcName, mcName, test,
+						res.Forbidden, res.ForbiddenExample))
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// AllPass reports whether every cell is clean.
+func (r *TableIVReport) AllPass() bool { return len(r.Details) == 0 }
+
+// Render prints the matrix in the paper's layout.
+func (r *TableIVReport) Render() string {
+	var b strings.Builder
+	mcms := []string{"Arm-Arm", "TSO-Arm", "TSO-TSO"}
+	protos := []string{"MESI-CXL-MESI", "MESI-CXL-MOESI"}
+	fmt.Fprintf(&b, "Table IV — litmus results (%d iterations per cell)\n", r.Iters)
+	fmt.Fprintf(&b, "%-10s", "Test")
+	for range protos {
+		for _, m := range mcms {
+			fmt.Fprintf(&b, " %8s", m)
+		}
+		fmt.Fprint(&b, "  |")
+	}
+	fmt.Fprintf(&b, "   (%s | %s)\n", protos[0], protos[1])
+	for _, test := range litmus.TableIVNames() {
+		fmt.Fprintf(&b, "%-10s", test+"-sys")
+		for _, p := range protos {
+			for _, m := range mcms {
+				mark := "x"
+				if r.Pass[p][m][test] {
+					mark = "ok"
+				}
+				fmt.Fprintf(&b, " %8s", mark)
+			}
+			fmt.Fprint(&b, "  |")
+		}
+		fmt.Fprintln(&b)
+	}
+	for _, d := range r.Details {
+		fmt.Fprintf(&b, "FAIL: %s\n", d)
+	}
+	return b.String()
+}
+
+func ln(x float64) float64  { return math.Log(x) }
+func exp(x float64) float64 { return math.Exp(x) }
+
+// -------------------------------------------------- Hybrid (extension)
+
+// HybridReport quantifies the hybrid memory configuration the paper
+// notes but does not evaluate (Sec. IV-D4 / Sec. V: "a hybrid
+// configuration, where only part of the data is remote, might be more
+// practical"): per-core private data homed in cluster-local memory,
+// only genuinely shared data in the CXL pool. Both columns are
+// normalized to the same reference — the all-remote MESI-MESI-MESI
+// baseline — so they are directly comparable.
+type HybridReport struct {
+	// Overhead[workload] = [all-remote CXL, hybrid CXL], both divided by
+	// the all-remote baseline time.
+	Overhead map[string][2]float64
+}
+
+// Hybrid runs the extension experiment on a subset of kernels.
+func Hybrid(o ExpOptions) (*HybridReport, error) {
+	o.fill()
+	if len(o.Workloads) == 33 {
+		o.Workloads = []string{"histogram", "barnes", "vips", "canneal", "fft", "kmeans"}
+	}
+	rep := &HybridReport{Overhead: map[string][2]float64{}}
+	for _, name := range o.Workloads {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("c3: unknown workload %q", name)
+		}
+		run := func(global string, hybrid bool) (float64, error) {
+			r, err := workload.Run(workload.RunConfig{
+				Spec: spec, Global: global, Locals: [2]string{"mesi", "mesi"},
+				MCMs:            [2]cpu.MCM{cpu.WMO, cpu.WMO},
+				CoresPerCluster: o.CoresPerCluster, OpsScale: o.OpsScale,
+				Seed: o.Seed, Hybrid: hybrid,
+			})
+			return float64(r.Time), err
+		}
+		baseR, err := run("hmesi", false)
+		if err != nil {
+			return nil, err
+		}
+		cxlR, err := run("cxl", false)
+		if err != nil {
+			return nil, err
+		}
+		cxlH, err := run("cxl", true)
+		if err != nil {
+			return nil, err
+		}
+		rep.Overhead[name] = [2]float64{cxlR / baseR, cxlH / baseR}
+		o.progress("hybrid %s: all-remote %.3f, hybrid %.3f", name, cxlR/baseR, cxlH/baseR)
+	}
+	return rep, nil
+}
+
+// Render prints the comparison.
+func (r *HybridReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Hybrid memory (extension) — time vs. the all-remote native baseline")
+	fmt.Fprintf(&b, "%-14s %12s %12s\n", "workload", "CXL remote", "CXL hybrid")
+	var names []string
+	for n := range r.Overhead {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := r.Overhead[n]
+		fmt.Fprintf(&b, "%-14s %12.3f %12.3f\n", n, v[0], v[1])
+	}
+	return b.String()
+}

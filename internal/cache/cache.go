@@ -1,0 +1,204 @@
+// Package cache provides the set-associative storage arrays used by the
+// private L1 caches and by the C3 controller's CXL cache (the LLC slice
+// holding copies of remote-memory lines).
+//
+// The array stores tags, per-line protocol state (an opaque int owned by
+// the controller), and real line data. Replacement is LRU. Multi-step
+// evictions (e.g. the C3 cross-domain eviction of Fig. 7) are driven by
+// the owning controller: Victim nominates a line, the controller runs its
+// eviction transaction, then Remove + Install complete the replacement.
+package cache
+
+import (
+	"fmt"
+
+	"c3/internal/mem"
+)
+
+// Entry is one cache line frame.
+type Entry struct {
+	Addr  mem.LineAddr
+	Valid bool
+	// State is protocol-specific; controllers define their own encoding.
+	State int
+	Data  mem.Data
+	// DataValid distinguishes frames whose payload is current from frames
+	// tracked for state only (e.g. C3 lines whose dirty data lives in an
+	// L1 owner).
+	DataValid bool
+
+	lru uint64
+	set int
+}
+
+// Cache is a set-associative array. Create with New.
+type Cache struct {
+	sets    [][]Entry
+	setMask uint64
+	ways    int
+	tick    uint64
+
+	// Hits/Misses count Lookup outcomes, for MPKI accounting.
+	Hits, Misses uint64
+}
+
+// New builds a cache of the given total size in bytes and associativity.
+// Size must be a multiple of ways*64 and the set count a power of two.
+func New(sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic("cache: size and ways must be positive")
+	}
+	lines := sizeBytes / mem.LineBytes
+	if lines%ways != 0 {
+		panic("cache: size not divisible by ways")
+	}
+	nsets := lines / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	c := &Cache{sets: make([][]Entry, nsets), setMask: uint64(nsets - 1), ways: ways}
+	for i := range c.sets {
+		c.sets[i] = make([]Entry, ways)
+		for w := range c.sets[i] {
+			c.sets[i][w].set = i
+		}
+	}
+	return c
+}
+
+// Sets and Ways report geometry.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways reports the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(addr mem.LineAddr) []Entry {
+	return c.sets[(uint64(addr)>>6)&c.setMask]
+}
+
+// Lookup returns the entry for addr, or nil on miss. It counts hit/miss
+// statistics but does not touch LRU state; call Touch on use.
+func (c *Cache) Lookup(addr mem.LineAddr) *Entry {
+	set := c.setOf(addr)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == addr {
+			c.Hits++
+			return &set[i]
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Probe is Lookup without statistics, for inspection paths.
+func (c *Cache) Probe(addr mem.LineAddr) *Entry {
+	set := c.setOf(addr)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks e most recently used.
+func (c *Cache) Touch(e *Entry) {
+	c.tick++
+	e.lru = c.tick
+}
+
+// HasSpace reports whether addr can be installed without eviction.
+func (c *Cache) HasSpace(addr mem.LineAddr) bool {
+	set := c.setOf(addr)
+	for i := range set {
+		if !set[i].Valid {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim returns the LRU valid entry of addr's set if the set is full,
+// or nil if a free way exists. The caller evicts it (protocol flow),
+// then calls Remove.
+func (c *Cache) Victim(addr mem.LineAddr) *Entry {
+	set := c.setOf(addr)
+	var victim *Entry
+	for i := range set {
+		if !set[i].Valid {
+			return nil
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// VictimFunc is Victim restricted to entries ok approves (e.g. lines
+// with no transaction in flight). It returns nil either when a free way
+// exists or when no eligible victim exists; use HasSpace to distinguish.
+func (c *Cache) VictimFunc(addr mem.LineAddr, ok func(*Entry) bool) *Entry {
+	set := c.setOf(addr)
+	var victim *Entry
+	for i := range set {
+		if !set[i].Valid {
+			return nil
+		}
+	}
+	for i := range set {
+		if !ok(&set[i]) {
+			continue
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Install claims a free frame for addr and returns it. It panics if the
+// set is full (the controller must have evicted first) or if addr is
+// already present.
+func (c *Cache) Install(addr mem.LineAddr) *Entry {
+	set := c.setOf(addr)
+	for i := range set {
+		if set[i].Valid && set[i].Addr == addr {
+			panic(fmt.Sprintf("cache: double install of %v", addr))
+		}
+	}
+	for i := range set {
+		if !set[i].Valid {
+			e := &set[i]
+			*e = Entry{Addr: addr, Valid: true, set: e.set}
+			c.Touch(e)
+			return e
+		}
+	}
+	panic(fmt.Sprintf("cache: install of %v into full set", addr))
+}
+
+// Remove frees e's frame.
+func (c *Cache) Remove(e *Entry) {
+	set := e.set
+	*e = Entry{set: set}
+}
+
+// ForEach visits every valid entry. The callback must not install or
+// remove entries.
+func (c *Cache) ForEach(fn func(*Entry)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// Count returns the number of valid entries.
+func (c *Cache) Count() int {
+	n := 0
+	c.ForEach(func(*Entry) { n++ })
+	return n
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"c3/internal/cache"
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/ssp"
+)
+
+// DumpState writes a canonical rendering of the controller state for the
+// model checker's hashing.
+func (c *C3) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "C3[%d]", c.cfg.ID)
+	type ent struct {
+		a mem.LineAddr
+		s int
+		d mem.Data
+		v bool
+	}
+	var es []ent
+	c.llc.ForEach(func(e *cache.Entry) {
+		es = append(es, ent{e.Addr, e.State, e.Data, e.DataValid})
+	})
+	sort.Slice(es, func(i, j int) bool { return es[i].a < es[j].a })
+	for _, e := range es {
+		fmt.Fprintf(w, "l%x:%d:%v:%v;", uint64(e.a), e.s, e.d, e.v)
+	}
+	var lines []mem.LineAddr
+	for a := range c.dirs {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, a := range lines {
+		d := c.dirs[a]
+		var sh []int
+		for h := range d.sharers {
+			sh = append(sh, int(h))
+		}
+		sort.Ints(sh)
+		fmt.Fprintf(w, "d%x:%s:%d:%d:%v;", uint64(a), d.class, d.owner, d.fwd, sh)
+	}
+	lines = lines[:0]
+	for a := range c.tbes {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, a := range lines {
+		t := c.tbes[a]
+		fmt.Fprintf(w, "t%x:%d:%d:%d:%d:%v:%v:%d:%d:%d;", uint64(a), t.kind, t.ph,
+			t.pendingRsp, t.pendingAcks, t.conflict != nil, t.heldCmp != nil,
+			t.haveAcks, t.needAcks, len(t.stalled))
+	}
+	fmt.Fprintln(w)
+}
+
+// CompoundOf reports the stable compound state of a line (local class,
+// global class) and whether a transaction is in flight — the hook the
+// model checker uses to assert that Rule I's forbidden state pairs are
+// never reachable.
+func (c *C3) CompoundOf(a mem.LineAddr) (l, g ssp.Class, busy bool) {
+	return c.lclass(a), c.gclass(a), c.tbes[a] != nil
+}
+
+// Lines lists every line the controller currently tracks.
+func (c *C3) Lines() []mem.LineAddr {
+	seen := map[mem.LineAddr]bool{}
+	c.llc.ForEach(func(e *cache.Entry) { seen[e.Addr] = true })
+	for a := range c.dirs {
+		seen[a] = true
+	}
+	var out []mem.LineAddr
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OwnerView reports the local directory's owner and sharer view, for
+// cross-checking inclusion in tests.
+func (c *C3) OwnerView(a mem.LineAddr) (owner msg.NodeID, sharers []msg.NodeID) {
+	d := c.dirs[a]
+	if d == nil {
+		return msg.None, nil
+	}
+	for h := range d.sharers {
+		sharers = append(sharers, h)
+	}
+	sort.Slice(sharers, func(i, j int) bool { return sharers[i] < sharers[j] })
+	return d.owner, sharers
+}
+
+// LLCData returns the CXL-cache copy of a line if data-valid.
+func (c *C3) LLCData(a mem.LineAddr) (mem.Data, bool) {
+	if e := c.llc.Probe(a); e != nil && e.DataValid {
+		return e.Data, true
+	}
+	return mem.Data{}, false
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+	"c3/internal/ssp"
+)
+
+// tinyC3 builds a C3 with a 2-set x 2-way CXL cache so evictions trigger.
+func tinyC3(t *testing.T, local, global string) (*C3, *loopback, *sim.Kernel) {
+	t.Helper()
+	k := &sim.Kernel{}
+	fab := newLoopback()
+	c := New(Config{
+		ID: c3ID, GlobalDir: dirID, Kernel: k,
+		LocalNet: fab, GlobalNet: fab,
+		Table: mustTable(t, local, global), LLCSize: 4 * mem.LineBytes, LLCWays: 2, Lat: 1,
+	})
+	return c, fab, k
+}
+
+// sameSet returns the i-th line mapping to lineX's set (2 sets -> stride
+// of 2 lines).
+func sameSet(i int) mem.LineAddr { return lineX + mem.LineAddr(i*2*mem.LineBytes) }
+
+func fillLine(t *testing.T, c *C3, fab *loopback, k *sim.Kernel, a mem.LineAddr, owner msg.NodeID, dirty bool) {
+	t.Helper()
+	ty := msg.GetS
+	if dirty {
+		ty = msg.GetM
+	}
+	c.Recv(&msg.Msg{Type: ty, Addr: a, Src: owner, VNet: msg.VReq})
+	k.RunLimit(100_000)
+	var d mem.Data
+	d.SetWord(0, uint64(a))
+	cmp := msg.CmpS
+	if dirty {
+		cmp = msg.CmpM
+	}
+	c.Recv(&msg.Msg{Type: cmp, Addr: a, Src: dirID, VNet: msg.VRsp, Data: &d})
+	k.RunLimit(100_000)
+	fab.take()
+}
+
+func TestEvictionFig7DirtyOwner(t *testing.T) {
+	// Fig. 7: evicting a (M, M) line reclaims the host copy (conceptual
+	// store), runs the CXL writeback, then resumes the blocked request.
+	c, fab, k := tinyC3(t, "mesi", "cxl")
+	fillLine(t, c, fab, k, sameSet(0), l1A, true)
+	fillLine(t, c, fab, k, sameSet(1), l1A, true)
+
+	// A third line in the same set forces an eviction.
+	c.Recv(&msg.Msg{Type: msg.GetS, Addr: sameSet(2), Src: l1B, VNet: msg.VReq})
+	k.RunLimit(100_000)
+	snp := fab.find(t, msg.SnpInv) // reclaim from the owner first
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("Evictions = %d", c.Stats.Evictions)
+	}
+	fab.take()
+	var d mem.Data
+	d.SetWord(3, 9)
+	c.Recv(&msg.Msg{Type: msg.SnpRspInv, Addr: snp.Addr, Src: l1A, VNet: msg.VRsp,
+		Data: &d, Dirty: true})
+	k.RunLimit(100_000)
+	wb := fab.find(t, msg.MemWrI) // then the CXL WB sequence
+	if wb.Data.Word(3) != 9 {
+		t.Fatal("eviction writeback lost reclaimed data")
+	}
+	fab.take()
+	c.Recv(&msg.Msg{Type: msg.CmpWr, Addr: snp.Addr, Src: dirID, VNet: msg.VRsp})
+	k.RunLimit(100_000)
+	// Only now does the original request proceed (as a fresh delegation).
+	fab.find(t, msg.MemRdS)
+	l, g, _ := c.CompoundOf(snp.Addr)
+	if l != ssp.ClsI || g != ssp.ClsI {
+		t.Fatalf("evicted line = (%s,%s)", l, g)
+	}
+}
+
+func TestEvictionCleanIsSilentUnderCXL(t *testing.T) {
+	c, fab, k := tinyC3(t, "mesi", "cxl")
+	fillLine(t, c, fab, k, sameSet(0), l1A, false)
+	fillLine(t, c, fab, k, sameSet(1), l1A, false)
+	c.Recv(&msg.Msg{Type: msg.GetS, Addr: sameSet(2), Src: l1B, VNet: msg.VReq})
+	k.RunLimit(100_000)
+	// The clean victim needs a local reclaim (inv-sharers) but no global
+	// writeback message.
+	fab.find(t, msg.Inv)
+	fab.take()
+	victim := sameSet(0)
+	c.Recv(&msg.Msg{Type: msg.InvAck, Addr: victim, Src: l1A, VNet: msg.VRsp})
+	k.RunLimit(100_000)
+	for _, m := range fab.sent {
+		if m.Type == msg.MemWrI || m.Type == msg.MemWrS || m.Type == msg.GPutS {
+			t.Fatalf("clean CXL eviction sent %v", m)
+		}
+	}
+	fab.find(t, msg.MemRdS) // the resumed request
+}
+
+func TestEvictionCleanNotifiesHMESI(t *testing.T) {
+	c, fab, k := tinyC3(t, "mesi", "hmesi")
+	// Fill two clean lines via HMESI completions.
+	for i := 0; i < 2; i++ {
+		c.Recv(&msg.Msg{Type: msg.GetS, Addr: sameSet(i), Src: l1A, VNet: msg.VReq})
+		k.RunLimit(100_000)
+		var d mem.Data
+		c.Recv(&msg.Msg{Type: msg.GData, Addr: sameSet(i), Src: dirID, VNet: msg.VRsp, Data: &d})
+		k.RunLimit(100_000)
+		fab.take()
+	}
+	c.Recv(&msg.Msg{Type: msg.GetS, Addr: sameSet(2), Src: l1B, VNet: msg.VReq})
+	k.RunLimit(100_000)
+	fab.find(t, msg.Inv)
+	fab.take()
+	c.Recv(&msg.Msg{Type: msg.InvAck, Addr: sameSet(0), Src: l1A, VNet: msg.VRsp})
+	k.RunLimit(100_000)
+	fab.find(t, msg.GPutS) // H-MESI has no silent evictions
+}
+
+func TestRCCTriggersAtC3(t *testing.T) {
+	c, fab, k := newC3(t, "rcc", "cxl")
+	// GetV delegates AcqS.
+	c.Recv(&msg.Msg{Type: msg.GetV, Addr: lineX, Src: l1A, VNet: msg.VReq})
+	k.RunLimit(100_000)
+	fab.find(t, msg.MemRdS)
+	fab.take()
+	var d mem.Data
+	d.SetWord(0, 3)
+	c.Recv(&msg.Msg{Type: msg.CmpS, Addr: lineX, Src: dirID, VNet: msg.VRsp, Data: &d})
+	k.RunLimit(100_000)
+	g := fab.find(t, msg.DataV)
+	if g.Data.Word(0) != 3 {
+		t.Fatal("GetV grant data")
+	}
+	fab.take()
+
+	// WrThrough on a shared line needs ownership first (Fig. 8).
+	var wd mem.Data
+	wd.SetWord(2, 8)
+	c.Recv(&msg.Msg{Type: msg.WrThrough, Addr: lineX, Src: l1A, VNet: msg.VReq,
+		Data: &wd, Mask: 1 << 2, Rel: true})
+	k.RunLimit(100_000)
+	fab.find(t, msg.MemRdA)
+	fab.take()
+	c.Recv(&msg.Msg{Type: msg.CmpM, Addr: lineX, Src: dirID, VNet: msg.VRsp, Data: &d})
+	k.RunLimit(100_000)
+	fab.find(t, msg.PutAck)
+	got, _ := c.LLCData(lineX)
+	if got.Word(2) != 8 || got.Word(0) != 3 {
+		t.Fatalf("masked merge wrong: %v", got)
+	}
+
+	// Atomics execute on the CXL cache under global M.
+	fab.take()
+	c.Recv(&msg.Msg{Type: msg.AtomicAdd, Addr: lineX, Src: l1A, VNet: msg.VReq,
+		Word: 2, Val: 5})
+	k.RunLimit(100_000)
+	r := fab.find(t, msg.AtomicResp)
+	if r.Val != 8 {
+		t.Fatalf("atomic old = %d", r.Val)
+	}
+	got, _ = c.LLCData(lineX)
+	if got.Word(2) != 13 {
+		t.Fatalf("atomic result = %d", got.Word(2))
+	}
+
+	// Sync ops ack immediately (the CXL cache is always coherent).
+	fab.take()
+	c.Recv(&msg.Msg{Type: msg.SyncRel, Src: l1A, VNet: msg.VReq})
+	k.RunLimit(100_000)
+	fab.find(t, msg.SyncAck)
+}
+
+func TestMESIFForwarderTracked(t *testing.T) {
+	c, fab, k := newC3(t, "mesif", "cxl")
+	fillViaGetS := func(src msg.NodeID) {
+		c.Recv(&msg.Msg{Type: msg.GetS, Addr: lineX, Src: src, VNet: msg.VReq})
+		k.RunLimit(100_000)
+	}
+	fillViaGetS(l1A)
+	var d mem.Data
+	c.Recv(&msg.Msg{Type: msg.CmpS, Addr: lineX, Src: dirID, VNet: msg.VRsp, Data: &d})
+	k.RunLimit(100_000)
+	fab.take()
+	// Second reader: the designated forwarder (A) supplies the data.
+	fillViaGetS(l1B)
+	snp := fab.find(t, msg.SnpData)
+	if snp.Dst != l1A {
+		t.Fatalf("forward to %d, want the F holder", snp.Dst)
+	}
+	fab.take()
+	c.Recv(&msg.Msg{Type: msg.SnpRspData, Addr: lineX, Src: l1A, VNet: msg.VRsp, Data: &d})
+	k.RunLimit(100_000)
+	g := fab.find(t, msg.DataS)
+	if g.Dst != l1B {
+		t.Fatal("grant misrouted")
+	}
+	// The new reader is now the forwarder.
+	_, sharers := c.OwnerView(lineX)
+	if len(sharers) != 2 {
+		t.Fatalf("sharers: %v", sharers)
+	}
+}

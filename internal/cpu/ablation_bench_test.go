@@ -1,0 +1,34 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"c3/internal/mem"
+	"c3/internal/sim"
+)
+
+// BenchmarkAblationSBDrain sweeps store-buffer drain parallelism on a
+// store-miss stream (the weak model's second throughput lever).
+func BenchmarkAblationSBDrain(b *testing.B) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ways=%d", ways), func(b *testing.B) {
+			var cycles sim.Time
+			for i := 0; i < b.N; i++ {
+				k := &sim.Kernel{}
+				fm := newFakeMem(k, 200)
+				var prog []Instr
+				for j := 0; j < 128; j++ {
+					prog = append(prog, Instr{Kind: Store, Addr: mem.Addr(0x1000 + j*64), Val: 1})
+				}
+				cfg := DefaultConfig(WMO)
+				cfg.SBDrainWays = ways
+				c := New(0, k, cfg, fm, NewSliceSource(prog), nil)
+				c.Start()
+				k.RunLimit(0)
+				cycles = c.FinishedAt
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}

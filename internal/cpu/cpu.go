@@ -1,0 +1,649 @@
+// Package cpu models the processor cores of each cluster: a simplified
+// out-of-order engine with a memory-operation window and a store buffer,
+// parameterized by memory consistency model (MCM).
+//
+// The paper simulates MCM heterogeneity with gem5's needsTSO flag rather
+// than distinct ISAs, "to isolate performance differences attributable to
+// the MCM". This package does the same isolation directly: an ordering
+// matrix decides when an operation may issue or retire relative to older
+// operations in the window, and the store buffer decides how stores drain:
+//
+//   - SC: every operation waits for all older operations.
+//   - TSO (x86): load-load, load-store and store-store order are enforced;
+//     store-load is relaxed through the FIFO store buffer, with
+//     store-to-load forwarding. RMWs and fences drain the buffer.
+//   - WMO (Arm-like weak): everything may reorder except same-address
+//     program order, explicit fences, and acquire/release annotations;
+//     the store buffer drains out of order with multiple misses in flight.
+//
+// Cores talk to their private L1 through the MemPort interface; the L1
+// protocol controllers in internal/protocol implement it.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"c3/internal/mem"
+	"c3/internal/sim"
+)
+
+// MCM selects the memory consistency model a core enforces.
+type MCM uint8
+
+const (
+	// WMO is the weakly ordered model (Arm-like); the paper's default.
+	WMO MCM = iota
+	// TSO is total store order (x86; gem5's needsTSO).
+	TSO
+	// SC is sequential consistency, for reference/ablation runs.
+	SC
+)
+
+func (m MCM) String() string {
+	switch m {
+	case WMO:
+		return "ARM"
+	case TSO:
+		return "TSO"
+	case SC:
+		return "SC"
+	}
+	return fmt.Sprintf("MCM(%d)", uint8(m))
+}
+
+// ParseMCM converts a config string ("arm"/"weak", "tso", "sc").
+func ParseMCM(s string) (MCM, error) {
+	switch s {
+	case "arm", "ARM", "weak", "wmo", "WMO":
+		return WMO, nil
+	case "tso", "TSO", "x86":
+		return TSO, nil
+	case "sc", "SC":
+		return SC, nil
+	}
+	return 0, fmt.Errorf("cpu: unknown MCM %q", s)
+}
+
+// Kind is a memory operation type.
+type Kind uint8
+
+const (
+	Load Kind = iota
+	Store
+	RMWAdd    // atomic fetch-and-add, returns old value
+	RMWXchg   // atomic exchange, returns old value
+	Fence     // full barrier
+	Acquire   // standalone acquire barrier (RCC load-acquire side)
+	Release   // standalone release barrier (RCC store-release side)
+	Prefetch  // non-binding request for ownership (store-buffer RFO)
+	PrefetchS // non-binding request for a shared copy (speculative load)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "LD"
+	case Store:
+		return "ST"
+	case RMWAdd:
+		return "RMW+"
+	case RMWXchg:
+		return "XCHG"
+	case Fence:
+		return "FENCE"
+	case Acquire:
+		return "ACQ"
+	case Release:
+		return "REL"
+	case Prefetch:
+		return "PF"
+	case PrefetchS:
+		return "PFS"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsMem reports whether k accesses memory (vs. a pure ordering op).
+func (k Kind) IsMem() bool { return k <= RMWXchg }
+
+// IsWrite reports whether k writes memory.
+func (k Kind) IsWrite() bool { return k == Store || k == RMWAdd || k == RMWXchg }
+
+// IsRMW reports whether k is an atomic read-modify-write.
+func (k Kind) IsRMW() bool { return k == RMWAdd || k == RMWXchg }
+
+// Instr is one instruction delivered by a Source.
+type Instr struct {
+	Kind Kind
+	Addr mem.Addr
+	Val  uint64 // store value / RMW operand
+	Reg  int    // destination register for loads/RMWs (Source bookkeeping)
+	Acq  bool   // acquire annotation on a load
+	Rel  bool   // release annotation on a store
+	// CtrlDep stops fetch until this instruction completes (a conditional
+	// branch depends on it; used for spin loops and litmus dependency
+	// variants).
+	CtrlDep bool
+}
+
+// Source feeds a core its instruction stream. Next is called when the
+// core has fetch room; Complete reports results (loads and RMWs) so the
+// source can implement spins and dependent control flow.
+type Source interface {
+	Next() (Instr, bool)
+	Complete(in Instr, loaded uint64)
+}
+
+// Request is a memory access the core sends to its L1.
+type Request struct {
+	Kind Kind
+	Addr mem.Addr
+	Val  uint64
+	// Acq/Rel annotate acquire loads and release stores, which
+	// self-invalidating (RCC) caches act on directly.
+	Acq, Rel bool
+}
+
+// Response reports a finished L1 access.
+type Response struct {
+	Val uint64
+	// Missed is true when the access left the L1 (any coherence traffic).
+	Missed bool
+	// MissLatency is the L1 occupancy time of the access when Missed.
+	MissLatency sim.Time
+}
+
+// MemPort is the core's view of its private cache. Implementations must
+// invoke done exactly once, at a simulated time >= the call time, and
+// must preserve per-address request order from a single core.
+type MemPort interface {
+	Access(req Request, done func(Response))
+	// NeedsSyncOps reports whether Fence/Acquire/Release must be sent to
+	// the cache (RCC self-invalidate/flush) rather than handled purely by
+	// core-side ordering.
+	NeedsSyncOps() bool
+}
+
+// Config sizes the core.
+type Config struct {
+	MCM        MCM
+	WindowSize int // max in-flight memory ops tracked by the core
+	SBSize     int // store buffer entries
+	// SBDrainWays is how many store-buffer entries may be draining to the
+	// L1 at once. TSO forces 1 (FIFO); WMO/default uses this value.
+	SBDrainWays int
+	// IssueJitter/DrainJitter add a random delay of up to the given
+	// number of cycles before an already-permitted load issue or store
+	// drain. Ordering constraints are enforced before the delay, so
+	// jitter only widens legal interleavings — the litmus runner uses it
+	// to explore relaxed behaviours; performance runs leave it at 0.
+	IssueJitter int
+	DrainJitter int
+	// Seed makes the jitter reproducible.
+	Seed int64
+	// SpecDepth bounds speculative load warming for in-order-binding
+	// models (TSO/SC): at most this many loads may be in flight
+	// (issued or warmed) at once. Models the limited speculation window
+	// that makes TSO measurably slower than weak ordering on miss-heavy
+	// code. 0 -> 4. WMO ignores it (loads issue freely).
+	SpecDepth int
+}
+
+// DefaultConfig returns a reasonable 8-wide-OoO-like configuration
+// (192-entry ROB scaled to memory ops).
+func DefaultConfig(m MCM) Config {
+	return Config{MCM: m, WindowSize: 24, SBSize: 12, SBDrainWays: 8, SpecDepth: 10}
+}
+
+// OpStats records completed-operation telemetry the stats package
+// aggregates into the Fig. 11 breakdowns.
+type OpStats struct {
+	Kind    Kind
+	Missed  bool
+	Latency sim.Time // miss latency when Missed
+}
+
+// Core is one simulated hardware thread.
+type Core struct {
+	ID  int
+	cfg Config
+	k   *sim.Kernel
+	l1  MemPort
+	src Source
+
+	window  []*uop
+	sb      []*sbEntry
+	fetchOK bool // false while a CtrlDep op is outstanding
+	srcDone bool
+	halted  bool
+
+	nextSeq uint64
+	pumpEvt bool // an evaluate() is already scheduled
+
+	// Observe, when non-nil, sees every completed memory operation.
+	Observe func(OpStats)
+
+	rng *rand.Rand
+
+	// Retired counts completed instructions (for MPKI).
+	Retired     uint64
+	FinishedAt  sim.Time
+	finished    bool
+	onFinish    func()
+	outstanding int // ops currently issued to L1 (loads/RMW/sync)
+}
+
+type uop struct {
+	in       Instr
+	seq      uint64
+	issued   bool
+	done     bool
+	val      uint64
+	forwards bool // load satisfied by store forwarding
+	warmed   bool // speculative prefetch issued while ordering blocks us
+}
+
+type sbEntry struct {
+	addr     mem.Addr
+	val      uint64
+	rel      bool
+	draining bool
+	seq      uint64
+}
+
+// New creates a core. onFinish (may be nil) runs once when the source is
+// exhausted and all operations have drained.
+func New(id int, k *sim.Kernel, cfg Config, l1 MemPort, src Source, onFinish func()) *Core {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 24
+	}
+	if cfg.SBSize <= 0 {
+		cfg.SBSize = 12
+	}
+	if cfg.SBDrainWays <= 0 {
+		cfg.SBDrainWays = 8
+	}
+	if cfg.MCM != WMO {
+		// TSO and SC drain the store buffer in order, one at a time.
+		cfg.SBDrainWays = 1
+	}
+	if cfg.SpecDepth <= 0 {
+		cfg.SpecDepth = 10
+	}
+	c := &Core{ID: id, cfg: cfg, k: k, l1: l1, src: src, fetchOK: true, onFinish: onFinish}
+	if cfg.IssueJitter > 0 || cfg.DrainJitter > 0 {
+		c.rng = rand.New(rand.NewSource(cfg.Seed ^ int64(id)*0x9e3779b9 ^ 0x7f))
+	}
+	return c
+}
+
+func (c *Core) jitter(n int) sim.Time {
+	if n <= 0 || c.rng == nil {
+		return 0
+	}
+	return sim.Time(c.rng.Intn(n))
+}
+
+// Start begins execution.
+func (c *Core) Start() { c.pump() }
+
+// Finished reports whether the core has drained entirely.
+func (c *Core) Finished() bool { return c.finished }
+
+func (c *Core) pump() {
+	if c.pumpEvt || c.halted {
+		return
+	}
+	c.pumpEvt = true
+	c.k.After(1, func() {
+		c.pumpEvt = false
+		c.evaluate()
+	})
+}
+
+// evaluate advances fetch, issue, and store-buffer drain.
+func (c *Core) evaluate() {
+	c.fetch()
+	c.issue()
+	c.drainSB()
+	c.checkFinished()
+}
+
+func (c *Core) fetch() {
+	for !c.srcDone && c.fetchOK && len(c.window) < c.cfg.WindowSize {
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			break
+		}
+		u := &uop{in: in, seq: c.nextSeq}
+		c.nextSeq++
+		c.window = append(c.window, u)
+		if in.CtrlDep {
+			c.fetchOK = false
+		}
+	}
+}
+
+// olderBlocks reports whether older (incomplete) op o must complete
+// before younger op y may proceed, per the core's MCM.
+func (c *Core) olderBlocks(o, y *uop) bool {
+	if o.done {
+		return false
+	}
+	ok, yk := o.in.Kind, y.in.Kind
+	// Ordering ops block everything younger, on every model. RMWs are
+	// full fences (x86 semantics; lock primitives on Arm).
+	if ok == Fence || ok == Acquire || ok == Release || ok.IsRMW() {
+		return true
+	}
+	// Same-address program order is sacred on all models (coherence).
+	if ok.IsMem() && yk.IsMem() && o.in.Addr.Line() == y.in.Addr.Line() {
+		return true
+	}
+	// An acquire load blocks all younger operations.
+	if o.in.Acq && ok == Load {
+		return true
+	}
+	switch c.cfg.MCM {
+	case SC:
+		return true
+	case TSO:
+		// Loads and RMWs enforce order against younger loads and stores
+		// (LL, LS). Stores do not block younger loads (SL relaxed via the
+		// store buffer); store-store order is preserved by FIFO drain.
+		if ok == Load || ok.IsRMW() {
+			return true
+		}
+		return false
+	default: // WMO
+		return false
+	}
+}
+
+func (c *Core) ready(u *uop) bool {
+	for _, o := range c.window {
+		if o.seq >= u.seq {
+			break
+		}
+		if c.olderBlocks(o, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardFrom returns the youngest older store (in window or SB) to the
+// same address, for store-to-load forwarding.
+func (c *Core) forwardFrom(u *uop) (uint64, bool) {
+	var val uint64
+	found := false
+	for _, o := range c.window {
+		if o.seq >= u.seq {
+			break
+		}
+		if o.in.Kind == Store && o.in.Addr == u.in.Addr {
+			val, found = o.in.Val, true
+		}
+	}
+	if found {
+		return val, true
+	}
+	for _, s := range c.sb {
+		if s.addr == u.in.Addr {
+			val, found = s.val, true
+		}
+	}
+	return val, found
+}
+
+// sbHasLine reports whether the store buffer holds an entry for the line
+// of addr (loads to a line with a pending non-same-address store still
+// forward conservatively at line granularity? No: forwarding is exact-
+// address; but same-line SB entries do not block loads).
+func (c *Core) olderUndrainedRelease() bool {
+	for _, s := range c.sb {
+		if s.rel {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) issue() {
+	// Speculation budget for in-order-binding loads (TSO/SC).
+	specLeft := c.cfg.SpecDepth
+	for _, u := range c.window {
+		if u.in.Kind == Load && !u.done && (u.issued || u.warmed) {
+			specLeft--
+		}
+	}
+	for _, u := range c.window {
+		if u.issued || u.done {
+			continue
+		}
+		if !c.ready(u) {
+			// TSO/SC loads wait for older loads to complete (in-order
+			// binding), but hardware still brings the line in
+			// speculatively; warm the cache so the binding access hits.
+			// Non-binding, so legal across any ordering constraint.
+			if u.in.Kind == Load && !u.warmed && specLeft > 0 && c.cfg.MCM != WMO && !c.l1.NeedsSyncOps() {
+				u.warmed = true
+				specLeft--
+				c.l1.Access(Request{Kind: PrefetchS, Addr: u.in.Addr}, func(Response) {})
+			}
+			continue
+		}
+		switch u.in.Kind {
+		case Load:
+			// SC: a load may not bypass buffered stores; wait for drain
+			// unless the value forwards.
+			if c.cfg.MCM == SC && len(c.sb) > 0 {
+				if v, fwd := c.forwardFrom(u); fwd {
+					u.issued = true
+					u.forwards = true
+					c.completeLocal(u, v)
+				}
+				continue
+			}
+			if v, ok := c.forwardFrom(u); ok {
+				u.issued = true
+				u.forwards = true
+				c.completeLocal(u, v)
+				continue
+			}
+			u.issued = true
+			c.issueToL1(u, Request{Kind: Load, Addr: u.in.Addr, Acq: u.in.Acq})
+		case Store:
+			// A store retires into the store buffer once ordering allows;
+			// it completes from the window's perspective immediately.
+			if len(c.sb) >= c.cfg.SBSize {
+				continue // SB full; retry on next pump
+			}
+			// A release store may not enter the SB ahead of undrained
+			// older (release-ordered) state: modelled by requiring the
+			// whole SB to drain first, plus a sync op for RCC caches.
+			if u.in.Rel && (len(c.sb) > 0 || c.anyOlderIncomplete(u)) {
+				continue
+			}
+			u.issued = true
+			c.sb = append(c.sb, &sbEntry{addr: u.in.Addr, val: u.in.Val, rel: u.in.Rel, seq: u.seq})
+			if c.cfg.MCM != WMO && !c.l1.NeedsSyncOps() {
+				// FIFO-draining models issue a non-binding ownership
+				// prefetch so store misses overlap (hardware RFO
+				// prefetching); the drain itself stays in order.
+				c.l1.Access(Request{Kind: Prefetch, Addr: u.in.Addr}, func(Response) {})
+			}
+			c.completeLocal(u, 0)
+		case RMWAdd, RMWXchg:
+			// Atomics are full fences: all older ops complete and the
+			// store buffer drains before they issue.
+			if len(c.sb) > 0 || c.anyOlderIncomplete(u) {
+				continue
+			}
+			u.issued = true
+			c.issueToL1(u, Request{Kind: u.in.Kind, Addr: u.in.Addr, Val: u.in.Val})
+		case Fence, Acquire, Release:
+			// Ordering ops wait for every older op and an empty SB.
+			if c.anyOlderIncomplete(u) || len(c.sb) > 0 {
+				continue
+			}
+			u.issued = true
+			if c.l1.NeedsSyncOps() {
+				c.issueToL1(u, Request{Kind: u.in.Kind})
+			} else {
+				c.completeLocal(u, 0)
+			}
+		}
+	}
+}
+
+func (c *Core) anyOlderIncomplete(u *uop) bool {
+	for _, o := range c.window {
+		if o.seq >= u.seq {
+			break
+		}
+		if !o.done {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) issueToL1(u *uop, req Request) {
+	c.outstanding++
+	if j := c.jitter(c.cfg.IssueJitter); j > 0 && req.Kind.IsMem() {
+		c.k.After(j, func() { c.accessL1(u, req) })
+		return
+	}
+	c.accessL1(u, req)
+}
+
+func (c *Core) accessL1(u *uop, req Request) {
+	c.l1.Access(req, func(r Response) {
+		c.outstanding--
+		if c.Observe != nil {
+			c.Observe(OpStats{Kind: u.in.Kind, Missed: r.Missed, Latency: r.MissLatency})
+		}
+		c.complete(u, r.Val)
+	})
+}
+
+// completeLocal finishes ops that never left the core (SB retire,
+// forwarded loads, local fences) after a 1-cycle pipeline delay.
+func (c *Core) completeLocal(u *uop, val uint64) {
+	c.k.After(1, func() {
+		// Stores are observed when they drain from the SB, not here, to
+		// avoid double counting; forwarded loads count as hits.
+		if c.Observe != nil && u.in.Kind == Load {
+			c.Observe(OpStats{Kind: Load})
+		}
+		c.complete(u, val)
+	})
+}
+
+func (c *Core) complete(u *uop, val uint64) {
+	u.done = true
+	u.val = val
+	c.Retired++
+	c.src.Complete(u.in, val)
+	if u.in.CtrlDep {
+		c.fetchOK = true
+	}
+	c.retire()
+	c.pump()
+}
+
+// retire removes completed ops from the head of the window.
+func (c *Core) retire() {
+	i := 0
+	for i < len(c.window) && c.window[i].done {
+		i++
+	}
+	if i > 0 {
+		c.window = append(c.window[:0], c.window[i:]...)
+	}
+}
+
+func (c *Core) drainSB() {
+	draining := 0
+	for _, s := range c.sb {
+		if s.draining {
+			draining++
+		}
+	}
+	for _, s := range c.sb {
+		if draining >= c.cfg.SBDrainWays {
+			break
+		}
+		if s.draining {
+			if c.cfg.MCM != WMO {
+				break // FIFO: only the head may drain
+			}
+			continue
+		}
+		// WMO may drain any entry; but same-address entries must drain in
+		// order, so skip if an older undrained/draining same-address entry
+		// exists earlier in the buffer.
+		if c.cfg.MCM == WMO && c.olderSameLine(s) {
+			continue
+		}
+		s.draining = true
+		draining++
+		entry := s
+		c.outstanding++
+		drain := func() {
+			c.l1.Access(Request{Kind: Store, Addr: entry.addr, Val: entry.val, Rel: entry.rel}, func(r Response) {
+				c.outstanding--
+				if c.Observe != nil {
+					c.Observe(OpStats{Kind: Store, Missed: r.Missed, Latency: r.MissLatency})
+				}
+				c.removeSB(entry)
+				c.pump()
+			})
+		}
+		if j := c.jitter(c.cfg.DrainJitter); j > 0 {
+			c.k.After(j, drain)
+		} else {
+			drain()
+		}
+		if c.cfg.MCM != WMO {
+			break
+		}
+	}
+}
+
+func (c *Core) olderSameLine(s *sbEntry) bool {
+	for _, o := range c.sb {
+		if o == s {
+			return false
+		}
+		if o.addr.Line() == s.addr.Line() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) removeSB(e *sbEntry) {
+	for i, s := range c.sb {
+		if s == e {
+			c.sb = append(c.sb[:i], c.sb[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) checkFinished() {
+	if c.finished || !c.srcDone {
+		return
+	}
+	if len(c.window) == 0 && len(c.sb) == 0 && c.outstanding == 0 {
+		c.finished = true
+		c.FinishedAt = c.k.Now()
+		if c.onFinish != nil {
+			c.onFinish()
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpState writes a canonical rendering of the core's microarchitectural
+// state for model-checker hashing.
+func (c *Core) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "CPU[%d]f%v:s%v:fin%v|", c.ID, c.fetchOK, c.srcDone, c.finished)
+	for _, u := range c.window {
+		fmt.Fprintf(w, "w%d:%x:%d:%v:%v:%d;", u.in.Kind, uint64(u.in.Addr), u.in.Val,
+			u.issued, u.done, u.val)
+	}
+	for _, s := range c.sb {
+		fmt.Fprintf(w, "b%x:%d:%v:%v;", uint64(s.addr), s.val, s.rel, s.draining)
+	}
+	fmt.Fprintf(w, "o%d\n", c.outstanding)
+}

@@ -1,0 +1,48 @@
+package cpu
+
+// SliceSource is a Source over a fixed program, recording loaded values
+// into a register file. It is the execution vehicle for litmus threads.
+type SliceSource struct {
+	Prog []Instr
+	Regs map[int]uint64
+	pos  int
+}
+
+// NewSliceSource wraps prog.
+func NewSliceSource(prog []Instr) *SliceSource {
+	return &SliceSource{Prog: prog, Regs: make(map[int]uint64)}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Instr, bool) {
+	if s.pos >= len(s.Prog) {
+		return Instr{}, false
+	}
+	in := s.Prog[s.pos]
+	s.pos++
+	return in, true
+}
+
+// Complete implements Source.
+func (s *SliceSource) Complete(in Instr, loaded uint64) {
+	if in.Kind == Load || in.Kind.IsRMW() {
+		s.Regs[in.Reg] = loaded
+	}
+}
+
+// FuncSource adapts closures to Source, for workload generators that
+// react to loaded values (spin loops, pointer chasing).
+type FuncSource struct {
+	NextFn     func() (Instr, bool)
+	CompleteFn func(in Instr, loaded uint64)
+}
+
+// Next implements Source.
+func (f *FuncSource) Next() (Instr, bool) { return f.NextFn() }
+
+// Complete implements Source.
+func (f *FuncSource) Complete(in Instr, loaded uint64) {
+	if f.CompleteFn != nil {
+		f.CompleteFn(in, loaded)
+	}
+}

@@ -1,0 +1,195 @@
+package litmus
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"c3/internal/cpu"
+	"c3/internal/msg"
+	"c3/internal/sim"
+	"c3/internal/system"
+)
+
+// RunnerConfig describes one litmus campaign: a two-cluster system, an
+// MCM per cluster, and how synchronization is treated.
+type RunnerConfig struct {
+	// Locals are the two clusters' coherence protocols ("mesi", ...).
+	Locals [2]string
+	// Global is "cxl" or "hmesi".
+	Global string
+	// MCMs are the clusters' consistency models.
+	MCMs [2]cpu.MCM
+	// Iters is the number of randomized executions.
+	Iters int
+	Sync  SyncMode
+	// BaseSeed perturbs fabric jitter and start offsets per iteration.
+	BaseSeed int64
+	// IssueJitter/DrainJitter override the cores' timing randomization
+	// (0 -> defaults of 1200/900 cycles).
+	IssueJitter, DrainJitter int
+	// TraceTo, when non-nil, receives the full coherence-message trace
+	// of the first iteration (one line per delivery).
+	TraceTo io.Writer
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Test      string
+	Iters     int
+	Outcomes  map[string]int
+	Forbidden int
+	// ForbiddenExample is one offending outcome, for diagnostics.
+	ForbiddenExample string
+}
+
+// Distinct reports how many distinct outcomes appeared.
+func (r *Result) Distinct() int { return len(r.Outcomes) }
+
+// assignment: threads are distributed equally across the two clusters
+// (Sec. VI-A), round-robin.
+func clusterOf(thread int) int { return thread % 2 }
+
+// ThreadMCMs returns the MCM each thread of t runs under in cfg.
+func ThreadMCMs(t Test, cfg RunnerConfig) []cpu.MCM {
+	out := make([]cpu.MCM, len(t.Threads))
+	for i := range t.Threads {
+		out[i] = cfg.MCMs[clusterOf(i)]
+	}
+	return out
+}
+
+func toProgram(t Test, th Thread) []cpu.Instr {
+	prog := make([]cpu.Instr, 0, len(th))
+	for _, op := range th {
+		in := cpu.Instr{Kind: op.Kind, Val: op.Val, Reg: op.Reg, Acq: op.Acq, Rel: op.Rel}
+		if op.Kind.IsMem() {
+			in.Addr = varAddr(t.Vars, op.V)
+		}
+		prog = append(prog, in)
+	}
+	return prog
+}
+
+// Run executes one litmus campaign.
+func Run(t Test, cfg RunnerConfig) (*Result, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	res := &Result{Test: t.Name, Iters: cfg.Iters, Outcomes: make(map[string]int)}
+	rng := rand.New(rand.NewSource(cfg.BaseSeed ^ 0x5eed))
+
+	perCluster := [2]int{0, 0}
+	for i := range t.Threads {
+		perCluster[clusterOf(i)]++
+	}
+	perCluster[0]++ // collector slot
+
+	for it := 0; it < cfg.Iters; it++ {
+		seed := cfg.BaseSeed + int64(it)*7919
+		mkCore := func(m cpu.MCM) cpu.Config {
+			cc := cpu.DefaultConfig(m)
+			// Jitter widens the explored interleavings (the role gem5's
+			// intrinsic timing variation plays for the paper's runs).
+			cc.IssueJitter, cc.DrainJitter, cc.Seed = 1200, 900, seed
+			if cfg.IssueJitter > 0 {
+				cc.IssueJitter = cfg.IssueJitter
+			}
+			if cfg.DrainJitter > 0 {
+				cc.DrainJitter = cfg.DrainJitter
+			}
+			return cc
+		}
+		sys, err := system.New(system.Config{
+			Global: cfg.Global,
+			Seed:   seed,
+			Clusters: []system.ClusterConfig{
+				{Protocol: cfg.Locals[0], MCM: cfg.MCMs[0], Cores: perCluster[0], Core: mkCore(cfg.MCMs[0])},
+				{Protocol: cfg.Locals[1], MCM: cfg.MCMs[1], Cores: perCluster[1], Core: mkCore(cfg.MCMs[1])},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.TraceTo != nil && it == 0 {
+			w := cfg.TraceTo
+			sys.Net.Trace = func(m *msg.Msg, delivered bool) {
+				if delivered {
+					fmt.Fprintf(w, "%8d  %v\n", sys.K.Now(), m)
+				}
+			}
+		}
+
+		slot := [2]int{0, 0}
+		srcs := make([]*cpu.SliceSource, len(t.Threads))
+		cores := make([]*cpu.Core, len(t.Threads))
+		for i, th := range t.Threads {
+			eff := th
+			switch cfg.Sync {
+			case SyncFull:
+				eff = Refine(th, cfg.MCMs[clusterOf(i)])
+			case SyncNone:
+				eff = Strip(th)
+			}
+			srcs[i] = cpu.NewSliceSource(toProgram(t, eff))
+			cl := clusterOf(i)
+			cores[i] = sys.AttachSource(cl, slot[cl], srcs[i])
+			slot[cl]++
+		}
+		// Staggered starts widen the interleaving space.
+		for _, c := range cores {
+			c := c
+			sys.K.Schedule(sim.Time(rng.Intn(800)), func() { c.Start() })
+		}
+		limit := sys.K.Stepped + 3_000_000
+		for !allDone(cores) {
+			if sys.K.Stepped >= limit || !sys.K.Step() {
+				return nil, fmt.Errorf("litmus %s: iteration %d wedged", t.Name, it)
+			}
+		}
+
+		// Collector: read final variable values through the coherent
+		// system (cluster 0's spare core).
+		var colProg []cpu.Instr
+		colProg = append(colProg, cpu.Instr{Kind: cpu.Fence})
+		for vi, v := range t.Vars {
+			colProg = append(colProg, cpu.Instr{Kind: cpu.Load, Addr: varAddr(t.Vars, v), Reg: vi, Acq: vi == 0})
+		}
+		col := cpu.NewSliceSource(colProg)
+		cc := sys.AttachSource(0, perCluster[0]-1, col)
+		cc.Start()
+		limit = sys.K.Stepped + 1_000_000
+		for !cc.Finished() {
+			if sys.K.Stepped >= limit || !sys.K.Step() {
+				return nil, fmt.Errorf("litmus %s: collector wedged", t.Name)
+			}
+		}
+
+		o := Outcome{}
+		for i, src := range srcs {
+			for reg, val := range src.Regs {
+				o[Key(i, reg)] = val
+			}
+		}
+		for vi, v := range t.Vars {
+			o[string(v)] = col.Regs[vi]
+		}
+		res.Outcomes[o.String()]++
+		if t.Forbidden(o) {
+			res.Forbidden++
+			if res.ForbiddenExample == "" {
+				res.ForbiddenExample = o.String()
+			}
+		}
+	}
+	return res, nil
+}
+
+func allDone(cores []*cpu.Core) bool {
+	for _, c := range cores {
+		if !c.Finished() {
+			return false
+		}
+	}
+	return true
+}

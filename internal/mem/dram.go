@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"c3/internal/sim"
+)
+
+// DRAMConfig describes the memory device backing the CXL pool
+// (Table III: DDR5, 4400 MT/s, 1 channel, 10 ns device latency).
+type DRAMConfig struct {
+	// AccessLatency is the fixed device access latency.
+	AccessLatency sim.Time
+	// BytesPerCycle is the channel bandwidth; a request occupies the
+	// channel for LineBytes/BytesPerCycle cycles, serializing bursts.
+	BytesPerCycle float64
+}
+
+// DefaultDRAMConfig matches Table III: 10 ns access, one DDR5-4400
+// channel (4400 MT/s x 8 B = 35.2 GB/s; at 2 GHz that is 17.6 B/cycle).
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{AccessLatency: sim.NS(10), BytesPerCycle: 17.6}
+}
+
+// DRAM is a latency/bandwidth model of the memory device, plus the
+// authoritative storage for line data not currently owned by any cache.
+type DRAM struct {
+	k     *sim.Kernel
+	cfg   DRAMConfig
+	store map[LineAddr]Data
+	// busyUntil models single-channel serialization.
+	busyUntil sim.Time
+
+	// Reads and Writes count completed accesses, for stats.
+	Reads, Writes uint64
+}
+
+// NewDRAM returns a DRAM attached to kernel k. Unwritten lines read as
+// zero, like freshly initialized memory.
+func NewDRAM(k *sim.Kernel, cfg DRAMConfig) *DRAM {
+	if cfg.BytesPerCycle <= 0 {
+		cfg.BytesPerCycle = 17.6
+	}
+	return &DRAM{k: k, cfg: cfg, store: make(map[LineAddr]Data)}
+}
+
+// occupancy is the channel time one line transfer occupies.
+func (d *DRAM) occupancy() sim.Time {
+	c := sim.Time(float64(LineBytes) / d.cfg.BytesPerCycle)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// schedule reserves the channel and returns the completion time.
+func (d *DRAM) schedule() sim.Time {
+	start := d.k.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	d.busyUntil = start + d.occupancy()
+	return d.busyUntil + d.cfg.AccessLatency
+}
+
+// Read fetches a line; done is called with the data when the access
+// completes.
+func (d *DRAM) Read(addr LineAddr, done func(Data)) {
+	t := d.schedule()
+	d.k.Schedule(t, func() {
+		d.Reads++
+		done(d.store[addr])
+	})
+}
+
+// Write stores a line; done (may be nil) is called when the access
+// completes.
+func (d *DRAM) Write(addr LineAddr, data Data, done func()) {
+	t := d.schedule()
+	d.k.Schedule(t, func() {
+		d.Writes++
+		d.store[addr] = data
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Peek returns the current stored value without timing, for invariant
+// checks and test assertions.
+func (d *DRAM) Peek(addr LineAddr) Data { return d.store[addr] }
+
+// Poke sets memory contents directly, for test/bench initialization.
+func (d *DRAM) Poke(addr LineAddr, data Data) { d.store[addr] = data }
+
+// DumpState writes a canonical rendering of memory contents for
+// model-checker hashing.
+func (d *DRAM) DumpState(w io.Writer) {
+	var lines []LineAddr
+	for a := range d.store {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	fmt.Fprint(w, "DRAM")
+	for _, a := range lines {
+		fmt.Fprintf(w, "%x:%v;", uint64(a), d.store[a])
+	}
+	fmt.Fprintln(w)
+}

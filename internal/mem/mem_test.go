@@ -1,0 +1,136 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c3/internal/sim"
+)
+
+func TestAddrLine(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line LineAddr
+		word int
+	}{
+		{0, 0, 0},
+		{8, 0, 1},
+		{63, 0, 7},
+		{64, 64, 0},
+		{0x1000 + 24, 0x1000, 3},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Addr(%#x).Line() = %#x, want %#x", uint64(c.addr), uint64(got), uint64(c.line))
+		}
+		if got := c.addr.WordIndex(); got != c.word {
+			t.Errorf("Addr(%#x).WordIndex() = %d, want %d", uint64(c.addr), got, c.word)
+		}
+	}
+}
+
+func TestLinePropertyRoundTrip(t *testing.T) {
+	// Property: the line address plus 8*wordIndex recovers the word-aligned
+	// address for any word-aligned input.
+	f := func(a uint64) bool {
+		addr := Addr(a &^ 7)
+		return Addr(uint64(addr.Line())+uint64(addr.WordIndex())*8) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineContainmentProperty(t *testing.T) {
+	// Property: every byte address within a line maps to the same line.
+	f := func(a uint64, off uint8) bool {
+		base := Addr(a).Line()
+		return (base.Addr() + Addr(off%LineBytes)).Line() == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataWords(t *testing.T) {
+	var d Data
+	d.SetWord(3, 42)
+	if d.Word(3) != 42 || d.Word(0) != 0 {
+		t.Fatalf("word write/read mismatch: %v", d)
+	}
+}
+
+func TestDRAMReadAfterWrite(t *testing.T) {
+	var k sim.Kernel
+	d := NewDRAM(&k, DefaultDRAMConfig())
+	addr := LineAddr(0x2000)
+	var want Data
+	want.SetWord(1, 99)
+
+	var got Data
+	wrote := false
+	d.Write(addr, want, func() { wrote = true })
+	k.Run(nil)
+	if !wrote {
+		t.Fatal("write completion never fired")
+	}
+	d.Read(addr, func(data Data) { got = data })
+	k.Run(nil)
+	if got != want {
+		t.Fatalf("read %v, want %v", got, want)
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", d.Reads, d.Writes)
+	}
+}
+
+func TestDRAMUnwrittenReadsZero(t *testing.T) {
+	var k sim.Kernel
+	d := NewDRAM(&k, DefaultDRAMConfig())
+	var got Data
+	d.Read(0x9000, func(data Data) { got = data })
+	k.Run(nil)
+	if got != (Data{}) {
+		t.Fatalf("unwritten line reads %v, want zero", got)
+	}
+}
+
+func TestDRAMLatency(t *testing.T) {
+	var k sim.Kernel
+	d := NewDRAM(&k, DRAMConfig{AccessLatency: 20, BytesPerCycle: 64})
+	var doneAt sim.Time
+	d.Read(0, func(Data) { doneAt = k.Now() })
+	k.Run(nil)
+	// occupancy = 64/64 = 1 cycle, + 20 access = 21.
+	if doneAt != 21 {
+		t.Fatalf("read completed at %d, want 21", doneAt)
+	}
+}
+
+func TestDRAMChannelSerialization(t *testing.T) {
+	var k sim.Kernel
+	d := NewDRAM(&k, DRAMConfig{AccessLatency: 10, BytesPerCycle: 32}) // 2-cycle occupancy
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		d.Read(LineAddr(uint64(i)*64), func(Data) { times = append(times, k.Now()) })
+	}
+	k.Run(nil)
+	// Transfers serialize on the channel: completion at 12, 14, 16.
+	want := []sim.Time{12, 14, 16}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("completions %v, want %v", times, want)
+		}
+	}
+}
+
+func TestDRAMPokePeek(t *testing.T) {
+	var k sim.Kernel
+	d := NewDRAM(&k, DefaultDRAMConfig())
+	var v Data
+	v.SetWord(0, 7)
+	d.Poke(0x40, v)
+	if d.Peek(0x40) != v {
+		t.Fatal("Peek after Poke mismatch")
+	}
+}

@@ -1,0 +1,220 @@
+// Package network models the two interconnect tiers of the simulated
+// system (Table III of the paper):
+//
+//   - intra-cluster: point-to-point topology, 72 B flits, 1-cycle router,
+//     10-cycle links;
+//   - cross-cluster (the CXL fabric): star topology, 256 B flits, 1-cycle
+//     router, 70 ns links.
+//
+// Each directed (src, dst, vnet) pair is an independent link with
+// serialization (flit) delay and propagation latency. Response virtual
+// networks are always FIFO — the CXL property that makes the
+// BIConflict/BIConflictAck handshake meaningful — while request and snoop
+// networks on the global fabric may reorder via seeded random jitter,
+// modelling CXL's switched, unordered message delivery.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// Port receives delivered messages.
+type Port interface {
+	Recv(m *msg.Msg)
+}
+
+// Fabric is the send-side interface controllers depend on. The timed
+// Network implements it; the model checker substitutes its own.
+type Fabric interface {
+	Send(m *msg.Msg)
+}
+
+// LinkConfig describes one directed link.
+type LinkConfig struct {
+	// Latency is the propagation delay (cycles).
+	Latency sim.Time
+	// FlitBytes sets serialization granularity: a message occupies the
+	// sender for ceil(size/FlitBytes) cycles.
+	FlitBytes int
+	// RouterCycles is added per traversal (1 in Table III).
+	RouterCycles sim.Time
+	// Unordered permits reordering on VReq/VSnp via jitter in
+	// [0, JitterMax]. VRsp links are always ordered regardless.
+	Unordered bool
+	JitterMax sim.Time
+	// CrossVNetOrder enforces point-to-point ordering across all three
+	// virtual networks of a directed pair (a single physical on-chip
+	// channel). Intra-cluster links use it so a directory grant can
+	// never be overtaken by a later snoop; the CXL fabric must not (the
+	// Fig. 2 races require snoops to reorder with completions).
+	CrossVNetOrder bool
+}
+
+// IntraCluster returns the Table III point-to-point link configuration.
+func IntraCluster() LinkConfig {
+	return LinkConfig{Latency: 10, FlitBytes: 72, RouterCycles: 1, CrossVNetOrder: true}
+}
+
+// CrossCluster returns the Table III CXL star-topology configuration.
+// The 70 ns link latency was calibrated by the paper to yield ~400 ns
+// round-trip CXL memory access. Jitter models fabric reordering.
+func CrossCluster() LinkConfig {
+	return LinkConfig{Latency: sim.NS(70), FlitBytes: 256, RouterCycles: 1,
+		Unordered: true, JitterMax: 24}
+}
+
+type routeKey struct {
+	src, dst msg.NodeID
+	vnet     msg.VNet
+}
+
+type pairOrder struct {
+	lastArrival sim.Time
+}
+
+type link struct {
+	cfg           LinkConfig
+	lastDeparture sim.Time
+	lastArrival   sim.Time
+	ordered       bool
+	// pair, when non-nil, carries the shared arrival horizon for
+	// cross-vnet-ordered links.
+	pair *pairOrder
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Msgs  [msg.NumVNets]uint64
+	Bytes [msg.NumVNets]uint64
+}
+
+// Network is the timed fabric.
+type Network struct {
+	k      *sim.Kernel
+	rng    *rand.Rand
+	ports  map[msg.NodeID]Port
+	routes map[routeKey]*link
+	serial uint64
+
+	// Trace, when non-nil, observes every message at send (false) and
+	// delivery (true).
+	Trace func(m *msg.Msg, delivered bool)
+
+	Stats Stats
+}
+
+// New returns an empty network on kernel k. Jitter on unordered links is
+// drawn from a generator seeded with seed, so runs are reproducible.
+func New(k *sim.Kernel, seed int64) *Network {
+	return &Network{
+		k:      k,
+		rng:    rand.New(rand.NewSource(seed)),
+		ports:  make(map[msg.NodeID]Port),
+		routes: make(map[routeKey]*link),
+	}
+}
+
+// Register attaches the receiver for node id.
+func (n *Network) Register(id msg.NodeID, p Port) {
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("network: duplicate port %d", id))
+	}
+	n.ports[id] = p
+}
+
+// Connect creates the three virtual-network links in both directions
+// between a and b. VRsp is always ordered; VReq/VSnp follow cfg.Unordered.
+func (n *Network) Connect(a, b msg.NodeID, cfg LinkConfig) {
+	for _, p := range [2][2]msg.NodeID{{a, b}, {b, a}} {
+		var shared *pairOrder
+		if cfg.CrossVNetOrder {
+			shared = &pairOrder{}
+		}
+		for v := msg.VNet(0); v < msg.NumVNets; v++ {
+			n.routes[routeKey{p[0], p[1], v}] = &link{
+				cfg:     cfg,
+				ordered: !cfg.Unordered || v == msg.VRsp,
+				pair:    shared,
+			}
+		}
+	}
+}
+
+func (n *Network) route(m *msg.Msg) *link {
+	l := n.routes[routeKey{m.Src, m.Dst, m.VNet}]
+	if l == nil {
+		panic(fmt.Sprintf("network: no route for %v", m))
+	}
+	return l
+}
+
+// Send queues m for delivery. The message must not be mutated afterwards.
+func (n *Network) Send(m *msg.Msg) {
+	l := n.route(m)
+	port := n.ports[m.Dst]
+	if port == nil {
+		panic(fmt.Sprintf("network: no port for dst %d (%v)", m.Dst, m))
+	}
+	n.serial++
+	m.Serial = n.serial
+	n.Stats.Msgs[m.VNet]++
+	n.Stats.Bytes[m.VNet] += uint64(m.Size())
+	if n.Trace != nil {
+		n.Trace(m, false)
+	}
+
+	flits := sim.Time((m.Size() + l.cfg.FlitBytes - 1) / l.cfg.FlitBytes)
+	depart := n.k.Now()
+	if l.lastDeparture > depart {
+		depart = l.lastDeparture
+	}
+	depart += flits
+	l.lastDeparture = depart
+
+	arrive := depart + l.cfg.Latency + l.cfg.RouterCycles
+	if l.ordered {
+		if arrive < l.lastArrival {
+			arrive = l.lastArrival
+		}
+		l.lastArrival = arrive
+	} else if l.cfg.JitterMax > 0 {
+		arrive += sim.Time(n.rng.Int63n(int64(l.cfg.JitterMax) + 1))
+	}
+	if l.pair != nil {
+		// Single physical channel: later sends on any vnet of this
+		// directed pair may not arrive before earlier ones.
+		if arrive < l.pair.lastArrival {
+			arrive = l.pair.lastArrival
+		}
+		l.pair.lastArrival = arrive
+	}
+
+	n.k.Schedule(arrive, func() {
+		if n.Trace != nil {
+			n.Trace(m, true)
+		}
+		port.Recv(m)
+	})
+}
+
+// TotalMsgs reports messages sent across all virtual networks.
+func (s *Stats) TotalMsgs() uint64 {
+	var t uint64
+	for _, v := range s.Msgs {
+		t += v
+	}
+	return t
+}
+
+// TotalBytes reports bytes sent across all virtual networks.
+func (s *Stats) TotalBytes() uint64 {
+	var t uint64
+	for _, v := range s.Bytes {
+		t += v
+	}
+	return t
+}

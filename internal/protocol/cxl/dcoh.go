@@ -1,0 +1,295 @@
+// Package cxl implements the CXL.mem 3.0 device coherency engine (DCOH):
+// the global directory that lives on the multi-headed memory device and
+// keeps the C3 instances of all hosts coherent.
+//
+// The DCOH realizes the protocol properties the paper attributes to CXL
+// and measures in Fig. 11:
+//
+//   - per-line *blocking* transactions: while a MemRd is being serviced
+//     (including its back-invalidation snoops) all other requests to the
+//     line queue — the "convoy effect";
+//   - device-initiated snoops (BISnpInv/BISnpData) with the 6-message
+//     dirty-owner flow: the snooped host writes back via MemWr before its
+//     BISnpRsp (Fig. 2, "CXL WB"), versus 4 messages when clean;
+//   - the BIConflict/BIConflictAck handshake: answered immediately and
+//     unconditionally on the FIFO response channel, so a host can decode
+//     the directory's serialization order from the Cmp/Ack arrival order;
+//   - tolerance of silent clean evictions: a snooped host that no longer
+//     holds the line answers with a clean miss and the DCOH falls back to
+//     device memory.
+package cxl
+
+import (
+	"fmt"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// Directory states for one line.
+const (
+	dI = iota
+	dS
+	dE
+	dM
+)
+
+func dname(s int) string { return [...]string{"I", "S", "E", "M"}[s] }
+
+type tx struct {
+	req     *msg.Msg            // request being serviced
+	pending map[msg.NodeID]bool // hosts whose snoop responses are due
+	data    mem.Data            // dirty data collected from responses
+	dirty   bool
+	keptS   map[msg.NodeID]bool // snooped hosts that retained a shared copy
+}
+
+type dline struct {
+	state   int
+	owner   msg.NodeID
+	sharers map[msg.NodeID]bool
+	cur     *tx
+	queue   []*msg.Msg
+}
+
+// Stats aggregates DCOH telemetry.
+type Stats struct {
+	Reads, Writes uint64 // MemRd*, MemWr* processed
+	Snoops        uint64 // BISnp* issued
+	Conflicts     uint64 // BIConflict handshakes answered
+	Stalls        uint64 // requests queued behind a busy line
+}
+
+// DCOH is the device coherency engine.
+type DCOH struct {
+	id   msg.NodeID
+	k    *sim.Kernel
+	net  network.Fabric
+	dram *mem.DRAM
+	// Lat is the controller occupancy added to each outgoing message.
+	Lat sim.Time
+
+	lines map[mem.LineAddr]*dline
+
+	Stats Stats
+}
+
+// New builds a DCOH with its backing device memory.
+func New(id msg.NodeID, k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
+	return &DCOH{id: id, k: k, net: net, dram: dram, Lat: 4,
+		lines: make(map[mem.LineAddr]*dline)}
+}
+
+// ID returns the DCOH's network id.
+func (d *DCOH) ID() msg.NodeID { return d.id }
+
+// DRAM exposes the device memory for initialization and checks.
+func (d *DCOH) DRAM() *mem.DRAM { return d.dram }
+
+func (d *DCOH) line(a mem.LineAddr) *dline {
+	l := d.lines[a]
+	if l == nil {
+		l = &dline{state: dI, owner: msg.None, sharers: make(map[msg.NodeID]bool)}
+		d.lines[a] = l
+	}
+	return l
+}
+
+func (d *DCOH) send(m *msg.Msg) {
+	m.Src = d.id
+	d.k.After(d.Lat, func() { d.net.Send(m) })
+}
+
+// Recv implements network.Port.
+func (d *DCOH) Recv(m *msg.Msg) {
+	switch m.Type {
+	case msg.BIConflict:
+		// Answered immediately, even for busy lines: the FIFO response
+		// channel makes the ack's position meaningful.
+		d.Stats.Conflicts++
+		d.send(&msg.Msg{Type: msg.BIConflictAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+	case msg.MemRdA, msg.MemRdS:
+		l := d.line(m.Addr)
+		if l.cur != nil {
+			d.Stats.Stalls++
+			l.queue = append(l.queue, m)
+			return
+		}
+		d.startRead(l, m)
+	case msg.MemWrI, msg.MemWrS:
+		d.Stats.Writes++
+		d.handleWrite(m)
+	case msg.BISnpRspI, msg.BISnpRspS:
+		d.handleSnpRsp(m)
+	default:
+		panic(fmt.Sprintf("cxl: DCOH got unexpected %v", m))
+	}
+}
+
+func (d *DCOH) startRead(l *dline, m *msg.Msg) {
+	d.Stats.Reads++
+	l.cur = &tx{req: m, pending: make(map[msg.NodeID]bool), keptS: make(map[msg.NodeID]bool)}
+	want := msg.BISnpData
+	if m.Type == msg.MemRdA {
+		want = msg.BISnpInv
+	}
+	// Collect the peers that must be snooped.
+	var targets []msg.NodeID
+	switch l.state {
+	case dE, dM:
+		if l.owner != m.Src {
+			targets = append(targets, l.owner)
+		}
+	case dS:
+		if m.Type == msg.MemRdA {
+			for h := range l.sharers {
+				if h != m.Src {
+					targets = append(targets, h)
+				}
+			}
+		}
+	}
+	if len(targets) == 0 {
+		d.finishRead(l)
+		return
+	}
+	for _, h := range targets {
+		l.cur.pending[h] = true
+		d.Stats.Snoops++
+		d.send(&msg.Msg{Type: want, Addr: m.Addr, Dst: h, VNet: msg.VSnp})
+	}
+}
+
+func (d *DCOH) handleSnpRsp(m *msg.Msg) {
+	l := d.lines[m.Addr]
+	if l == nil || l.cur == nil || !l.cur.pending[m.Src] {
+		panic(fmt.Sprintf("cxl: unexpected snoop response %v", m))
+	}
+	delete(l.cur.pending, m.Src)
+	if m.Data != nil && m.Dirty {
+		l.cur.data = *m.Data
+		l.cur.dirty = true
+	}
+	if m.Type == msg.BISnpRspS {
+		l.cur.keptS[m.Src] = true
+	}
+	if len(l.cur.pending) == 0 {
+		d.settle(l)
+	}
+}
+
+// handleWrite absorbs a MemWr, both the standalone owner-eviction flow
+// and the nested "CXL WB" a snooped dirty host performs before its
+// BISnpRsp (Fig. 2).
+func (d *DCOH) handleWrite(m *msg.Msg) {
+	l := d.line(m.Addr)
+	if m.Data == nil {
+		panic("cxl: MemWr without data")
+	}
+	// Only the registered owner's data is authoritative; a stale write
+	// (the host was invalidated while its eviction was in flight) is
+	// acknowledged and dropped.
+	snoopedWB := l.cur != nil && l.cur.pending[m.Src]
+	if l.owner == m.Src || snoopedWB {
+		d.dram.Write(m.Addr, *m.Data, nil)
+		if !snoopedWB {
+			// Standalone eviction: update directory state now.
+			if m.Type == msg.MemWrI {
+				l.state = dI
+				l.owner = msg.None
+			} else { // MemWrS: writeback, retain shared copy
+				l.state = dS
+				l.sharers[m.Src] = true
+				l.owner = msg.None
+			}
+		}
+	}
+	d.send(&msg.Msg{Type: msg.CmpWr, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+}
+
+// settle runs when all snoop responses are in: commit dirty data, then
+// finish from device memory.
+func (d *DCOH) settle(l *dline) {
+	if l.cur.dirty {
+		d.dram.Write(l.cur.req.Addr, l.cur.data, func() { d.finishRead(l) })
+		return
+	}
+	d.finishRead(l)
+}
+
+// finishRead reads device memory and grants.
+func (d *DCOH) finishRead(l *dline) {
+	cur := l.cur
+	d.dram.Read(cur.req.Addr, func(data mem.Data) {
+		h := cur.req.Src
+		rsp := &msg.Msg{Addr: cur.req.Addr, Dst: h, VNet: msg.VRsp,
+			Data: msg.WithData(data)}
+		if cur.req.Type == msg.MemRdA {
+			rsp.Type = msg.CmpM
+			l.state = dM
+			l.owner = h
+			l.sharers = make(map[msg.NodeID]bool)
+		} else {
+			// Shared read: exclusive-clean when no one else holds it.
+			for s := range l.sharers {
+				if s != h {
+					cur.keptS[s] = true
+				}
+			}
+			if l.state == dE || l.state == dM {
+				// Previous owner downgraded (kept a copy iff it said so).
+			}
+			l.owner = msg.None
+			l.sharers = make(map[msg.NodeID]bool)
+			for s := range cur.keptS {
+				l.sharers[s] = true
+			}
+			l.sharers[h] = true
+			if len(l.sharers) == 1 {
+				rsp.Type = msg.CmpE
+				l.state = dE
+				l.owner = h
+			} else {
+				rsp.Type = msg.CmpS
+				l.state = dS
+			}
+		}
+		l.cur = nil
+		d.send(rsp)
+		d.drain(l)
+	})
+}
+
+// drain re-dispatches requests that queued behind the finished
+// transaction.
+func (d *DCOH) drain(l *dline) {
+	if len(l.queue) == 0 || l.cur != nil {
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	// Re-enter through the normal path on a fresh event so timing (and
+	// the model checker) see a distinct step.
+	d.k.After(1, func() { d.Recv(next) })
+}
+
+// StateOf reports the directory view of a line, for tests and the model
+// checker's invariants.
+func (d *DCOH) StateOf(a mem.LineAddr) (state string, owner msg.NodeID, sharers []msg.NodeID) {
+	l := d.lines[a]
+	if l == nil {
+		return "I", msg.None, nil
+	}
+	for h := range l.sharers {
+		sharers = append(sharers, h)
+	}
+	return dname(l.state), l.owner, sharers
+}
+
+// Busy reports whether a transaction is in flight for line a.
+func (d *DCOH) Busy(a mem.LineAddr) bool {
+	l := d.lines[a]
+	return l != nil && l.cur != nil
+}

@@ -1,0 +1,276 @@
+package cxl
+
+import (
+	"testing"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// scriptHost is a minimal CXL host endpoint for driving the DCOH.
+type scriptHost struct {
+	id  msg.NodeID
+	k   *sim.Kernel
+	net *network.Network
+	got []*msg.Msg
+	// autoRsp answers snoops automatically when set.
+	autoRsp func(h *scriptHost, m *msg.Msg)
+	// onCmpWr runs when a CmpWr arrives (for staged WB-then-respond).
+	onCmpWr func(h *scriptHost, m *msg.Msg)
+}
+
+func (h *scriptHost) Recv(m *msg.Msg) {
+	h.got = append(h.got, m)
+	if h.autoRsp != nil && (m.Type == msg.BISnpInv || m.Type == msg.BISnpData) {
+		h.autoRsp(h, m)
+	}
+	if h.onCmpWr != nil && m.Type == msg.CmpWr {
+		h.onCmpWr(h, m)
+	}
+}
+
+func (h *scriptHost) send(m *msg.Msg) {
+	m.Src = h.id
+	h.net.Send(m)
+}
+
+func (h *scriptHost) last(t *testing.T, want msg.Type) *msg.Msg {
+	t.Helper()
+	if len(h.got) == 0 {
+		t.Fatalf("host %d: no messages, want %v", h.id, want)
+	}
+	m := h.got[len(h.got)-1]
+	if m.Type != want {
+		t.Fatalf("host %d: last = %v, want %v", h.id, m, want)
+	}
+	return m
+}
+
+func setup(t *testing.T) (*sim.Kernel, *network.Network, *DCOH, *scriptHost, *scriptHost) {
+	t.Helper()
+	k := &sim.Kernel{}
+	net := network.New(k, 7)
+	dram := mem.NewDRAM(k, mem.DefaultDRAMConfig())
+	d := New(100, k, net, dram)
+	h1 := &scriptHost{id: 1, k: k, net: net}
+	h2 := &scriptHost{id: 2, k: k, net: net}
+	net.Register(100, d)
+	net.Register(1, h1)
+	net.Register(2, h2)
+	net.Connect(1, 100, network.CrossCluster())
+	net.Connect(2, 100, network.CrossCluster())
+	return k, net, d, h1, h2
+}
+
+const lineA = mem.LineAddr(0x1000)
+
+func TestColdReadGrantsExclusive(t *testing.T) {
+	k, _, d, h1, _ := setup(t)
+	var v mem.Data
+	v.SetWord(0, 77)
+	d.DRAM().Poke(lineA, v)
+
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	m := h1.last(t, msg.CmpE)
+	if m.Data.Word(0) != 77 {
+		t.Fatalf("CmpE data = %d, want 77", m.Data.Word(0))
+	}
+	st, owner, _ := d.StateOf(lineA)
+	if st != "E" || owner != 1 {
+		t.Fatalf("dir state = %s owner %d, want E owner 1", st, owner)
+	}
+}
+
+func TestColdRdAGrantsM(t *testing.T) {
+	k, _, d, h1, _ := setup(t)
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.CmpM)
+	st, owner, _ := d.StateOf(lineA)
+	if st != "M" || owner != 1 {
+		t.Fatalf("dir state = %s owner %d, want M owner 1", st, owner)
+	}
+}
+
+func TestSecondReaderSharesViaSnoop(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	// h1 takes exclusive; it answers the BISnpData with the paper's
+	// 6-message dirty flow: CXL WB (MemWr,S) first, wait for CmpWr, and
+	// only then send the snoop response — WB travels on the unordered
+	// request channel, so responding early would race it.
+	h1.autoRsp = func(h *scriptHost, m *msg.Msg) {
+		var dd mem.Data
+		dd.SetWord(0, 42)
+		h.send(&msg.Msg{Type: msg.MemWrS, Addr: m.Addr, Dst: 100, VNet: msg.VReq,
+			Data: msg.WithData(dd), Dirty: true})
+	}
+	h1.onCmpWr = func(h *scriptHost, m *msg.Msg) {
+		h.send(&msg.Msg{Type: msg.BISnpRspS, Addr: m.Addr, Dst: 100, VNet: msg.VRsp})
+	}
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.CmpM)
+
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	m := h2.last(t, msg.CmpS)
+	if m.Data.Word(0) != 42 {
+		t.Fatalf("reader got %d, want 42 (dirty data via CXL WB)", m.Data.Word(0))
+	}
+	st, _, sharers := d.StateOf(lineA)
+	if st != "S" || len(sharers) != 2 {
+		t.Fatalf("dir = %s %v, want S with 2 sharers", st, sharers)
+	}
+	if peekWord(d, lineA, 0) != 42 {
+		t.Fatal("device memory not updated by CXL WB")
+	}
+}
+
+func TestWriterInvalidatesSharers(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	h1.autoRsp = func(h *scriptHost, m *msg.Msg) {
+		h.send(&msg.Msg{Type: msg.BISnpRspI, Addr: m.Addr, Dst: 100, VNet: msg.VRsp})
+	}
+	// Both hosts read (h1 first gets E, downgrades on h2's read).
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.last(t, msg.CmpS)
+
+	// Now h2 wants ownership: h1 must be snooped.
+	h2.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.last(t, msg.CmpM)
+	st, owner, _ := d.StateOf(lineA)
+	if st != "M" || owner != 2 {
+		t.Fatalf("dir = %s owner %d, want M owner 2", st, owner)
+	}
+	saw := false
+	for _, m := range h1.got {
+		if m.Type == msg.BISnpInv {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("h1 never snooped")
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	k, _, d, h1, _ := setup(t)
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	var v mem.Data
+	v.SetWord(3, 9)
+	h1.send(&msg.Msg{Type: msg.MemWrI, Addr: lineA, Dst: 100, VNet: msg.VReq,
+		Data: msg.WithData(v), Dirty: true})
+	k.Run(nil)
+	h1.last(t, msg.CmpWr)
+	st, _, _ := d.StateOf(lineA)
+	if st != "I" {
+		t.Fatalf("dir = %s after MemWrI, want I", st)
+	}
+	if peekWord(d, lineA, 3) != 9 {
+		t.Fatal("writeback data lost")
+	}
+}
+
+func TestStaleWritebackDropped(t *testing.T) {
+	k, _, d, h1, _ := setup(t)
+	var v mem.Data
+	v.SetWord(0, 5)
+	d.DRAM().Poke(lineA, v)
+	// h1 never owned the line; its MemWrI must be acked but ignored.
+	var stale mem.Data
+	stale.SetWord(0, 99)
+	h1.send(&msg.Msg{Type: msg.MemWrI, Addr: lineA, Dst: 100, VNet: msg.VReq,
+		Data: msg.WithData(stale), Dirty: true})
+	k.Run(nil)
+	h1.last(t, msg.CmpWr)
+	if peekWord(d, lineA, 0) != 5 {
+		t.Fatal("stale writeback clobbered memory")
+	}
+}
+
+func TestConflictAckImmediateEvenWhenBusy(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	// h1 owns; h2 requests ownership; h1 withholds its snoop response so
+	// the line stays busy, then sends BIConflict.
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil) // h1 now holds an unanswered BISnpInv; line busy
+	if !d.Busy(lineA) {
+		t.Fatal("line should be busy awaiting snoop response")
+	}
+	h1.send(&msg.Msg{Type: msg.BIConflict, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.BIConflictAck)
+	if d.Stats.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", d.Stats.Conflicts)
+	}
+}
+
+func TestRequestsQueueBehindBusyLine(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	h1.autoRsp = func(h *scriptHost, m *msg.Msg) {
+		// Delay the response to widen the busy window.
+		h.k.After(500, func() {
+			h.send(&msg.Msg{Type: msg.BISnpRspI, Addr: m.Addr, Dst: 100, VNet: msg.VRsp})
+		})
+	}
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	// Two racing requests from h2: the second queues.
+	h2.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if d.Stats.Stalls == 0 {
+		t.Fatal("expected at least one stalled request")
+	}
+	// Both must eventually complete: CmpM then CmpS/CmpE.
+	var types []msg.Type
+	for _, m := range h2.got {
+		types = append(types, m.Type)
+	}
+	foundM := false
+	for _, ty := range types {
+		if ty == msg.CmpM {
+			foundM = true
+		}
+	}
+	if !foundM {
+		t.Fatalf("h2 responses %v missing CmpM", types)
+	}
+}
+
+func TestSnoopMissFallsBackToMemory(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	var v mem.Data
+	v.SetWord(0, 31)
+	d.DRAM().Poke(lineA, v)
+	// h1 takes E then silently drops; it answers the snoop with a clean
+	// miss (no data).
+	h1.autoRsp = func(h *scriptHost, m *msg.Msg) {
+		h.send(&msg.Msg{Type: msg.BISnpRspI, Addr: m.Addr, Dst: 100, VNet: msg.VRsp})
+	}
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.CmpE)
+
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	m := h2.last(t, msg.CmpS)
+	if m.Data.Word(0) != 31 {
+		t.Fatalf("fallback read got %d, want 31", m.Data.Word(0))
+	}
+}
+
+func peekWord(d *DCOH, a mem.LineAddr, w int) uint64 {
+	v := d.DRAM().Peek(a)
+	return v.Word(w)
+}

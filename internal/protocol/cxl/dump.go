@@ -1,0 +1,38 @@
+package cxl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"c3/internal/mem"
+)
+
+// DumpState writes a canonical rendering for model-checker hashing.
+func (d *DCOH) DumpState(w io.Writer) {
+	fmt.Fprint(w, "DCOH")
+	var lines []mem.LineAddr
+	for a := range d.lines {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, a := range lines {
+		l := d.lines[a]
+		var sh []int
+		for h := range l.sharers {
+			sh = append(sh, int(h))
+		}
+		sort.Ints(sh)
+		fmt.Fprintf(w, "%x:%d:%d:%v", uint64(a), l.state, l.owner, sh)
+		if l.cur != nil {
+			var pend []int
+			for h := range l.cur.pending {
+				pend = append(pend, int(h))
+			}
+			sort.Ints(pend)
+			fmt.Fprintf(w, ":tx%d:%v:%v", l.cur.req.Src, pend, l.cur.dirty)
+		}
+		fmt.Fprintf(w, ":q%d;", len(l.queue))
+	}
+	fmt.Fprintln(w)
+}

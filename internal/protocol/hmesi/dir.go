@@ -1,0 +1,309 @@
+// Package hmesi implements the hierarchical MESI global directory used
+// as the paper's MESI-MESI-MESI baseline: a textbook 3-hop directory
+// where data travels peer-to-peer between C3 instances and ownership
+// transfers are pipelined (the directory updates its owner pointer when
+// it forwards, without waiting for any response) — the property that
+// makes the baseline faster than CXL under write contention (Sec. VI-C).
+//
+// The directory blocks a line only while reading device memory or while
+// awaiting the data copy-back that accompanies an owner downgrade
+// (GFwdGetS -> GCopyBack); GetM chains pipeline freely.
+package hmesi
+
+import (
+	"fmt"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+const (
+	hI = iota
+	hS
+	hE
+	hM
+)
+
+func hname(s int) string { return [...]string{"I", "S", "E", "M"}[s] }
+
+type hline struct {
+	state   int
+	owner   msg.NodeID
+	sharers map[msg.NodeID]bool
+	// busy is set while reading memory or awaiting a GCopyBack.
+	busy bool
+	// copyBackFrom/pendingReq track the in-flight owner downgrade.
+	copyBackFrom msg.NodeID
+	pendingReq   msg.NodeID
+	queue        []*msg.Msg
+}
+
+// Stats aggregates directory telemetry.
+type Stats struct {
+	Reads, Writes, Fwds, Invs, Stalls uint64
+}
+
+// Dir is the global MESI directory co-located with device memory.
+type Dir struct {
+	id   msg.NodeID
+	k    *sim.Kernel
+	net  network.Fabric
+	dram *mem.DRAM
+	// Lat is the controller occupancy added to outgoing messages.
+	Lat sim.Time
+
+	lines map[mem.LineAddr]*hline
+
+	Stats Stats
+}
+
+// New builds the directory with its backing memory.
+func New(id msg.NodeID, k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *Dir {
+	return &Dir{id: id, k: k, net: net, dram: dram, Lat: 4,
+		lines: make(map[mem.LineAddr]*hline)}
+}
+
+// ID returns the directory's network id.
+func (d *Dir) ID() msg.NodeID { return d.id }
+
+// DRAM exposes the backing memory.
+func (d *Dir) DRAM() *mem.DRAM { return d.dram }
+
+func (d *Dir) line(a mem.LineAddr) *hline {
+	l := d.lines[a]
+	if l == nil {
+		l = &hline{owner: msg.None, copyBackFrom: msg.None, pendingReq: msg.None,
+			sharers: make(map[msg.NodeID]bool)}
+		d.lines[a] = l
+	}
+	return l
+}
+
+func (d *Dir) send(m *msg.Msg) {
+	m.Src = d.id
+	d.k.After(d.Lat, func() { d.net.Send(m) })
+}
+
+// Recv implements network.Port.
+func (d *Dir) Recv(m *msg.Msg) {
+	switch m.Type {
+	case msg.GGetS:
+		d.getS(m)
+	case msg.GGetM:
+		d.getM(m)
+	case msg.GPutM:
+		d.putM(m)
+	case msg.GPutS:
+		d.putS(m)
+	case msg.GCopyBack:
+		d.copyBack(m)
+	default:
+		panic(fmt.Sprintf("hmesi: dir got unexpected %v", m))
+	}
+}
+
+func (d *Dir) getS(m *msg.Msg) {
+	l := d.line(m.Addr)
+	if l.busy {
+		d.Stats.Stalls++
+		l.queue = append(l.queue, m)
+		return
+	}
+	d.Stats.Reads++
+	switch l.state {
+	case hI:
+		l.busy = true
+		d.dram.Read(m.Addr, func(data mem.Data) {
+			// Sole reader: grant exclusive-clean, MESI style.
+			l.state = hE
+			l.owner = m.Src
+			l.busy = false
+			d.send(&msg.Msg{Type: msg.GDataE, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
+				Data: msg.WithData(data)})
+			d.drain(m.Addr, l)
+		})
+	case hS:
+		l.busy = true
+		d.dram.Read(m.Addr, func(data mem.Data) {
+			l.sharers[m.Src] = true
+			l.busy = false
+			d.send(&msg.Msg{Type: msg.GData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
+				Data: msg.WithData(data)})
+			d.drain(m.Addr, l)
+		})
+	case hE, hM:
+		if l.owner == m.Src {
+			panic(fmt.Sprintf("hmesi: owner %d re-requests S for %v", m.Src, m.Addr))
+		}
+		// 3-hop: owner sends GDataS to the requestor and a GCopyBack
+		// here; the line blocks until the copy-back lands.
+		d.Stats.Fwds++
+		l.busy = true
+		l.copyBackFrom = l.owner
+		l.pendingReq = m.Src
+		d.send(&msg.Msg{Type: msg.GFwdGetS, Addr: m.Addr, Dst: l.owner, Req: m.Src,
+			VNet: msg.VSnp})
+	}
+}
+
+func (d *Dir) getM(m *msg.Msg) {
+	l := d.line(m.Addr)
+	if l.busy {
+		d.Stats.Stalls++
+		l.queue = append(l.queue, m)
+		return
+	}
+	d.Stats.Reads++
+	switch l.state {
+	case hI:
+		l.busy = true
+		d.dram.Read(m.Addr, func(data mem.Data) {
+			l.state = hM
+			l.owner = m.Src
+			l.busy = false
+			d.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
+				Data: msg.WithData(data)})
+			d.drain(m.Addr, l)
+		})
+	case hS:
+		// Invalidate other sharers; they ack to the requestor.
+		n := 0
+		for h := range l.sharers {
+			if h == m.Src {
+				continue
+			}
+			n++
+			d.Stats.Invs++
+			d.send(&msg.Msg{Type: msg.GInv, Addr: m.Addr, Dst: h, Req: m.Src, VNet: msg.VSnp})
+		}
+		wasSharer := l.sharers[m.Src]
+		l.state = hM
+		l.owner = m.Src
+		l.sharers = make(map[msg.NodeID]bool)
+		if wasSharer {
+			// Requestor holds valid data: grant permission only. The
+			// directory pipelines: it is immediately ready for the next
+			// request.
+			d.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Src, Acks: n, VNet: msg.VRsp})
+			return
+		}
+		acks := n
+		l.busy = true
+		d.dram.Read(m.Addr, func(data mem.Data) {
+			l.busy = false
+			d.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Src, Acks: acks,
+				VNet: msg.VRsp, Data: msg.WithData(data)})
+			d.drain(m.Addr, l)
+		})
+	case hE, hM:
+		if l.owner == m.Src {
+			panic(fmt.Sprintf("hmesi: owner %d re-requests M for %v", m.Src, m.Addr))
+		}
+		// Pipelined ownership hand-off: forward and move on. The old
+		// owner sends GDataM peer-to-peer; the new owner stalls any
+		// forwards it sees until its data arrives.
+		d.Stats.Fwds++
+		d.send(&msg.Msg{Type: msg.GFwdGetM, Addr: m.Addr, Dst: l.owner, Req: m.Src,
+			VNet: msg.VSnp})
+		l.state = hM
+		l.owner = m.Src
+	}
+}
+
+func (d *Dir) putM(m *msg.Msg) {
+	l := d.line(m.Addr)
+	d.Stats.Writes++
+	if l.busy && l.copyBackFrom == m.Src {
+		// The owner's eviction crossed our GFwdGetS: its PutM doubles as
+		// the copy-back; the evicting owner has answered the requestor
+		// peer-to-peer and drops its copy.
+		d.dram.Write(m.Addr, *m.Data, nil)
+		l.state = hS
+		l.owner = msg.None
+		l.sharers = map[msg.NodeID]bool{l.pendingReq: true}
+		l.copyBackFrom, l.pendingReq = msg.None, msg.None
+		l.busy = false
+		d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+		d.drain(m.Addr, l)
+		return
+	}
+	if !l.busy && (l.state == hM || l.state == hE) && l.owner == m.Src {
+		d.dram.Write(m.Addr, *m.Data, nil)
+		l.state = hI
+		l.owner = msg.None
+	}
+	// Otherwise stale (ownership already handed to someone else via a
+	// pipelined GFwdGetM): ack and drop.
+	d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+}
+
+func (d *Dir) putS(m *msg.Msg) {
+	l := d.line(m.Addr)
+	d.Stats.Writes++
+	if l.busy && l.copyBackFrom == m.Src {
+		// Clean owner eviction crossing a GFwdGetS: memory is already
+		// current (the owner was E); complete the pending read.
+		l.state = hS
+		l.owner = msg.None
+		l.sharers = map[msg.NodeID]bool{l.pendingReq: true}
+		l.copyBackFrom, l.pendingReq = msg.None, msg.None
+		l.busy = false
+		d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+		d.drain(m.Addr, l)
+		return
+	}
+	switch {
+	case l.state == hS && l.sharers[m.Src]:
+		delete(l.sharers, m.Src)
+		if len(l.sharers) == 0 {
+			l.state = hI
+		}
+	case (l.state == hE || l.state == hM) && l.owner == m.Src && !l.busy:
+		// Clean-exclusive eviction.
+		l.state = hI
+		l.owner = msg.None
+	}
+	d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+}
+
+func (d *Dir) copyBack(m *msg.Msg) {
+	l := d.line(m.Addr)
+	if !l.busy || l.copyBackFrom != m.Src {
+		// The matching eviction already satisfied the downgrade; the
+		// duplicate copy carries identical bytes.
+		if m.Data != nil {
+			d.dram.Write(m.Addr, *m.Data, nil)
+		}
+		return
+	}
+	d.dram.Write(m.Addr, *m.Data, nil)
+	l.state = hS
+	l.sharers = map[msg.NodeID]bool{l.copyBackFrom: true, l.pendingReq: true}
+	l.owner = msg.None
+	l.copyBackFrom, l.pendingReq = msg.None, msg.None
+	l.busy = false
+	d.drain(m.Addr, l)
+}
+
+func (d *Dir) drain(a mem.LineAddr, l *hline) {
+	if l.busy || len(l.queue) == 0 {
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	d.k.After(1, func() { d.Recv(next) })
+}
+
+// StateOf reports the directory view for tests and invariants.
+func (d *Dir) StateOf(a mem.LineAddr) (state string, owner msg.NodeID, sharers []msg.NodeID) {
+	l := d.lines[a]
+	if l == nil {
+		return "I", msg.None, nil
+	}
+	for h := range l.sharers {
+		sharers = append(sharers, h)
+	}
+	return hname(l.state), l.owner, sharers
+}

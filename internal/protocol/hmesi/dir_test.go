@@ -1,0 +1,292 @@
+package hmesi
+
+import (
+	"testing"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+type host struct {
+	id  msg.NodeID
+	net *network.Network
+	got []*msg.Msg
+	// auto answers forwards like a well-behaved C3 global cache.
+	auto func(h *host, m *msg.Msg)
+}
+
+func (h *host) Recv(m *msg.Msg) {
+	h.got = append(h.got, m)
+	if h.auto != nil {
+		h.auto(h, m)
+	}
+}
+
+func (h *host) send(m *msg.Msg) {
+	m.Src = h.id
+	h.net.Send(m)
+}
+
+func (h *host) last(t *testing.T, want msg.Type) *msg.Msg {
+	t.Helper()
+	for i := len(h.got) - 1; i >= 0; i-- {
+		if h.got[i].Type == want {
+			return h.got[i]
+		}
+	}
+	t.Fatalf("host %d: no %v in %v", h.id, want, h.got)
+	return nil
+}
+
+const lineA = mem.LineAddr(0x2000)
+
+func setup(t *testing.T) (*sim.Kernel, *Dir, *host, *host) {
+	t.Helper()
+	k := &sim.Kernel{}
+	net := network.New(k, 3)
+	dram := mem.NewDRAM(k, mem.DefaultDRAMConfig())
+	d := New(100, k, net, dram)
+	h1 := &host{id: 1, net: net}
+	h2 := &host{id: 2, net: net}
+	net.Register(100, d)
+	net.Register(1, h1)
+	net.Register(2, h2)
+	net.Connect(1, 100, network.CrossCluster())
+	net.Connect(2, 100, network.CrossCluster())
+	net.Connect(1, 2, network.CrossCluster())
+	return k, d, h1, h2
+}
+
+func TestColdGetSGrantsExclusive(t *testing.T) {
+	k, d, h1, _ := setup(t)
+	var v mem.Data
+	v.SetWord(0, 5)
+	d.DRAM().Poke(lineA, v)
+	h1.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	m := h1.last(t, msg.GDataE)
+	if m.Data.Word(0) != 5 {
+		t.Fatalf("GDataE data %d", m.Data.Word(0))
+	}
+	st, owner, _ := d.StateOf(lineA)
+	if st != "E" || owner != 1 {
+		t.Fatalf("dir %s/%d", st, owner)
+	}
+}
+
+func TestGetMPipelinesOwnershipHandoff(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	// h1 takes M; when forwarded, it supplies data peer-to-peer.
+	h1.auto = func(h *host, m *msg.Msg) {
+		if m.Type == msg.GFwdGetM {
+			var dd mem.Data
+			dd.SetWord(0, 9)
+			h.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp,
+				Data: msg.WithData(dd)})
+		}
+	}
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.GDataM)
+
+	h2.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	m := h2.last(t, msg.GDataM)
+	if m.Src != 1 || m.Data.Word(0) != 9 {
+		t.Fatalf("peer data transfer wrong: %v", m)
+	}
+	st, owner, _ := d.StateOf(lineA)
+	if st != "M" || owner != 2 {
+		t.Fatalf("dir %s/%d, want M/2", st, owner)
+	}
+	if d.Stats.Fwds != 1 {
+		t.Fatalf("Fwds = %d", d.Stats.Fwds)
+	}
+}
+
+func TestGetSFromOwnerTriggersCopyBack(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	h1.auto = func(h *host, m *msg.Msg) {
+		if m.Type == msg.GFwdGetS {
+			var dd mem.Data
+			dd.SetWord(1, 4)
+			h.send(&msg.Msg{Type: msg.GDataS, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp,
+				Data: msg.WithData(dd)})
+			h.send(&msg.Msg{Type: msg.GCopyBack, Addr: m.Addr, Dst: 100, VNet: msg.VReq,
+				Data: msg.WithData(dd)})
+		}
+	}
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if h2.last(t, msg.GDataS).Data.Word(1) != 4 {
+		t.Fatal("reader missed forwarded data")
+	}
+	st, _, sharers := d.StateOf(lineA)
+	if st != "S" || len(sharers) != 2 {
+		t.Fatalf("dir %s %v after copy-back", st, sharers)
+	}
+	if pw := d.DRAM().Peek(lineA); pw.Word(1) != 4 {
+		t.Fatal("copy-back did not update memory")
+	}
+}
+
+func TestGetMInvalidatesSharersWithAcksToRequestor(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	ackSharer := func(h *host, m *msg.Msg) {
+		if m.Type == msg.GInv {
+			h.send(&msg.Msg{Type: msg.GInvAck, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp})
+		}
+	}
+	h1.auto = ackSharer
+	h2.auto = ackSharer
+	// Both read (h1 E, then downgrade path via fwd is exercised elsewhere;
+	// simpler: h1 reads, h2 reads -> S with two sharers).
+	h1.auto = func(h *host, m *msg.Msg) {
+		ackSharer(h, m)
+		if m.Type == msg.GFwdGetS {
+			h.send(&msg.Msg{Type: msg.GDataS, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp,
+				Data: msg.WithData(mem.Data{})})
+			h.send(&msg.Msg{Type: msg.GCopyBack, Addr: m.Addr, Dst: 100, VNet: msg.VReq,
+				Data: msg.WithData(mem.Data{})})
+		}
+	}
+	h1.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+
+	// h2 upgrades: h1 must be GInv'd, acking to h2; dir grants with the
+	// ack count.
+	h2.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	grant := h2.last(t, msg.GDataM)
+	if grant.Acks != 1 {
+		t.Fatalf("acks = %d, want 1", grant.Acks)
+	}
+	h2.last(t, msg.GInvAck)
+	st, owner, _ := d.StateOf(lineA)
+	if st != "M" || owner != 2 {
+		t.Fatalf("dir %s/%d", st, owner)
+	}
+}
+
+func TestPutMWritesBack(t *testing.T) {
+	k, d, h1, _ := setup(t)
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	var v mem.Data
+	v.SetWord(0, 8)
+	h1.send(&msg.Msg{Type: msg.GPutM, Addr: lineA, Dst: 100, VNet: msg.VReq,
+		Data: msg.WithData(v), Dirty: true})
+	k.Run(nil)
+	h1.last(t, msg.GPutAck)
+	st, _, _ := d.StateOf(lineA)
+	if st != "I" {
+		t.Fatalf("dir %s after PutM", st)
+	}
+	if pw := d.DRAM().Peek(lineA); pw.Word(0) != 8 {
+		t.Fatal("writeback lost")
+	}
+}
+
+func TestStalePutAcked(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	h1.auto = func(h *host, m *msg.Msg) {
+		if m.Type == msg.GFwdGetM {
+			h.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp,
+				Data: msg.WithData(mem.Data{})})
+		}
+	}
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	// h1's eviction is now stale (ownership moved to h2): ack, ignore.
+	var v mem.Data
+	v.SetWord(0, 123)
+	d.DRAM().Poke(lineA, mem.Data{})
+	h1.send(&msg.Msg{Type: msg.GPutM, Addr: lineA, Dst: 100, VNet: msg.VReq,
+		Data: msg.WithData(v), Dirty: true})
+	k.Run(nil)
+	h1.last(t, msg.GPutAck)
+	st, owner, _ := d.StateOf(lineA)
+	if st != "M" || owner != 2 {
+		t.Fatalf("stale put changed dir: %s/%d", st, owner)
+	}
+	if pw := d.DRAM().Peek(lineA); pw.Word(0) == 123 {
+		t.Fatal("stale put data absorbed")
+	}
+}
+
+func TestPutSLeavesSharing(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	h1.auto = func(h *host, m *msg.Msg) {
+		if m.Type == msg.GFwdGetS {
+			h.send(&msg.Msg{Type: msg.GDataS, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp,
+				Data: msg.WithData(mem.Data{})})
+			h.send(&msg.Msg{Type: msg.GCopyBack, Addr: m.Addr, Dst: 100, VNet: msg.VReq,
+				Data: msg.WithData(mem.Data{})})
+		}
+	}
+	h1.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.send(&msg.Msg{Type: msg.GPutS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.GPutAck)
+	st, _, sharers := d.StateOf(lineA)
+	if st != "S" || len(sharers) != 1 || sharers[0] != 2 {
+		t.Fatalf("dir %s %v after PutS", st, sharers)
+	}
+	h2.send(&msg.Msg{Type: msg.GPutS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	st, _, _ = d.StateOf(lineA)
+	if st != "I" {
+		t.Fatalf("dir %s after last PutS", st)
+	}
+}
+
+func TestEvictionCrossingForward(t *testing.T) {
+	// The owner's GPutM doubles as the copy-back when it crosses a
+	// GFwdGetS (the putM-while-busy path).
+	k, d, h1, h2 := setup(t)
+	var sawFwd bool
+	h1.auto = func(h *host, m *msg.Msg) {
+		if m.Type == msg.GFwdGetS {
+			sawFwd = true
+			// Evicting owner: answer the requestor from the eviction
+			// buffer; the in-flight GPutM serves as the copy-back.
+			var dd mem.Data
+			dd.SetWord(0, 6)
+			h.send(&msg.Msg{Type: msg.GDataS, Addr: m.Addr, Dst: m.Req, VNet: msg.VRsp,
+				Data: msg.WithData(dd)})
+		}
+	}
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	// Deliver GGetS first so the dir blocks awaiting a copy-back, then
+	// the crossing GPutM.
+	h2.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if !sawFwd {
+		t.Fatal("no forward issued")
+	}
+	var v mem.Data
+	v.SetWord(0, 6)
+	h1.send(&msg.Msg{Type: msg.GPutM, Addr: lineA, Dst: 100, VNet: msg.VReq,
+		Data: msg.WithData(v), Dirty: true})
+	k.Run(nil)
+	h1.last(t, msg.GPutAck)
+	st, _, sharers := d.StateOf(lineA)
+	if st != "S" || len(sharers) != 1 || sharers[0] != 2 {
+		t.Fatalf("dir %s %v after crossing eviction", st, sharers)
+	}
+	if pw := d.DRAM().Peek(lineA); pw.Word(0) != 6 {
+		t.Fatal("crossing put data lost")
+	}
+}

@@ -1,0 +1,30 @@
+package hmesi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"c3/internal/mem"
+)
+
+// DumpState writes a canonical rendering for model-checker hashing.
+func (d *Dir) DumpState(w io.Writer) {
+	fmt.Fprint(w, "HDIR")
+	var lines []mem.LineAddr
+	for a := range d.lines {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, a := range lines {
+		l := d.lines[a]
+		var sh []int
+		for h := range l.sharers {
+			sh = append(sh, int(h))
+		}
+		sort.Ints(sh)
+		fmt.Fprintf(w, "%x:%d:%d:%v:%v:%d:%d:q%d;", uint64(a), l.state, l.owner, sh,
+			l.busy, l.copyBackFrom, l.pendingReq, len(l.queue))
+	}
+	fmt.Fprintln(w)
+}

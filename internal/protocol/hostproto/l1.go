@@ -1,0 +1,624 @@
+// Package hostproto implements the host-side private cache controllers —
+// the "existing host hardware" C3 integrates with, which the paper keeps
+// unmodified (Rule I delegation means all translation lives in C3, not
+// here).
+//
+// Two controllers are provided:
+//
+//   - L1: an invalidation-based MESI-family cache, parameterized into the
+//     MESI, MOESI and MESIF dialects (does a load-snooped dirty owner
+//     downgrade to S or keep O; is there a designated forwarder F).
+//   - RCCL1 (rcc.go): a self-invalidating release-consistency cache that
+//     write-combines dirty words locally and synchronizes on
+//     acquire/release, GPU style.
+//
+// Both implement cpu.MemPort toward the core and network.Port toward the
+// cluster interconnect. Their directory is the local side of the C3
+// controller (internal/core).
+package hostproto
+
+import (
+	"fmt"
+
+	"c3/internal/cache"
+	"c3/internal/cpu"
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// Variant selects the MESI-family dialect.
+type Variant uint8
+
+const (
+	MESI Variant = iota
+	MOESI
+	MESIF
+)
+
+func (v Variant) String() string {
+	switch v {
+	case MESI:
+		return "MESI"
+	case MOESI:
+		return "MOESI"
+	case MESIF:
+		return "MESIF"
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// Stable line states stored in cache.Entry.State.
+const (
+	stS    = iota + 1 // shared clean
+	stE               // exclusive clean
+	stM               // modified
+	stO               // owned dirty (MOESI)
+	stF               // shared, designated forwarder (MESIF)
+	stPend            // frame reserved for an outstanding miss
+)
+
+func stateName(s int) string {
+	return [...]string{"?", "S", "E", "M", "O", "F", "Pend"}[s]
+}
+
+// pendingOp is a core request queued on a line transaction.
+type pendingOp struct {
+	req   cpu.Request
+	done  func(cpu.Response)
+	start sim.Time
+}
+
+// reqTBE tracks an outstanding GetS/GetM.
+type reqTBE struct {
+	addr    mem.LineAddr
+	wantM   bool // GetM outstanding (else GetS)
+	ops     []pendingOp
+	started sim.Time
+	// stalledSnps holds owner snoops that raced ahead of our grant on
+	// the snoop channel; they are served once the fill lands.
+	stalledSnps []*msg.Msg
+	// invalidated records an Inv that raced our DataS grant: the fill
+	// may satisfy only the loads already queued (use-once, the primer's
+	// ISI_D), then the line dies.
+	invalidated bool
+	opsAtInv    int
+}
+
+// Evict TBE states.
+const (
+	evSIA = iota + 1 // PutS sent
+	evEIA            // PutE sent
+	evMIA            // PutM sent (data in TBE)
+	evOIA            // PutO sent (data in TBE)
+	evIIA            // invalidated while awaiting PutAck
+)
+
+type evictTBE struct {
+	addr  mem.LineAddr
+	state int
+	data  mem.Data
+}
+
+// Config for an L1 instance.
+type Config struct {
+	Variant    Variant
+	SizeBytes  int
+	Ways       int
+	HitLatency sim.Time
+}
+
+// DefaultConfig matches Table III: 128 KiB, 8-way, 1-cycle private cache.
+func DefaultConfig(v Variant) Config {
+	return Config{Variant: v, SizeBytes: 128 * 1024, Ways: 8, HitLatency: 1}
+}
+
+// L1 is one private MESI-family cache.
+type L1 struct {
+	id   msg.NodeID
+	dir  msg.NodeID
+	k    *sim.Kernel
+	net  network.Fabric
+	c    *cache.Cache
+	cfg  Config
+	reqs map[mem.LineAddr]*reqTBE
+	evs  map[mem.LineAddr]*evictTBE
+	// deferred holds ops stalled on set-conflict pressure (no frame and
+	// no evictable victim); retried on every completion.
+	deferred []pendingOp
+
+	// Accesses/Misses drive MPKI accounting.
+	Accesses, Misses uint64
+}
+
+// NewL1 builds an L1 attached to kernel k, sending through net to its
+// cluster directory dir.
+func NewL1(id, dir msg.NodeID, k *sim.Kernel, net network.Fabric, cfg Config) *L1 {
+	if cfg.SizeBytes == 0 {
+		cfg = DefaultConfig(cfg.Variant)
+	}
+	return &L1{
+		id: id, dir: dir, k: k, net: net,
+		c:    cache.New(cfg.SizeBytes, cfg.Ways),
+		cfg:  cfg,
+		reqs: make(map[mem.LineAddr]*reqTBE),
+		evs:  make(map[mem.LineAddr]*evictTBE),
+	}
+}
+
+// ID returns the cache's network id.
+func (l *L1) ID() msg.NodeID { return l.id }
+
+// Cache exposes the underlying array for tests and invariant checks.
+func (l *L1) Cache() *cache.Cache { return l.c }
+
+// NeedsSyncOps implements cpu.MemPort: MESI-family caches handle fences
+// purely with core-side ordering.
+func (l *L1) NeedsSyncOps() bool { return false }
+
+func (l *L1) send(m *msg.Msg) {
+	m.Src = l.id
+	if m.Dst == 0 {
+		m.Dst = l.dir
+	}
+	l.net.Send(m)
+}
+
+// Access implements cpu.MemPort.
+func (l *L1) Access(req cpu.Request, done func(cpu.Response)) {
+	if req.Kind == cpu.Prefetch || req.Kind == cpu.PrefetchS {
+		l.prefetch(req.Addr.Line(), req.Kind == cpu.Prefetch, done)
+		return
+	}
+	l.Accesses++
+	op := pendingOp{req: req, done: done, start: l.k.Now()}
+	l.start(op)
+}
+
+// prefetch warms a line for an upcoming access: ownership (wantM, the
+// store-buffer RFO) or a shared copy (a speculative load). Non-binding:
+// no rider op, no reply value; a later real access rides or hits the
+// transaction.
+func (l *L1) prefetch(line mem.LineAddr, wantM bool, done func(cpu.Response)) {
+	defer done(cpu.Response{})
+	if l.reqs[line] != nil || l.evs[line] != nil {
+		return
+	}
+	ty := msg.GetS
+	if wantM {
+		ty = msg.GetM
+	}
+	if e := l.c.Probe(line); e != nil {
+		if !wantM || e.State == stM || e.State == stE {
+			return // already good enough
+		}
+		// Upgrade in place.
+		t := &reqTBE{addr: line, wantM: true, started: l.k.Now()}
+		l.reqs[line] = t
+		l.send(&msg.Msg{Type: msg.GetM, Addr: line, VNet: msg.VReq})
+		return
+	}
+	if !l.c.HasSpace(line) {
+		v := l.c.VictimFunc(line, l.evictable)
+		if v == nil {
+			return // set under pressure; skip the hint
+		}
+		l.evictEntry(v)
+	}
+	f := l.c.Install(line)
+	f.State = stPend
+	t := &reqTBE{addr: line, wantM: wantM, started: l.k.Now()}
+	l.reqs[line] = t
+	l.send(&msg.Msg{Type: ty, Addr: line, VNet: msg.VReq})
+}
+
+func (l *L1) start(op pendingOp) {
+	line := op.req.Addr.Line()
+	if t := l.reqs[line]; t != nil {
+		// A transaction is already in flight; ride it.
+		if op.req.Kind.IsWrite() && !t.wantM {
+			// The pending GetS cannot satisfy a write; the replay loop
+			// will upgrade after the fill.
+			l.Misses++
+		}
+		t.ops = append(t.ops, op)
+		return
+	}
+	e := l.c.Lookup(line)
+	if e != nil && e.State != stPend {
+		if l.tryHit(e, op) {
+			return
+		}
+		// Upgrade path: S/F/O + write.
+		l.Misses++
+		t := &reqTBE{addr: line, wantM: true, ops: []pendingOp{op}, started: l.k.Now()}
+		l.reqs[line] = t
+		l.send(&msg.Msg{Type: msg.GetM, Addr: line, VNet: msg.VReq})
+		return
+	}
+	if e != nil && e.State == stPend {
+		// Frame reserved by a racing evict+refill; treat as existing TBE
+		// (should have been caught above) — defensive.
+		panic("hostproto: pending frame without TBE")
+	}
+	// Miss: reserve a frame (evicting if necessary), then request.
+	l.Misses++
+	if !l.c.HasSpace(line) {
+		v := l.c.VictimFunc(line, l.evictable)
+		if v == nil {
+			// Set exhausted by outstanding misses; retry later.
+			l.deferred = append(l.deferred, op)
+			return
+		}
+		l.evictEntry(v)
+	}
+	f := l.c.Install(line)
+	f.State = stPend
+	t := &reqTBE{addr: line, wantM: op.req.Kind.IsWrite(), ops: []pendingOp{op}, started: l.k.Now()}
+	l.reqs[line] = t
+	ty := msg.GetS
+	if t.wantM {
+		ty = msg.GetM
+	}
+	l.send(&msg.Msg{Type: ty, Addr: line, VNet: msg.VReq})
+}
+
+// tryHit services op against a stable entry; false means a transaction
+// is required.
+func (l *L1) tryHit(e *cache.Entry, op pendingOp) bool {
+	switch op.req.Kind {
+	case cpu.Load:
+		l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), false)
+		l.c.Touch(e)
+		return true
+	case cpu.Store:
+		if e.State == stM || e.State == stE {
+			e.State = stM // silent E->M upgrade
+			e.Data.SetWord(op.req.Addr.WordIndex(), op.req.Val)
+			l.c.Touch(e)
+			l.reply(op, 0, false)
+			return true
+		}
+		return false
+	case cpu.RMWAdd, cpu.RMWXchg:
+		if e.State == stM || e.State == stE {
+			e.State = stM
+			w := op.req.Addr.WordIndex()
+			old := e.Data.Word(w)
+			if op.req.Kind == cpu.RMWAdd {
+				e.Data.SetWord(w, old+op.req.Val)
+			} else {
+				e.Data.SetWord(w, op.req.Val)
+			}
+			l.c.Touch(e)
+			l.reply(op, old, false)
+			return true
+		}
+		return false
+	}
+	panic(fmt.Sprintf("hostproto: unexpected core op %v", op.req.Kind))
+}
+
+func (l *L1) reply(op pendingOp, val uint64, missed bool) {
+	lat := l.cfg.HitLatency
+	r := cpu.Response{Val: val, Missed: missed}
+	if missed {
+		r.MissLatency = l.k.Now() - op.start
+	}
+	l.k.After(lat, func() { op.done(r) })
+}
+
+// evictable approves replacement victims: stable lines with no request
+// or eviction transaction in flight.
+func (l *L1) evictable(e *cache.Entry) bool {
+	return e.State != stPend && l.reqs[e.Addr] == nil && l.evs[e.Addr] == nil
+}
+
+func (l *L1) evictEntry(e *cache.Entry) {
+	t := &evictTBE{addr: e.Addr, data: e.Data}
+	var ty msg.Type
+	withData := false
+	switch e.State {
+	case stS:
+		t.state, ty = evSIA, msg.PutS
+	case stF:
+		t.state, ty = evSIA, msg.PutS
+	case stE:
+		t.state, ty = evEIA, msg.PutE
+	case stM:
+		t.state, ty, withData = evMIA, msg.PutM, true
+	case stO:
+		t.state, ty, withData = evOIA, msg.PutO, true
+	default:
+		panic(fmt.Sprintf("hostproto: evicting entry in state %s", stateName(e.State)))
+	}
+	if old := l.evs[e.Addr]; old != nil {
+		panic("hostproto: double eviction")
+	}
+	l.evs[e.Addr] = t
+	l.c.Remove(e)
+	m := &msg.Msg{Type: ty, Addr: t.addr, VNet: msg.VReq}
+	if withData {
+		m.Data = msg.WithData(t.data)
+		m.Dirty = true
+	}
+	l.send(m)
+}
+
+// Recv implements network.Port for messages from the cluster directory.
+func (l *L1) Recv(m *msg.Msg) {
+	switch m.Type {
+	case msg.DataS, msg.DataE, msg.DataM:
+		l.fill(m)
+	case msg.Inv:
+		l.invalidate(m)
+	case msg.SnpData:
+		l.snoopData(m)
+	case msg.SnpInv:
+		l.snoopInv(m)
+	case msg.PutAck:
+		if t := l.evs[m.Addr]; t != nil {
+			delete(l.evs, m.Addr)
+			l.retryDeferred()
+		}
+	default:
+		panic(fmt.Sprintf("hostproto: L1 %d got unexpected %v", l.id, m))
+	}
+}
+
+func (l *L1) fill(m *msg.Msg) {
+	t := l.reqs[m.Addr]
+	if t == nil {
+		panic(fmt.Sprintf("hostproto: fill with no TBE: %v", m))
+	}
+	delete(l.reqs, m.Addr)
+
+	if m.Type == msg.DataS && t.invalidated {
+		// An Inv overtook this grant: the data is valid exactly at our
+		// transaction's serialization point. Serve the loads that were
+		// queued when the Inv arrived, drop the line, and re-request for
+		// anything else.
+		l.fillUseOnce(m, t)
+		l.retryDeferred()
+		return
+	}
+
+	e := l.c.Probe(m.Addr)
+	if e == nil {
+		// Frame was reclaimed by a snoop during an upgrade; re-reserve.
+		if !l.c.HasSpace(m.Addr) {
+			v := l.c.VictimFunc(m.Addr, l.evictable)
+			if v == nil {
+				panic("hostproto: no frame for fill")
+			}
+			l.evictEntry(v)
+		}
+		e = l.c.Install(m.Addr)
+	}
+	e.Data = *m.Data
+	switch m.Type {
+	case msg.DataS:
+		e.State = stS
+		if l.cfg.Variant == MESIF {
+			e.State = stF // the newest sharer is the forwarder
+		}
+	case msg.DataE:
+		e.State = stE
+	case msg.DataM:
+		e.State = stM
+	}
+	// Our transaction's queued ops complete against the granted state
+	// first; owner snoops that raced ahead are serialized after it.
+	l.replay(t, e)
+	for _, snp := range t.stalledSnps {
+		l.Recv(snp)
+	}
+	l.retryDeferred()
+}
+
+// fillUseOnce implements the use-once fill after a racing invalidation.
+func (l *L1) fillUseOnce(m *msg.Msg, t *reqTBE) {
+	if e := l.c.Probe(m.Addr); e != nil && e.State == stPend {
+		l.c.Remove(e)
+	}
+	n := t.opsAtInv
+	if n > len(t.ops) {
+		n = len(t.ops)
+	}
+	rest := t.ops[n:]
+	for i := 0; i < n; i++ {
+		op := t.ops[i]
+		if op.req.Kind != cpu.Load {
+			// A write cannot use a revoked shared copy; re-request it
+			// and everything younger.
+			rest = t.ops[i:]
+			break
+		}
+		l.replyMiss(op, m.Data.Word(op.req.Addr.WordIndex()))
+	}
+	for _, op := range rest {
+		l.start(op)
+	}
+	for _, snp := range t.stalledSnps {
+		l.Recv(snp)
+	}
+}
+
+// replay drains queued ops against the now-stable entry; ops that need a
+// further transaction (e.g. a queued store after a GetS fill) start one.
+func (l *L1) replay(t *reqTBE, e *cache.Entry) {
+	for i, op := range t.ops {
+		switch op.req.Kind {
+		case cpu.Load:
+			l.replyMiss(op, e.Data.Word(op.req.Addr.WordIndex()))
+		case cpu.Store:
+			if e.State == stM || e.State == stE {
+				e.State = stM
+				e.Data.SetWord(op.req.Addr.WordIndex(), op.req.Val)
+				l.replyMiss(op, 0)
+				continue
+			}
+			l.upgrade(t, e, t.ops[i:])
+			return
+		case cpu.RMWAdd, cpu.RMWXchg:
+			if e.State == stM || e.State == stE {
+				e.State = stM
+				w := op.req.Addr.WordIndex()
+				old := e.Data.Word(w)
+				if op.req.Kind == cpu.RMWAdd {
+					e.Data.SetWord(w, old+op.req.Val)
+				} else {
+					e.Data.SetWord(w, op.req.Val)
+				}
+				l.replyMiss(op, old)
+				continue
+			}
+			l.upgrade(t, e, t.ops[i:])
+			return
+		}
+	}
+}
+
+func (l *L1) replyMiss(op pendingOp, val uint64) {
+	l.reply(op, val, true)
+}
+
+// upgrade issues a GetM for remaining ops after a shared fill.
+func (l *L1) upgrade(old *reqTBE, e *cache.Entry, rest []pendingOp) {
+	t := &reqTBE{addr: old.addr, wantM: true, started: l.k.Now()}
+	t.ops = append(t.ops, rest...)
+	l.reqs[old.addr] = t
+	l.send(&msg.Msg{Type: msg.GetM, Addr: old.addr, VNet: msg.VReq})
+}
+
+func (l *L1) invalidate(m *msg.Msg) {
+	if t := l.evs[m.Addr]; t != nil {
+		t.state = evIIA
+		l.send(&msg.Msg{Type: msg.InvAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+		return
+	}
+	e := l.c.Probe(m.Addr)
+	if e == nil || e.State == stPend {
+		// We hold no data: ack immediately so the directory's count
+		// balances. If a shared grant is in flight it becomes use-once
+		// (see fillUseOnce).
+		if t := l.reqs[m.Addr]; t != nil && !t.invalidated {
+			t.invalidated = true
+			t.opsAtInv = len(t.ops)
+		}
+		l.send(&msg.Msg{Type: msg.InvAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+		return
+	}
+	switch e.State {
+	case stS, stF:
+		l.c.Remove(e)
+		l.send(&msg.Msg{Type: msg.InvAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+	default:
+		panic(fmt.Sprintf("hostproto: Inv of %s line %v at L1 %d", stateName(e.State), m.Addr, l.id))
+	}
+}
+
+func (l *L1) snoopData(m *msg.Msg) {
+	if l.stallOwnerSnoop(m) {
+		return
+	}
+	if t := l.evs[m.Addr]; t != nil {
+		dirty := t.state == evMIA || t.state == evOIA
+		rsp := &msg.Msg{Type: msg.SnpRspData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
+			Data: msg.WithData(t.data), Dirty: dirty}
+		t.state = evSIA // now just a shared evictor
+		l.send(rsp)
+		return
+	}
+	e := l.c.Probe(m.Addr)
+	if e == nil {
+		// The copy disappeared while the snoop was parked (use-once
+		// invalidation); answer clean so the directory falls back to its
+		// own copy.
+		l.send(&msg.Msg{Type: msg.SnpRspData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+		return
+	}
+	dirty := false
+	switch e.State {
+	case stM:
+		dirty = true
+		if l.cfg.Variant == MOESI {
+			e.State = stO
+		} else {
+			e.State = stS
+		}
+	case stO:
+		dirty = true // stays O: dirty sharer keeps responsibility
+	case stE, stF:
+		e.State = stS
+	case stS:
+		// Forward request served from a clean sharer (MESIF demotion
+		// races); respond clean.
+	default:
+		panic(fmt.Sprintf("hostproto: SnpData in state %s", stateName(e.State)))
+	}
+	l.send(&msg.Msg{Type: msg.SnpRspData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
+		Data: msg.WithData(e.Data), Dirty: dirty})
+}
+
+// stallOwnerSnoop parks an owner snoop that reached us before the data
+// we have been granted (intra-cluster channels are point-to-point
+// ordered across vnets, so this can only happen for a frame with no
+// data yet: the grant is in flight and guaranteed to arrive). A snoop
+// against a stable entry is answered from it directly.
+func (l *L1) stallOwnerSnoop(m *msg.Msg) bool {
+	t := l.reqs[m.Addr]
+	if t == nil || l.evs[m.Addr] != nil {
+		return false
+	}
+	if e := l.c.Probe(m.Addr); e != nil && e.State != stPend {
+		return false
+	}
+	t.stalledSnps = append(t.stalledSnps, m)
+	return true
+}
+
+func (l *L1) snoopInv(m *msg.Msg) {
+	if l.stallOwnerSnoop(m) {
+		return
+	}
+	if t := l.evs[m.Addr]; t != nil {
+		dirty := t.state == evMIA || t.state == evOIA
+		rsp := &msg.Msg{Type: msg.SnpRspInv, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp}
+		if dirty {
+			rsp.Data = msg.WithData(t.data)
+			rsp.Dirty = true
+		}
+		t.state = evIIA
+		l.send(rsp)
+		return
+	}
+	e := l.c.Probe(m.Addr)
+	if e == nil || e.State == stPend {
+		// Copy already gone; clean response keeps the flow moving.
+		l.send(&msg.Msg{Type: msg.SnpRspInv, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+		return
+	}
+	rsp := &msg.Msg{Type: msg.SnpRspInv, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp}
+	switch e.State {
+	case stM, stO:
+		rsp.Data = msg.WithData(e.Data)
+		rsp.Dirty = true
+	case stE, stS, stF:
+		rsp.Data = msg.WithData(e.Data)
+	}
+	l.c.Remove(e)
+	l.send(rsp)
+}
+
+func (l *L1) retryDeferred() {
+	if len(l.deferred) == 0 {
+		return
+	}
+	ops := l.deferred
+	l.deferred = nil
+	for _, op := range ops {
+		l.start(op)
+	}
+}

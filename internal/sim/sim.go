@@ -1,0 +1,138 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timed component in the C3 simulator: a deterministic event queue ordered
+// by (time, sequence) and a simulated clock measured in core cycles.
+//
+// The kernel is single-threaded by design. Determinism matters twice over
+// here: performance runs must be reproducible for the benchmark harness,
+// and the litmus runner perturbs timing only through explicit, seeded
+// jitter injected at the network layer (never through map iteration or
+// scheduling races).
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in cycles of the global clock.
+// With the paper's 2 GHz cores, 1 cycle = 0.5 ns.
+type Time uint64
+
+// CyclesPerNS converts between the paper's nanosecond figures and cycles.
+const CyclesPerNS = 2
+
+// NS returns the Time corresponding to n nanoseconds.
+func NS(n uint64) Time { return Time(n * CyclesPerNS) }
+
+// Event is a scheduled callback. Fn runs exactly once at When.
+type Event struct {
+	When Time
+	Fn   func()
+
+	seq   uint64 // tie-break so equal-time events run in schedule order
+	index int    // heap bookkeeping; -1 when not queued
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event loop. The zero value is ready to use.
+type Kernel struct {
+	now    Time
+	nextSq uint64
+	events eventHeap
+	// Stepped counts processed events; useful as a progress/limit guard.
+	Stepped uint64
+}
+
+// Now reports the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports how many events are queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule queues fn to run at absolute time t. Scheduling in the past is
+// a programming error and panics (it would silently reorder causality).
+func (k *Kernel) Schedule(t Time, fn func()) *Event {
+	if t < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	e := &Event{When: t, Fn: fn, seq: k.nextSq}
+	k.nextSq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After queues fn to run d cycles from now.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	return k.Schedule(k.now+d, fn)
+}
+
+// Cancel removes a queued event. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(k.events) || k.events[e.index] != e {
+		return
+	}
+	heap.Remove(&k.events, e.index)
+}
+
+// Step runs the next event. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	k.now = e.When
+	k.Stepped++
+	e.Fn()
+	return true
+}
+
+// Run processes events until the queue drains or until(), when non-nil,
+// returns true. It returns the number of events processed.
+func (k *Kernel) Run(until func() bool) uint64 {
+	start := k.Stepped
+	for len(k.events) > 0 {
+		if until != nil && until() {
+			break
+		}
+		k.Step()
+	}
+	return k.Stepped - start
+}
+
+// RunLimit processes at most limit events; it reports whether the queue
+// drained. A zero limit means no limit.
+func (k *Kernel) RunLimit(limit uint64) bool {
+	for n := uint64(0); len(k.events) > 0; n++ {
+		if limit != 0 && n >= limit {
+			return false
+		}
+		k.Step()
+	}
+	return true
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKernelZeroValueUsable(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", k.Now())
+	}
+	if k.Step() {
+		t.Fatal("Step on empty kernel should report false")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	k.Run(nil)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", k.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	k.Run(nil)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("equal-time events ran out of schedule order: %v", got)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var k Kernel
+	var fired Time
+	k.Schedule(10, func() {
+		k.After(5, func() { fired = k.Now() })
+	})
+	k.Run(nil)
+	if fired != 15 {
+		t.Fatalf("nested After fired at %d, want 15", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		k.Schedule(5, func() {})
+	})
+	k.Run(nil)
+}
+
+func TestCancel(t *testing.T) {
+	var k Kernel
+	fired := false
+	e := k.Schedule(10, func() { fired = true })
+	k.Cancel(e)
+	k.Cancel(e) // double-cancel is a no-op
+	k.Run(nil)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var k Kernel
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, k.Schedule(Time(i+1), func() { got = append(got, i) }))
+	}
+	k.Cancel(evs[4])
+	k.Cancel(evs[7])
+	k.Run(nil)
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	n := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), func() { n++ })
+	}
+	k.Run(func() bool { return n >= 5 })
+	if n != 5 {
+		t.Fatalf("processed %d events, want 5", n)
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", k.Pending())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var k Kernel
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), func() {})
+	}
+	if k.RunLimit(3) {
+		t.Fatal("RunLimit(3) should not drain 10 events")
+	}
+	if !k.RunLimit(0) {
+		t.Fatal("RunLimit(0) should drain the queue")
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var k Kernel
+	var got []Time
+	for i := 0; i < 1000; i++ {
+		t := Time(rng.Intn(500))
+		k.Schedule(t, func() { got = append(got, t) })
+	}
+	k.Run(nil)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of time order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestNS(t *testing.T) {
+	if NS(70) != 140 {
+		t.Fatalf("NS(70) = %d, want 140 cycles at 2 GHz", NS(70))
+	}
+}
+
+func BenchmarkKernelScheduleStep(b *testing.B) {
+	var k Kernel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now()+Time(i%64), func() {})
+		k.Step()
+	}
+}

@@ -1,0 +1,159 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"c3/internal/cpu"
+	"c3/internal/mem"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// contendedRun executes a cross-cluster write-contention microbenchmark
+// (two cores per cluster hammering one line with atomics) and returns
+// the makespan and the number of BIConflict handshakes C3 initiated.
+func contendedRun(b *testing.B, cross network.LinkConfig, seed int64) (t sim.Time, conflictsOut, dirFirst uint64) {
+	b.Helper()
+	cfg := Config{
+		Global: "cxl",
+		Seed:   seed,
+		Cross:  cross,
+		Clusters: []ClusterConfig{
+			{Protocol: "mesi", MCM: cpu.WMO, Cores: 2},
+			{Protocol: "mesi", MCM: cpu.WMO, Cores: 2},
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for cl := 0; cl < 2; cl++ {
+		for i := 0; i < 2; i++ {
+			// Read-then-upgrade pattern over a small hot set: both
+			// clusters repeatedly hold lines shared and race to
+			// ownership — the request/snoop overlap that triggers the
+			// Fig. 2 conflict handshake. Core-side jitter spreads issue
+			// timing so the upgrade windows overlap across rounds.
+			core := cpu.DefaultConfig(cpu.WMO)
+			core.IssueJitter, core.DrainJitter = 400, 400
+			core.Seed = seed*31 + int64(cl*2+i)
+			cfg.Clusters[cl].Core = core
+			var prog []cpu.Instr
+			for n := 0; n < 40; n++ {
+				line := mem.Addr(0x10000 + (n%4)*64)
+				prog = append(prog, cpu.Instr{Kind: cpu.Load, Addr: line, Reg: 0})
+				prog = append(prog, cpu.Instr{Kind: cpu.RMWAdd, Addr: line, Val: 1, Reg: 1})
+			}
+			s.AttachSource(cl, i, cpu.NewSliceSource(prog))
+		}
+	}
+	if !s.Run(50_000_000) {
+		b.Fatal("run wedged")
+	}
+	var conflicts uint64
+	for _, cl := range s.Clusters {
+		conflicts += cl.C3.Stats.Conflicts
+		dirFirst += cl.C3.Stats.ConflictsDirFirst
+	}
+	return s.Time(), conflicts, dirFirst
+}
+
+// BenchmarkAblationFabricReordering compares the CXL fabric with and
+// without message reordering. The BIConflict handshake exists precisely
+// because the fabric reorders (Fig. 2); with an ordered fabric the race
+// window narrows and handshakes all but disappear.
+func BenchmarkAblationFabricReordering(b *testing.B) {
+	unordered := network.CrossCluster()
+	ordered := unordered
+	ordered.Unordered = false
+	ordered.JitterMax = 0
+
+	for _, v := range []struct {
+		name string
+		cfg  network.LinkConfig
+	}{{"unordered", unordered}, {"ordered", ordered}} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var total, dirFirst uint64
+			var t sim.Time
+			for i := 0; i < b.N; i++ {
+				tt, c, df := contendedRun(b, v.cfg, int64(i+1))
+				t, total, dirFirst = tt, total+c, dirFirst+df
+			}
+			b.ReportMetric(float64(t), "cycles")
+			b.ReportMetric(float64(total)/float64(b.N), "conflicts/run")
+			b.ReportMetric(float64(dirFirst)/float64(b.N), "dir-first/run")
+		})
+	}
+}
+
+// BenchmarkAblationSpecDepth sweeps the speculative-load window of the
+// in-order-binding (TSO) cores on a streaming-load kernel with real
+// caches and CXL-attached memory. This is the knob behind the Fig. 9
+// TSO-vs-weak penalty: depth 1 serializes load misses; large depths
+// approach weak-ordering throughput.
+func BenchmarkAblationSpecDepth(b *testing.B) {
+	run := func(b *testing.B, mcm cpu.MCM, depth int) sim.Time {
+		core := cpu.DefaultConfig(mcm)
+		if depth > 0 {
+			core.SpecDepth = depth
+		}
+		s, err := New(Config{
+			Global: "cxl", Seed: 1,
+			Clusters: []ClusterConfig{
+				{Protocol: "mesi", MCM: mcm, Cores: 1, Core: core},
+				{Protocol: "mesi", MCM: mcm, Cores: 1, Core: core},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for cl := 0; cl < 2; cl++ {
+			var prog []cpu.Instr
+			for n := 0; n < 256; n++ {
+				prog = append(prog, cpu.Instr{Kind: cpu.Load,
+					Addr: mem.Addr(0x100000 + (cl*1000+n)*64), Reg: 0})
+			}
+			s.AttachSource(cl, 0, cpu.NewSliceSource(prog))
+		}
+		if !s.Run(50_000_000) {
+			b.Fatal("wedged")
+		}
+		return s.Time()
+	}
+	for _, depth := range []int{1, 2, 4, 10, 24} {
+		b.Run(fmt.Sprintf("tso-depth=%d", depth), func(b *testing.B) {
+			var t sim.Time
+			for i := 0; i < b.N; i++ {
+				t = run(b, cpu.TSO, depth)
+			}
+			b.ReportMetric(float64(t), "cycles")
+		})
+	}
+	b.Run("wmo", func(b *testing.B) {
+		var t sim.Time
+		for i := 0; i < b.N; i++ {
+			t = run(b, cpu.WMO, 0)
+		}
+		b.ReportMetric(float64(t), "cycles")
+	})
+}
+
+// BenchmarkAblationCXLLinkLatency sweeps the cross-cluster link latency
+// (the paper calibrates 70 ns; real deployments vary) on the contended
+// microbenchmark.
+func BenchmarkAblationCXLLinkLatency(b *testing.B) {
+	for _, ns := range []uint64{35, 70, 140, 280} {
+		cfg := network.CrossCluster()
+		cfg.Latency = sim.NS(ns)
+		name := map[uint64]string{35: "35ns", 70: "70ns", 140: "140ns", 280: "280ns"}[ns]
+		b.Run(name, func(b *testing.B) {
+			var t sim.Time
+			for i := 0; i < b.N; i++ {
+				t, _, _ = contendedRun(b, cfg, int64(i+1))
+			}
+			b.ReportMetric(float64(t), "cycles")
+		})
+	}
+}

@@ -1,0 +1,273 @@
+// Package system assembles complete simulated machines in the paper's
+// topology (Fig. 1, Table III): two (or more) compute clusters, each with
+// private per-core caches and a C3 controller in place of the LLC
+// controller, joined through a star fabric to a CXL memory device (DCOH)
+// or, for the baseline, a hierarchical-MESI global directory.
+package system
+
+import (
+	"fmt"
+
+	"c3/internal/core"
+	"c3/internal/cpu"
+	"c3/internal/gen"
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/protocol/cxl"
+	"c3/internal/protocol/hmesi"
+	"c3/internal/protocol/hostproto"
+	"c3/internal/sim"
+	"c3/internal/ssp"
+)
+
+// ClusterConfig describes one compute node.
+type ClusterConfig struct {
+	// Protocol is the local coherence protocol: "mesi", "moesi",
+	// "mesif", or "rcc".
+	Protocol string
+	// MCM is the memory consistency model of the cluster's cores.
+	MCM cpu.MCM
+	// Cores is the number of cores (each with a private cache).
+	Cores int
+	// L1 sizes the private caches (zero -> Table III defaults).
+	L1 hostproto.Config
+	// Core sizes the cores (zero -> cpu.DefaultConfig(MCM)).
+	Core cpu.Config
+	// LocalRange, when non-nil, enables the hybrid memory configuration
+	// (Sec. IV-D4): lines it accepts are homed in this cluster's own
+	// memory and never touch the global protocol.
+	LocalRange func(mem.LineAddr) bool
+}
+
+// Config describes the whole machine.
+type Config struct {
+	// Global is the inter-cluster protocol: "cxl" or "hmesi".
+	Global   string
+	Clusters []ClusterConfig
+	// Seed drives fabric jitter (per-run randomization for litmus).
+	Seed int64
+	// LLCSize/LLCWays size each cluster's CXL cache (Table III: 4 MiB).
+	LLCSize, LLCWays int
+	// Intra/Cross override the link configs (zero -> Table III).
+	Intra, Cross network.LinkConfig
+	DRAM         mem.DRAMConfig
+}
+
+// L1Port is the common face of the per-core private caches.
+type L1Port interface {
+	cpu.MemPort
+	network.Port
+	ID() msg.NodeID
+}
+
+// Cluster is one assembled compute node.
+type Cluster struct {
+	Cfg   ClusterConfig
+	C3    *core.C3
+	L1s   []L1Port
+	Cores []*cpu.Core
+}
+
+// System is one assembled machine.
+type System struct {
+	K    *sim.Kernel
+	Net  *network.Network
+	DRAM *mem.DRAM
+	// Exactly one of DCOH/HDir is set, per Config.Global.
+	DCOH *cxl.DCOH
+	HDir *hmesi.Dir
+
+	Clusters []*Cluster
+
+	// LocalMems holds each cluster's local memory in hybrid
+	// configurations (nil entries otherwise).
+	LocalMems []*mem.DRAM
+
+	finished int
+	total    int
+}
+
+// Proto returns "<local1>-<global>-<local2>" in the paper's notation,
+// e.g. "MESI-CXL-MOESI".
+func (s *System) Proto() string {
+	g := "CXL"
+	if s.HDir != nil {
+		g = "MESI"
+	}
+	names := make([]string, 0, len(s.Clusters))
+	for _, cl := range s.Clusters {
+		names = append(names, cl.C3.Table().Local.Name)
+	}
+	if len(names) == 2 {
+		return names[0] + "-" + g + "-" + names[1]
+	}
+	return fmt.Sprintf("%v-%s", names, g)
+}
+
+// New assembles a machine. Node ids: 1 = global directory, then one id
+// per C3, then one per L1.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("system: no clusters")
+	}
+	if cfg.Global == "" {
+		cfg.Global = "cxl"
+	}
+	gspec, ok := ssp.Global(cfg.Global)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown global protocol %q", cfg.Global)
+	}
+	k := &sim.Kernel{}
+	net := network.New(k, cfg.Seed)
+	if cfg.DRAM == (mem.DRAMConfig{}) {
+		cfg.DRAM = mem.DefaultDRAMConfig()
+	}
+	dram := mem.NewDRAM(k, cfg.DRAM)
+	s := &System{K: k, Net: net, DRAM: dram}
+
+	intra := cfg.Intra
+	if intra == (network.LinkConfig{}) {
+		intra = network.IntraCluster()
+	}
+	cross := cfg.Cross
+	if cross == (network.LinkConfig{}) {
+		cross = network.CrossCluster()
+	}
+
+	const dirID = msg.NodeID(1)
+	if gspec.Params.ConflictHandshake {
+		s.DCOH = cxl.New(dirID, k, net, dram)
+		net.Register(dirID, s.DCOH)
+	} else {
+		s.HDir = hmesi.New(dirID, k, net, dram)
+		net.Register(dirID, s.HDir)
+	}
+
+	next := msg.NodeID(2)
+	var c3IDs []msg.NodeID
+	for ci, cc := range cfg.Clusters {
+		lspec, ok := ssp.Local(cc.Protocol)
+		if !ok {
+			return nil, fmt.Errorf("system: unknown local protocol %q", cc.Protocol)
+		}
+		table, err := gen.Generate(lspec, gspec)
+		if err != nil {
+			return nil, fmt.Errorf("system: cluster %d: %w", ci, err)
+		}
+		c3ID := next
+		next++
+		var localMem *mem.DRAM
+		if cc.LocalRange != nil {
+			localMem = mem.NewDRAM(k, cfg.DRAM)
+		}
+		s.LocalMems = append(s.LocalMems, localMem)
+		c3 := core.New(core.Config{
+			ID: c3ID, GlobalDir: dirID, Kernel: k,
+			LocalNet: net, GlobalNet: net, Table: table,
+			LLCSize: cfg.LLCSize, LLCWays: cfg.LLCWays,
+			LocalRange: cc.LocalRange, LocalMem: localMem,
+		})
+		net.Register(c3ID, c3)
+		net.Connect(c3ID, dirID, cross)
+		// Peer links for 3-hop data responses (hierarchical MESI); the
+		// star topology routes them through the same fabric.
+		for _, peer := range c3IDs {
+			net.Connect(c3ID, peer, cross)
+		}
+		c3IDs = append(c3IDs, c3ID)
+
+		cl := &Cluster{Cfg: cc, C3: c3}
+		for i := 0; i < cc.Cores; i++ {
+			l1ID := next
+			next++
+			var l1 L1Port
+			switch cc.Protocol {
+			case "rcc", "RCC":
+				l1 = hostproto.NewRCC(l1ID, c3ID, k, net, cc.L1)
+			default:
+				l1cfg := cc.L1
+				switch cc.Protocol {
+				case "moesi", "MOESI":
+					l1cfg.Variant = hostproto.MOESI
+				case "mesif", "MESIF":
+					l1cfg.Variant = hostproto.MESIF
+				default:
+					l1cfg.Variant = hostproto.MESI
+				}
+				l1 = hostproto.NewL1(l1ID, c3ID, k, net, l1cfg)
+			}
+			net.Register(l1ID, l1)
+			net.Connect(l1ID, c3ID, intra)
+			cl.L1s = append(cl.L1s, l1)
+		}
+		s.Clusters = append(s.Clusters, cl)
+	}
+	return s, nil
+}
+
+// AttachSource binds an instruction source to core slot (cluster, idx),
+// creating the core. Call once per slot before Start.
+func (s *System) AttachSource(cluster, idx int, src cpu.Source) *cpu.Core {
+	cl := s.Clusters[cluster]
+	if idx >= len(cl.L1s) {
+		panic(fmt.Sprintf("system: cluster %d has %d cores", cluster, len(cl.L1s)))
+	}
+	ccfg := cl.Cfg.Core
+	if ccfg.WindowSize == 0 {
+		ccfg = cpu.DefaultConfig(cl.Cfg.MCM)
+	}
+	id := cluster*1000 + idx
+	c := cpu.New(id, s.K, ccfg, cl.L1s[idx], src, func() { s.finished++ })
+	s.total++
+	for len(cl.Cores) <= idx {
+		cl.Cores = append(cl.Cores, nil)
+	}
+	cl.Cores[idx] = c
+	return c
+}
+
+// Start launches every attached core.
+func (s *System) Start() {
+	for _, cl := range s.Clusters {
+		for _, c := range cl.Cores {
+			if c != nil {
+				c.Start()
+			}
+		}
+	}
+}
+
+// Done reports whether every attached core has drained.
+func (s *System) Done() bool { return s.finished == s.total }
+
+// Run starts the cores and processes events until all cores finish or
+// limit events elapse (0 = unlimited). It reports whether the run
+// completed.
+func (s *System) Run(limit uint64) bool {
+	s.Start()
+	start := s.K.Stepped
+	for !s.Done() {
+		if limit != 0 && s.K.Stepped-start >= limit {
+			return false
+		}
+		if !s.K.Step() {
+			return s.Done()
+		}
+	}
+	return true
+}
+
+// Time returns the completion time of the slowest core (the execution
+// time metric of Figs. 9/10).
+func (s *System) Time() sim.Time {
+	var t sim.Time
+	for _, cl := range s.Clusters {
+		for _, c := range cl.Cores {
+			if c != nil && c.FinishedAt > t {
+				t = c.FinishedAt
+			}
+		}
+	}
+	return t
+}

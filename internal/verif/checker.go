@@ -1,0 +1,181 @@
+package verif
+
+import (
+	"fmt"
+
+	"c3/internal/mem"
+)
+
+// Report summarizes one exhaustive exploration.
+type Report struct {
+	States    uint64 // distinct states visited
+	Terminals uint64 // terminal (all-retired, fabric-empty) states
+	Outcomes  map[string]bool
+	Truncated bool // MaxStates reached before exhaustion
+	MaxDepth  int
+}
+
+// CheckerConfig bounds the exploration.
+type CheckerConfig struct {
+	MaxStates uint64 // 0 -> 200k
+	MaxDepth  int    // 0 -> 400
+}
+
+// Check exhaustively explores cfg's state space and verifies all
+// invariants; it returns the exploration report or the first violation.
+func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
+	if ccfg.MaxStates == 0 {
+		ccfg.MaxStates = 200_000
+	}
+	if ccfg.MaxDepth == 0 {
+		ccfg.MaxDepth = 400
+	}
+	rep := &Report{Outcomes: map[string]bool{}}
+	visited := make(map[uint64]bool)
+
+	// replay reconstructs the state after a delivery prefix.
+	replay := func(path []uint16) (*Model, error) {
+		m, err := Build(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Start()
+		for _, ai := range path {
+			acts := m.Fabric.Enabled()
+			if int(ai) >= len(acts) {
+				return nil, fmt.Errorf("verif: replay diverged (action %d of %d)", ai, len(acts))
+			}
+			m.Step(acts[ai])
+		}
+		return m, nil
+	}
+
+	var frontier [][]uint16
+	m0, err := replay(nil)
+	if err != nil {
+		return nil, err
+	}
+	visited[m0.Hash()] = true
+	rep.States++
+	if err := m0.checkInvariants(); err != nil {
+		return rep, err
+	}
+	frontier = append(frontier, nil)
+
+	for len(frontier) > 0 {
+		path := frontier[0]
+		frontier = frontier[1:]
+		if len(path) > rep.MaxDepth {
+			rep.MaxDepth = len(path)
+		}
+		base, err := replay(path)
+		if err != nil {
+			return rep, err
+		}
+		acts := base.Fabric.Enabled()
+		if len(acts) == 0 {
+			if !base.AllFinished() {
+				return rep, fmt.Errorf("verif: deadlock at depth %d: cores stuck with empty fabric", len(path))
+			}
+			rep.Terminals++
+			o := base.Outcome()
+			rep.Outcomes[o.String()] = true
+			if mcfg.Test.Forbidden != nil && mcfg.Sync == 0 /* SyncFull */ && mcfg.Test.Forbidden(o) {
+				return rep, fmt.Errorf("verif: forbidden outcome reachable: %s", o)
+			}
+			continue
+		}
+		if len(path) >= ccfg.MaxDepth {
+			return rep, fmt.Errorf("verif: depth bound %d exceeded (livelock?)", ccfg.MaxDepth)
+		}
+		for ai := range acts {
+			m, err := replay(path)
+			if err != nil {
+				return rep, err
+			}
+			m.Step(m.Fabric.Enabled()[ai])
+			h := m.Hash()
+			if visited[h] {
+				continue
+			}
+			visited[h] = true
+			rep.States++
+			if err := m.checkInvariants(); err != nil {
+				return rep, fmt.Errorf("%w (depth %d)", err, len(path)+1)
+			}
+			if rep.States >= ccfg.MaxStates {
+				rep.Truncated = true
+				return rep, nil
+			}
+			np := make([]uint16, len(path)+1)
+			copy(np, path)
+			np[len(path)] = uint16(ai)
+			frontier = append(frontier, np)
+		}
+	}
+	return rep, nil
+}
+
+// checkInvariants runs the per-state checks.
+func (m *Model) checkInvariants() error {
+	if err := m.checkSWMR(); err != nil {
+		return err
+	}
+	return m.checkCompound()
+}
+
+// checkSWMR: at most one host cache system-wide holds write permission
+// for a line, and never alongside other valid copies.
+func (m *Model) checkSWMR() error {
+	for _, a := range m.lines() {
+		writers, readers := 0, 0
+		for _, l := range m.l1s {
+			e := l.cache.Probe(a)
+			if e == nil {
+				continue
+			}
+			switch e.State {
+			case 2, 3, 4: // stE, stM, stO: write permission or dirty
+				if e.State == 4 {
+					// MOESI O: dirty but read-only; counts as reader.
+					readers++
+				} else {
+					writers++
+				}
+			case 1, 5: // stS, stF
+				readers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("verif: SWMR violated on %v: %d writers", a, writers)
+		}
+		if writers == 1 && readers > 0 {
+			return fmt.Errorf("verif: SWMR violated on %v: writer with %d readers", a, readers)
+		}
+	}
+	return nil
+}
+
+// checkCompound: Rule I's forbidden compound states must be unreachable
+// in every C3 (checked only for lines with no transaction in flight —
+// transient states are by construction intermediate).
+func (m *Model) checkCompound() error {
+	for _, c3 := range m.c3s {
+		tab := c3.Table()
+		for _, a := range m.lines() {
+			l, g, busy := c3.CompoundOf(a)
+			if busy {
+				continue
+			}
+			for _, f := range tab.Forbidden {
+				if f.L == l && f.G == g {
+					return fmt.Errorf("verif: C3 %d reached forbidden compound state (%s,%s) on %v",
+						c3.ID(), l, g, a)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var _ = mem.LineAddr(0)

@@ -1,0 +1,200 @@
+// Package verif is the formal-verification backend of the generator
+// toolchain (Sec. VI-A): an explicit-state model checker in the style of
+// the paper's Murphi methodology. It exhaustively explores the
+// message-delivery interleavings of a small C3 system — the actual
+// controller implementations, not an abstraction — checking at every
+// reachable quiescent state:
+//
+//   - deadlock freedom (some action is always enabled until all cores
+//     retire);
+//   - the single-writer/multiple-reader invariant across all host caches
+//     in all clusters;
+//   - that no compound state forbidden by Rule I (e.g. (M, I), (S, I))
+//     is ever reachable in any C3 instance;
+//   - data-value agreement among valid copies, and at terminal states the
+//     absence of litmus-forbidden outcomes.
+//
+// Exploration uses breadth-first search with state-hash deduplication;
+// states are reconstructed by deterministic re-execution of the delivery
+// prefix (components are event-driven and single-threaded, so a prefix
+// uniquely determines the state).
+package verif
+
+import (
+	"fmt"
+	"sort"
+
+	"c3/internal/msg"
+	"c3/internal/network"
+)
+
+// chKey identifies one ordered channel.
+type chKey struct {
+	src, dst msg.NodeID
+	vnet     msg.VNet
+}
+
+func (k chKey) less(o chKey) bool {
+	if k.src != o.src {
+		return k.src < o.src
+	}
+	if k.dst != o.dst {
+		return k.dst < o.dst
+	}
+	return k.vnet < o.vnet
+}
+
+// ChoiceFabric is a network.Fabric whose delivery order is chosen by the
+// explorer rather than by timestamps. Ordered channels (response vnets,
+// intra-cluster links) expose only their head; unordered channels (the
+// CXL fabric's request and snoop vnets) expose every in-flight message —
+// exactly the reordering CXL's conflict handshake exists to survive.
+type ChoiceFabric struct {
+	ports   map[msg.NodeID]network.Port
+	ordered map[chKey][]*msg.Msg
+	bag     []*msg.Msg
+	// Unordered reports whether a message travels on an unordered
+	// channel.
+	Unordered func(m *msg.Msg) bool
+	// CrossFabric marks messages on the global fabric; its ordered
+	// channels (responses) stay per-vnet, while intra-cluster pairs
+	// share one FIFO across vnets.
+	CrossFabric func(m *msg.Msg) bool
+
+	Delivered uint64
+}
+
+// NewChoiceFabric builds an empty fabric.
+func NewChoiceFabric(unordered func(m *msg.Msg) bool) *ChoiceFabric {
+	return &ChoiceFabric{
+		ports:     make(map[msg.NodeID]network.Port),
+		ordered:   make(map[chKey][]*msg.Msg),
+		Unordered: unordered,
+	}
+}
+
+// Register attaches a receiver.
+func (f *ChoiceFabric) Register(id msg.NodeID, p network.Port) { f.ports[id] = p }
+
+// CrossPair, when non-nil, identifies directed pairs whose ordered
+// vnets share one FIFO is the *inverse*: intra-cluster pairs (not
+// cross-fabric) are point-to-point ordered across vnets, mirroring the
+// timed network.
+func (f *ChoiceFabric) channelOf(m *msg.Msg) chKey {
+	if f.CrossFabric != nil && f.CrossFabric(m) {
+		// Cross-fabric ordered channel (the FIFO response vnet).
+		return chKey{m.Src, m.Dst, m.VNet}
+	}
+	// Intra-cluster: one physical channel for all vnets.
+	return chKey{m.Src, m.Dst, 0}
+}
+
+// Send implements network.Fabric.
+func (f *ChoiceFabric) Send(m *msg.Msg) {
+	if f.ports[m.Dst] == nil {
+		panic(fmt.Sprintf("verif: no port for %v", m))
+	}
+	if f.Unordered != nil && f.Unordered(m) {
+		f.bag = append(f.bag, m)
+		return
+	}
+	f.ordered[f.channelOf(m)] = append(f.ordered[f.channelOf(m)], m)
+}
+
+// Action identifies one deliverable message.
+type Action struct {
+	// FromBag selects bag[Index]; otherwise the head of Channel.
+	FromBag bool
+	Index   int
+	Channel chKey
+}
+
+// Enabled lists deliverable actions in a canonical order (deterministic
+// across re-executions of the same prefix).
+func (f *ChoiceFabric) Enabled() []Action {
+	var keys []chKey
+	for k, q := range f.ordered {
+		if len(q) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	acts := make([]Action, 0, len(keys)+len(f.bag))
+	for _, k := range keys {
+		acts = append(acts, Action{Channel: k})
+	}
+	for i := range f.bag {
+		acts = append(acts, Action{FromBag: true, Index: i})
+	}
+	return acts
+}
+
+// Deliver executes one action.
+func (f *ChoiceFabric) Deliver(a Action) {
+	var m *msg.Msg
+	if a.FromBag {
+		m = f.bag[a.Index]
+		f.bag = append(f.bag[:a.Index], f.bag[a.Index+1:]...)
+	} else {
+		q := f.ordered[a.Channel]
+		m = q[0]
+		if len(q) == 1 {
+			delete(f.ordered, a.Channel)
+		} else {
+			f.ordered[a.Channel] = q[1:]
+		}
+	}
+	f.Delivered++
+	f.ports[m.Dst].Recv(m)
+}
+
+// Empty reports whether nothing is in flight.
+func (f *ChoiceFabric) Empty() bool {
+	if len(f.bag) > 0 {
+		return false
+	}
+	for _, q := range f.ordered {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DumpState renders in-flight messages canonically for hashing.
+func (f *ChoiceFabric) DumpState(w writerTo) {
+	var keys []chKey
+	for k, q := range f.ordered {
+		if len(q) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	fmt.Fprint(w, "NET")
+	for _, k := range keys {
+		fmt.Fprintf(w, "[%d>%d.%d", k.src, k.dst, k.vnet)
+		for _, m := range f.ordered[k] {
+			dumpMsg(w, m)
+		}
+		fmt.Fprint(w, "]")
+	}
+	// The bag is order-insensitive: dump sorted renderings.
+	var rs []string
+	for _, m := range f.bag {
+		rs = append(rs, m.String())
+	}
+	sort.Strings(rs)
+	fmt.Fprintf(w, "bag%v\n", rs)
+}
+
+type writerTo interface {
+	Write(p []byte) (int, error)
+}
+
+func dumpMsg(w writerTo, m *msg.Msg) {
+	fmt.Fprintf(w, "{%d %x %d>%d", m.Type, uint64(m.Addr), m.Src, m.Dst)
+	if m.Data != nil {
+		fmt.Fprintf(w, " %v %v", *m.Data, m.Dirty)
+	}
+	fmt.Fprintf(w, " r%d a%d v%d}", m.Req, m.Acks, m.Val)
+}

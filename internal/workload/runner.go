@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+
+	"c3/internal/cpu"
+	"c3/internal/stats"
+	"c3/internal/system"
+)
+
+// RunConfig describes one workload execution.
+type RunConfig struct {
+	Spec   Spec
+	Global string    // "cxl" or "hmesi"
+	Locals [2]string // cluster protocols
+	MCMs   [2]cpu.MCM
+	// CoresPerCluster; the paper calibrates 8-30 total cores per app,
+	// we default to 4 per cluster.
+	CoresPerCluster int
+	// OpsScale multiplies Spec.Ops (benchmark harness uses small scales
+	// for quick runs, cmd/c3bench larger ones).
+	OpsScale float64
+	Seed     int64
+	// EventLimit aborts wedged runs (0 = 200M events).
+	EventLimit uint64
+	// Hybrid homes each core's private and streaming regions in its
+	// cluster's local memory (the paper's Sec. IV-D4 hybrid
+	// configuration); only shared, hot and sync lines stay in the CXL
+	// pool.
+	Hybrid bool
+}
+
+// Run executes one workload and returns its datapoint.
+func Run(cfg RunConfig) (stats.Run, error) {
+	r, _, err := RunOn(cfg)
+	return r, err
+}
+
+// RunOn is Run plus the assembled system, for tools that report
+// controller and directory counters after the run.
+func RunOn(cfg RunConfig) (stats.Run, *system.System, error) {
+	spec := cfg.Spec
+	if err := spec.Validate(); err != nil {
+		return stats.Run{}, nil, err
+	}
+	if cfg.CoresPerCluster <= 0 {
+		cfg.CoresPerCluster = 4
+	}
+	if cfg.OpsScale > 0 {
+		spec.Ops = int(float64(spec.Ops) * cfg.OpsScale)
+		if spec.Ops < 1 {
+			spec.Ops = 1
+		}
+	}
+	if cfg.Global == "" {
+		cfg.Global = "cxl"
+	}
+	if cfg.Locals[0] == "" {
+		cfg.Locals = [2]string{"mesi", "mesi"}
+	}
+	limit := cfg.EventLimit
+	if limit == 0 {
+		limit = 200_000_000
+	}
+
+	clusters := []system.ClusterConfig{
+		{Protocol: cfg.Locals[0], MCM: cfg.MCMs[0], Cores: cfg.CoresPerCluster},
+		{Protocol: cfg.Locals[1], MCM: cfg.MCMs[1], Cores: cfg.CoresPerCluster},
+	}
+	if cfg.Hybrid {
+		for ci := range clusters {
+			clusters[ci].LocalRange = PrivateRangeOf(ci, cfg.CoresPerCluster)
+		}
+	}
+	sys, err := system.New(system.Config{
+		Global:   cfg.Global,
+		Seed:     cfg.Seed,
+		Clusters: clusters,
+	})
+	if err != nil {
+		return stats.Run{}, nil, err
+	}
+
+	total := 2 * cfg.CoresPerCluster
+	var miss stats.MissBreakdown
+	id := 0
+	for cl := 0; cl < 2; cl++ {
+		for i := 0; i < cfg.CoresPerCluster; i++ {
+			src := NewSource(&spec, id, total, cfg.Seed+101)
+			c := sys.AttachSource(cl, i, src)
+			c.Observe = miss.Observe
+			id++
+		}
+	}
+	if !sys.Run(limit) {
+		return stats.Run{}, sys, fmt.Errorf("workload %s (%s): wedged after %d events",
+			spec.Name, sys.Proto(), limit)
+	}
+	return stats.Run{
+		Name:   spec.Name,
+		Config: fmt.Sprintf("%s/%v-%v", sys.Proto(), cfg.MCMs[0], cfg.MCMs[1]),
+		Time:   sys.Time(),
+		Miss:   miss,
+	}, sys, nil
+}

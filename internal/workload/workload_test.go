@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+
+	"c3/internal/cpu"
+	"c3/internal/stats"
+)
+
+func TestSpecsWellFormed(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 33 {
+		t.Fatalf("got %d specs, want 33 (14 splash4 + 12 parsec + 7 phoenix)", len(specs))
+	}
+	counts := map[Suite]int{}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate spec %q", s.Name)
+		}
+		seen[s.Name] = true
+		counts[s.Suite]++
+	}
+	if counts[Splash4] != 14 || counts[PARSEC] != 12 || counts[Phoenix] != 7 {
+		t.Fatalf("suite counts = %v", counts)
+	}
+	if _, ok := ByName("vips"); !ok {
+		t.Error("ByName(vips) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should reject unknown kernels")
+	}
+	if len(Names()) != 33 || len(SuiteOf(Phoenix)) != 7 {
+		t.Error("Names/SuiteOf mismatch")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Ops: 100, PrivateLines: 10, Stride: 1, HotRMW: 0.9, SharedRead: 0.5},
+		{Name: "x", Ops: 0, PrivateLines: 10, Stride: 1},
+		{Name: "x", Ops: 10, PrivateLines: 10, Stride: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	spec, _ := ByName("barnes")
+	a := NewSource(&spec, 0, 4, 42)
+	b := NewSource(&spec, 0, 4, 42)
+	for i := 0; i < 200; i++ {
+		ia, oka := a.Next()
+		ib, okb := b.Next()
+		if oka != okb || ia != ib {
+			t.Fatalf("divergence at op %d: %v vs %v", i, ia, ib)
+		}
+		if !oka {
+			break
+		}
+		// Feed back neutral completions (no barrier/lock in first ops
+		// before BarrierEvery).
+		a.Complete(ia, 0)
+		b.Complete(ib, 0)
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	// Private regions of different cores, the shared region, and the hot
+	// region must not overlap.
+	pEnd := privateAddr(0, maxPrivEach-1)
+	p1 := privateAddr(1, 0)
+	if pEnd >= p1 {
+		t.Fatal("private regions overlap")
+	}
+	if privateAddr(63, maxPrivEach-1) >= sharedAddr(0) {
+		t.Fatal("private overlaps shared")
+	}
+	if sharedAddr(1<<14) >= hotAddr(0) {
+		t.Fatal("shared overlaps hot")
+	}
+	if barrierGen() == barrierCount() || lockAddr(0) == barrierGen() {
+		t.Fatal("sync vars collide")
+	}
+}
+
+func TestRunSmallWorkload(t *testing.T) {
+	spec, _ := ByName("vips")
+	r, err := Run(RunConfig{
+		Spec: spec, Global: "cxl", Locals: [2]string{"mesi", "mesi"},
+		MCMs: [2]cpu.MCM{cpu.WMO, cpu.WMO}, CoresPerCluster: 2,
+		OpsScale: 0.3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time == 0 || r.Miss.Ops == 0 {
+		t.Fatalf("empty run result: %+v", r)
+	}
+	if r.Miss.TotalMisses() == 0 {
+		t.Fatal("working set should overflow the L1 and miss")
+	}
+}
+
+func TestRunWithBarriersAndLocks(t *testing.T) {
+	// Kernels with barriers (kmeans) and locks (fluidanimate) must
+	// terminate — the sync state machines make real progress.
+	for _, name := range []string{"kmeans", "fluidanimate", "histogram"} {
+		spec, _ := ByName(name)
+		r, err := Run(RunConfig{
+			Spec: spec, Global: "cxl", Locals: [2]string{"mesi", "moesi"},
+			MCMs: [2]cpu.MCM{cpu.TSO, cpu.WMO}, CoresPerCluster: 2,
+			OpsScale: 0.3, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Time == 0 {
+			t.Fatalf("%s: zero time", name)
+		}
+	}
+}
+
+func TestHotWorkloadsSlowerUnderCXL(t *testing.T) {
+	// The Fig. 10/11 shape in miniature: histogram (hot cross-cluster
+	// RMWs) must slow down more under CXL than vips (private streaming).
+	ratio := func(name string) float64 {
+		spec, _ := ByName(name)
+		run := func(global string) stats.Run {
+			r, err := Run(RunConfig{
+				Spec: spec, Global: global, Locals: [2]string{"mesi", "mesi"},
+				MCMs: [2]cpu.MCM{cpu.WMO, cpu.WMO}, CoresPerCluster: 2,
+				OpsScale: 0.5, Seed: 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		return float64(run("cxl").Time) / float64(run("hmesi").Time)
+	}
+	hist := ratio("histogram")
+	vips := ratio("vips")
+	t.Logf("CXL/baseline slowdown: histogram %.3f, vips %.3f", hist, vips)
+	if hist <= vips {
+		t.Fatalf("histogram (%.3f) should be more CXL-sensitive than vips (%.3f)", hist, vips)
+	}
+	if vips > 1.2 {
+		t.Fatalf("vips should be nearly CXL-insensitive, got %.3f", vips)
+	}
+}
