@@ -30,6 +30,7 @@ func main() {
 	unsynced := flag.Bool("unsynced", false, "strip all synchronization (control run)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	trace := flag.Bool("trace", false, "print the coherence-message trace of the first iteration")
+	traceJSON := flag.String("trace-json", "", "write the first iteration's protocol trace to this file (Chrome/Perfetto JSON)")
 	flag.Parse()
 
 	if *list {
@@ -51,18 +52,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "c3litmus: -test, -table or -list required")
 		os.Exit(2)
 	}
-	m0, err := parseMCM(*mcm0)
-	fail(err)
-	m1, err := parseMCM(*mcm1)
-	fail(err)
+	if !c3.ValidGlobalProtocol(*global) {
+		fmt.Fprintf(os.Stderr, "c3litmus: unknown global protocol %q (want cxl|hmesi)\n", *global)
+		os.Exit(2)
+	}
+	for _, l := range []struct{ flag, val string }{{"-local0", *local0}, {"-local1", *local1}} {
+		if !c3.ValidLocalProtocol(l.val) {
+			fmt.Fprintf(os.Stderr, "c3litmus: unknown %s protocol %q (want mesi|moesi|mesif|rcc)\n", l.flag, l.val)
+			os.Exit(2)
+		}
+	}
+	m0, err := c3.ParseMCM(*mcm0)
+	failUsage(err)
+	m1, err := c3.ParseMCM(*mcm1)
+	failUsage(err)
 	res, err := c3.RunLitmus(*test, c3.LitmusConfig{
-		Locals:   [2]string{*local0, *local1},
-		Global:   *global,
-		MCMs:     [2]c3.MCM{m0, m1},
-		Iters:    *iters,
-		Unsynced: *unsynced,
-		Seed:     *seed,
-		Trace:    *trace,
+		Locals:    [2]string{*local0, *local1},
+		Global:    *global,
+		MCMs:      [2]c3.MCM{m0, m1},
+		Iters:     *iters,
+		Unsynced:  *unsynced,
+		Seed:      *seed,
+		Trace:     *trace,
+		TraceJSON: *traceJSON,
 	})
 	fail(err)
 	fmt.Printf("%s: %d iterations, %d distinct outcomes, %d forbidden\n",
@@ -75,21 +87,18 @@ func main() {
 	}
 }
 
-func parseMCM(s string) (c3.MCM, error) {
-	switch s {
-	case "arm", "weak":
-		return c3.ARM, nil
-	case "tso":
-		return c3.TSO, nil
-	case "sc":
-		return c3.SC, nil
-	}
-	return 0, fmt.Errorf("unknown MCM %q", s)
-}
-
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "c3litmus:", err)
 		os.Exit(1)
+	}
+}
+
+// failUsage exits 2 for configuration errors (bad flag values), keeping
+// exit 1 for genuine run failures.
+func failUsage(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3litmus:", err)
+		os.Exit(2)
 	}
 }

@@ -7,6 +7,9 @@
 //	c3sim -w histogram
 //	c3sim -w barnes -global hmesi -cores 4
 //	c3sim -w vips -local1 moesi -mcm0 tso
+//	c3sim -w histogram -trace /tmp/t.json     # Perfetto/Chrome trace
+//	c3sim -w histogram -metrics json          # machine-readable counters
+//	c3sim -w histogram -watchdog -1           # hang detection, default age
 //	c3sim -list
 package main
 
@@ -16,6 +19,8 @@ import (
 	"os"
 
 	"c3"
+	"c3/internal/sim"
+	"c3/internal/trace"
 	"c3/internal/workload"
 )
 
@@ -31,6 +36,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "op-budget scale")
 	seed := flag.Int64("seed", 1, "random seed")
 	hybrid := flag.Bool("hybrid", false, "home private data in cluster-local memory (Sec. IV-D4)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this file")
+	metrics := flag.String("metrics", "text", "metrics output format: text|json")
+	watchdog := flag.Int64("watchdog", 0, "hang watchdog age in ns (0 = off, -1 = default)")
 	flag.Parse()
 
 	if *list {
@@ -43,61 +51,110 @@ func main() {
 		fmt.Fprintln(os.Stderr, "c3sim: -w required (see -list)")
 		os.Exit(2)
 	}
+
+	// Reject configuration typos before spending a run on them.
+	if !c3.ValidGlobalProtocol(*global) {
+		fmt.Fprintf(os.Stderr, "c3sim: unknown global protocol %q (want cxl|hmesi)\n", *global)
+		os.Exit(2)
+	}
+	for _, l := range []struct{ flag, val string }{{"-local0", *local0}, {"-local1", *local1}} {
+		if !c3.ValidLocalProtocol(l.val) {
+			fmt.Fprintf(os.Stderr, "c3sim: unknown %s protocol %q (want mesi|moesi|mesif|rcc)\n", l.flag, l.val)
+			os.Exit(2)
+		}
+	}
+	m0, err := c3.ParseMCM(*mcm0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3sim: -mcm0: %v\n", err)
+		os.Exit(2)
+	}
+	m1, err := c3.ParseMCM(*mcm1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3sim: -mcm1: %v\n", err)
+		os.Exit(2)
+	}
+	if *metrics != "text" && *metrics != "json" {
+		fmt.Fprintf(os.Stderr, "c3sim: -metrics %q (want text|json)\n", *metrics)
+		os.Exit(2)
+	}
+
 	spec, ok := workload.ByName(*w)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "c3sim: unknown workload %q\n", *w)
 		os.Exit(1)
 	}
-	run, sys, err := workload.RunOn(workload.RunConfig{
+
+	cfg := workload.RunConfig{
 		Spec:            spec,
 		Global:          *global,
 		Locals:          [2]string{*local0, *local1},
-		MCMs:            [2]c3.MCM{mcm(*mcm0), mcm(*mcm1)},
+		MCMs:            [2]c3.MCM{m0, m1},
 		CoresPerCluster: *cores,
 		OpsScale:        *scale,
 		Seed:            *seed,
 		Hybrid:          *hybrid,
-	})
+		MissHist:        trace.NewLatencyHist(nil),
+	}
+
+	var chrome *trace.ChromeSink
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3sim:", err)
+			os.Exit(1)
+		}
+		chrome = trace.NewChrome(traceFile)
+	}
+	if chrome != nil || *watchdog != 0 {
+		tr := trace.New()
+		if chrome != nil {
+			chrome.Namer = tr.Label
+			tr.AddSink(chrome)
+		}
+		cfg.Tracer = tr
+		switch {
+		case *watchdog < 0:
+			cfg.WatchdogAge = trace.DefaultHangAge
+		case *watchdog > 0:
+			cfg.WatchdogAge = sim.NS(uint64(*watchdog))
+		}
+	}
+
+	run, sys, err := workload.RunOn(cfg)
+	if chrome != nil {
+		// Flush the trace even on a watchdog abort: the trace of a hung
+		// run is exactly what you want to open in Perfetto.
+		if cerr := chrome.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "c3sim: trace:", cerr)
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "c3sim: trace:", cerr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "c3sim:", err)
 		os.Exit(1)
 	}
+
+	reg := sys.Metrics()
+	reg.Counter("run.time_cycles", func() uint64 { return uint64(run.Time) })
+	reg.Counter("run.ops", func() uint64 { return run.Miss.Ops })
+	reg.Gauge("run.mpki", run.Miss.MPKI)
+	reg.Histogram("miss_latency", cfg.MissHist)
+
+	if *metrics == "json" {
+		if err := reg.RenderJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "c3sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("workload  %s\nconfig    %s\ntime      %d cycles (%.2f us at 2 GHz)\n",
 		run.Name, run.Config, run.Time, float64(run.Time)/2000.0)
 	fmt.Printf("ops       %d (MPKI %.1f)\n", run.Miss.Ops, run.Miss.MPKI())
 	fmt.Printf("\nmiss cycles by latency band and op type:\n%s", run.Miss.Render())
-
-	fmt.Println("\ncontroller counters:")
-	for ci, cl := range sys.Clusters {
-		st := cl.C3.Stats
-		fmt.Printf("  C3[%d] (%s): reqs=%d delegations=%d snoops=%d conflicts=%d(dir-first %d) evictions=%d writebacks=%d stalled=%d",
-			ci, cl.Cfg.Protocol, st.LocalReqs, st.Delegations, st.SnoopsServed,
-			st.Conflicts, st.ConflictsDirFirst, st.Evictions, st.Writebacks, st.Stalled)
-		if st.LocalMemReads+st.LocalMemWrites > 0 {
-			fmt.Printf(" localmem=%dR/%dW", st.LocalMemReads, st.LocalMemWrites)
-		}
-		fmt.Println()
-	}
-	if sys.DCOH != nil {
-		d := sys.DCOH.Stats
-		fmt.Printf("  DCOH: reads=%d writes=%d snoops=%d conflicts=%d stalls=%d\n",
-			d.Reads, d.Writes, d.Snoops, d.Conflicts, d.Stalls)
-	}
-	if sys.HDir != nil {
-		d := sys.HDir.Stats
-		fmt.Printf("  HMESI dir: reads=%d writes=%d fwds=%d invs=%d stalls=%d\n",
-			d.Reads, d.Writes, d.Fwds, d.Invs, d.Stalls)
-	}
-	fmt.Printf("  fabric: %d msgs, %d bytes\n", sys.Net.Stats.TotalMsgs(), sys.Net.Stats.TotalBytes())
-}
-
-func mcm(s string) c3.MCM {
-	switch s {
-	case "tso":
-		return c3.TSO
-	case "sc":
-		return c3.SC
-	default:
-		return c3.ARM
-	}
+	fmt.Println("\nmetrics:")
+	reg.RenderText(os.Stdout)
 }

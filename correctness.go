@@ -6,6 +6,7 @@ import (
 
 	"c3/internal/cpu"
 	"c3/internal/litmus"
+	"c3/internal/trace"
 	"c3/internal/verif"
 )
 
@@ -26,6 +27,10 @@ type LitmusConfig struct {
 	// Trace prints the first iteration's coherence-message trace to
 	// stdout (cmd/c3litmus -trace).
 	Trace bool
+	// TraceJSON, when non-empty, writes the first iteration's protocol
+	// trace to this file in Chrome trace-event format (open in
+	// ui.perfetto.dev).
+	TraceJSON string
 }
 
 // LitmusResult summarizes a campaign.
@@ -70,6 +75,18 @@ func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
 	}
 	if cfg.Trace {
 		rcfg.TraceTo = os.Stdout
+	}
+	if cfg.TraceJSON != "" {
+		f, err := os.Create(cfg.TraceJSON)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		chrome := trace.NewChrome(f)
+		tr := trace.New(chrome)
+		chrome.Namer = tr.Label
+		rcfg.Tracer = tr
+		defer chrome.Close()
 	}
 	res, err := litmus.Run(tc, rcfg)
 	if err != nil {

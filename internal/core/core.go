@@ -36,6 +36,7 @@ import (
 	"c3/internal/network"
 	"c3/internal/sim"
 	"c3/internal/ssp"
+	"c3/internal/trace"
 )
 
 // Encoded global classes stored in cache.Entry.State.
@@ -183,7 +184,23 @@ type C3 struct {
 	dirs  map[mem.LineAddr]*ldir
 	tbes  map[mem.LineAddr]*tbe
 
+	// Tracer, when non-nil, observes compound-state commits. Set before
+	// the simulation starts; nil keeps every hook a single branch.
+	Tracer *trace.Tracer
+
 	Stats Stats
+}
+
+// compoundState renders the stable compound state of a line as "L/G"
+// (local class / global class), the paper's Table II notation.
+func (c *C3) compoundState(a mem.LineAddr) string {
+	return string(c.lclass(a)) + "/" + string(c.gclass(a))
+}
+
+// traceCommit emits a compound transition; old is the compoundState
+// captured before the mutation. Callers guard with c.Tracer != nil.
+func (c *C3) traceCommit(a mem.LineAddr, old, note string) {
+	c.Tracer.State(c.k.Now(), c.cfg.ID, a, old, c.compoundState(a), note)
 }
 
 // New builds a C3 from cfg.
@@ -386,6 +403,10 @@ func (c *C3) grant(t *tbe) {
 	}
 	d := c.dir(t.addr)
 	ent := t.entry
+	var preState string
+	if c.Tracer != nil {
+		preState = c.compoundState(t.addr)
+	}
 
 	g := ent.Grant
 	if t.grantE && g == ssp.GrantS && c.table.Local.Params.GrantE {
@@ -475,6 +496,9 @@ func (c *C3) grant(t *tbe) {
 		nextG = ssp.ClsE
 	}
 	e.State = gcode(nextG)
+	if c.Tracer != nil {
+		c.traceCommit(t.addr, preState, "grant "+m.Type.String())
+	}
 	c.retire(t)
 }
 
@@ -531,6 +555,10 @@ func (c *C3) localPut(m *msg.Msg) {
 	}
 	d := c.dir(m.Addr)
 	e := c.llc.Probe(m.Addr)
+	var preState string
+	if c.Tracer != nil {
+		preState = c.compoundState(m.Addr)
+	}
 	switch m.Type {
 	case msg.PutS:
 		if d.sharers[m.Src] {
@@ -564,6 +592,9 @@ func (c *C3) localPut(m *msg.Msg) {
 				d.class = ssp.ClsI
 			}
 		}
+	}
+	if c.Tracer != nil {
+		c.traceCommit(m.Addr, preState, "put "+m.Type.String())
 	}
 	c.sendLocal(&msg.Msg{Type: msg.PutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
 }

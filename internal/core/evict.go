@@ -38,6 +38,10 @@ func (c *C3) evictReclaimed(t *tbe) {
 	if e == nil {
 		panic("core: evicting a missing line")
 	}
+	if c.Tracer != nil {
+		// Every evict path below ends with the line gone (I/I).
+		c.Tracer.State(c.k.Now(), c.cfg.ID, t.addr, c.compoundState(t.addr), "I/I", "evict")
+	}
 	dirty := t.absorbDirty || e.State == gM
 	t.evData = e.Data
 	t.evValid = e.DataValid

@@ -117,7 +117,14 @@ func (c *C3) finishCXLSnoopRsp(t *tbe) {
 		ty = msg.BISnpRspS
 	}
 	c.sendGlobal(&msg.Msg{Type: ty, Addr: t.addr, VNet: msg.VRsp})
+	var preState string
+	if c.Tracer != nil {
+		preState = c.compoundState(t.addr)
+	}
 	c.commitSnoopG(t)
+	if c.Tracer != nil {
+		c.traceCommit(t.addr, preState, "snoop "+t.snp.Type.String())
+	}
 	c.retire(t)
 }
 
@@ -141,6 +148,10 @@ func (c *C3) removeLine(e *cache.Entry) {
 // hmesiSnoopRespond: peer-to-peer data per the 3-hop protocol.
 func (c *C3) hmesiSnoopRespond(t *tbe) {
 	e := c.llc.Probe(t.addr)
+	var preState string
+	if c.Tracer != nil {
+		preState = c.compoundState(t.addr)
+	}
 	switch t.snp.Type {
 	case msg.GFwdGetM:
 		if e == nil || !e.DataValid {
@@ -164,6 +175,9 @@ func (c *C3) hmesiSnoopRespond(t *tbe) {
 		if e != nil {
 			c.removeLine(e)
 		}
+	}
+	if c.Tracer != nil {
+		c.traceCommit(t.addr, preState, "snoop "+t.snp.Type.String())
 	}
 	c.retire(t)
 }

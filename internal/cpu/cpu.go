@@ -62,7 +62,7 @@ func ParseMCM(s string) (MCM, error) {
 	case "sc", "SC":
 		return SC, nil
 	}
-	return 0, fmt.Errorf("cpu: unknown MCM %q", s)
+	return 0, fmt.Errorf("cpu: unknown MCM %q (want arm|tso|sc)", s)
 }
 
 // Kind is a memory operation type.
@@ -200,6 +200,7 @@ func DefaultConfig(m MCM) Config {
 // aggregates into the Fig. 11 breakdowns.
 type OpStats struct {
 	Kind    Kind
+	Addr    mem.Addr
 	Missed  bool
 	Latency sim.Time // miss latency when Missed
 }
@@ -524,7 +525,7 @@ func (c *Core) accessL1(u *uop, req Request) {
 	c.l1.Access(req, func(r Response) {
 		c.outstanding--
 		if c.Observe != nil {
-			c.Observe(OpStats{Kind: u.in.Kind, Missed: r.Missed, Latency: r.MissLatency})
+			c.Observe(OpStats{Kind: u.in.Kind, Addr: u.in.Addr, Missed: r.Missed, Latency: r.MissLatency})
 		}
 		c.complete(u, r.Val)
 	})
@@ -537,7 +538,7 @@ func (c *Core) completeLocal(u *uop, val uint64) {
 		// Stores are observed when they drain from the SB, not here, to
 		// avoid double counting; forwarded loads count as hits.
 		if c.Observe != nil && u.in.Kind == Load {
-			c.Observe(OpStats{Kind: Load})
+			c.Observe(OpStats{Kind: Load, Addr: u.in.Addr})
 		}
 		c.complete(u, val)
 	})
@@ -597,7 +598,7 @@ func (c *Core) drainSB() {
 			c.l1.Access(Request{Kind: Store, Addr: entry.addr, Val: entry.val, Rel: entry.rel}, func(r Response) {
 				c.outstanding--
 				if c.Observe != nil {
-					c.Observe(OpStats{Kind: Store, Missed: r.Missed, Latency: r.MissLatency})
+					c.Observe(OpStats{Kind: Store, Addr: entry.addr, Missed: r.Missed, Latency: r.MissLatency})
 				}
 				c.removeSB(entry)
 				c.pump()

@@ -9,6 +9,7 @@ import (
 	"c3/internal/msg"
 	"c3/internal/sim"
 	"c3/internal/system"
+	"c3/internal/trace"
 )
 
 // RunnerConfig describes one litmus campaign: a two-cluster system, an
@@ -31,6 +32,10 @@ type RunnerConfig struct {
 	// TraceTo, when non-nil, receives the full coherence-message trace
 	// of the first iteration (one line per delivery).
 	TraceTo io.Writer
+	// Tracer, when non-nil, observes the first iteration's full protocol
+	// event stream (structured counterpart of TraceTo; feed it a
+	// ChromeSink to open the iteration in Perfetto).
+	Tracer *trace.Tracer
 }
 
 // Result aggregates a campaign.
@@ -100,9 +105,14 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 			}
 			return cc
 		}
+		var tr *trace.Tracer
+		if it == 0 {
+			tr = cfg.Tracer
+		}
 		sys, err := system.New(system.Config{
 			Global: cfg.Global,
 			Seed:   seed,
+			Tracer: tr,
 			Clusters: []system.ClusterConfig{
 				{Protocol: cfg.Locals[0], MCM: cfg.MCMs[0], Cores: perCluster[0], Core: mkCore(cfg.MCMs[0])},
 				{Protocol: cfg.Locals[1], MCM: cfg.MCMs[1], Cores: perCluster[1], Core: mkCore(cfg.MCMs[1])},

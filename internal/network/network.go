@@ -20,6 +20,7 @@ import (
 
 	"c3/internal/msg"
 	"c3/internal/sim"
+	"c3/internal/trace"
 )
 
 // Port receives delivered messages.
@@ -101,8 +102,13 @@ type Network struct {
 	serial uint64
 
 	// Trace, when non-nil, observes every message at send (false) and
-	// delivery (true).
+	// delivery (true). Retained for lightweight ad-hoc hooks (the litmus
+	// runner's text trace); structured consumers use Tracer.
 	Trace func(m *msg.Msg, delivered bool)
+
+	// Tracer, when non-nil, receives protocol trace events for every
+	// send and delivery. nil means tracing is off and costs one branch.
+	Tracer *trace.Tracer
 
 	Stats Stats
 }
@@ -166,6 +172,9 @@ func (n *Network) Send(m *msg.Msg) {
 	if n.Trace != nil {
 		n.Trace(m, false)
 	}
+	if n.Tracer != nil {
+		n.Tracer.MsgSend(n.k.Now(), m)
+	}
 
 	flits := sim.Time((m.Size() + l.cfg.FlitBytes - 1) / l.cfg.FlitBytes)
 	depart := n.k.Now()
@@ -196,6 +205,9 @@ func (n *Network) Send(m *msg.Msg) {
 	n.k.Schedule(arrive, func() {
 		if n.Trace != nil {
 			n.Trace(m, true)
+		}
+		if n.Tracer != nil {
+			n.Tracer.MsgDeliver(n.k.Now(), m)
 		}
 		port.Recv(m)
 	})

@@ -26,6 +26,7 @@ import (
 	"c3/internal/msg"
 	"c3/internal/network"
 	"c3/internal/sim"
+	"c3/internal/trace"
 )
 
 // Directory states for one line.
@@ -73,7 +74,20 @@ type DCOH struct {
 
 	lines map[mem.LineAddr]*dline
 
+	// Tracer, when non-nil, observes directory state transitions.
+	Tracer *trace.Tracer
+
 	Stats Stats
+}
+
+// traceState emits a directory transition. Callers guard on d.Tracer.
+func (d *DCOH) traceState(a mem.LineAddr, old int, note string) {
+	l := d.lines[a]
+	new := dI
+	if l != nil {
+		new = l.state
+	}
+	d.Tracer.State(d.k.Now(), d.id, a, dname(old), dname(new), note)
 }
 
 // New builds a DCOH with its backing device memory.
@@ -196,6 +210,7 @@ func (d *DCOH) handleWrite(m *msg.Msg) {
 		d.dram.Write(m.Addr, *m.Data, nil)
 		if !snoopedWB {
 			// Standalone eviction: update directory state now.
+			old := l.state
 			if m.Type == msg.MemWrI {
 				l.state = dI
 				l.owner = msg.None
@@ -203,6 +218,9 @@ func (d *DCOH) handleWrite(m *msg.Msg) {
 				l.state = dS
 				l.sharers[m.Src] = true
 				l.owner = msg.None
+			}
+			if d.Tracer != nil {
+				d.traceState(m.Addr, old, m.Type.String())
 			}
 		}
 	}
@@ -224,6 +242,7 @@ func (d *DCOH) finishRead(l *dline) {
 	cur := l.cur
 	d.dram.Read(cur.req.Addr, func(data mem.Data) {
 		h := cur.req.Src
+		oldState := l.state
 		rsp := &msg.Msg{Addr: cur.req.Addr, Dst: h, VNet: msg.VRsp,
 			Data: msg.WithData(data)}
 		if cur.req.Type == msg.MemRdA {
@@ -257,6 +276,9 @@ func (d *DCOH) finishRead(l *dline) {
 			}
 		}
 		l.cur = nil
+		if d.Tracer != nil {
+			d.traceState(cur.req.Addr, oldState, cur.req.Type.String())
+		}
 		d.send(rsp)
 		d.drain(l)
 	})

@@ -17,6 +17,7 @@ import (
 	"c3/internal/msg"
 	"c3/internal/network"
 	"c3/internal/sim"
+	"c3/internal/trace"
 )
 
 const (
@@ -56,7 +57,20 @@ type Dir struct {
 
 	lines map[mem.LineAddr]*hline
 
+	// Tracer, when non-nil, observes directory state transitions.
+	Tracer *trace.Tracer
+
 	Stats Stats
+}
+
+// traceState emits a directory transition. Callers guard on d.Tracer.
+func (d *Dir) traceState(a mem.LineAddr, old int, note string) {
+	l := d.lines[a]
+	new := hI
+	if l != nil {
+		new = l.state
+	}
+	d.Tracer.State(d.k.Now(), d.id, a, hname(old), hname(new), note)
 }
 
 // New builds the directory with its backing memory.
@@ -120,6 +134,9 @@ func (d *Dir) getS(m *msg.Msg) {
 			l.state = hE
 			l.owner = m.Src
 			l.busy = false
+			if d.Tracer != nil {
+				d.traceState(m.Addr, hI, "GGetS")
+			}
 			d.send(&msg.Msg{Type: msg.GDataE, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
 				Data: msg.WithData(data)})
 			d.drain(m.Addr, l)
@@ -163,6 +180,9 @@ func (d *Dir) getM(m *msg.Msg) {
 			l.state = hM
 			l.owner = m.Src
 			l.busy = false
+			if d.Tracer != nil {
+				d.traceState(m.Addr, hI, "GGetM")
+			}
 			d.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
 				Data: msg.WithData(data)})
 			d.drain(m.Addr, l)
@@ -182,6 +202,9 @@ func (d *Dir) getM(m *msg.Msg) {
 		l.state = hM
 		l.owner = m.Src
 		l.sharers = make(map[msg.NodeID]bool)
+		if d.Tracer != nil {
+			d.traceState(m.Addr, hS, "GGetM")
+		}
 		if wasSharer {
 			// Requestor holds valid data: grant permission only. The
 			// directory pipelines: it is immediately ready for the next
@@ -207,8 +230,13 @@ func (d *Dir) getM(m *msg.Msg) {
 		d.Stats.Fwds++
 		d.send(&msg.Msg{Type: msg.GFwdGetM, Addr: m.Addr, Dst: l.owner, Req: m.Src,
 			VNet: msg.VSnp})
+		old := l.state
 		l.state = hM
 		l.owner = m.Src
+		if d.Tracer != nil {
+			// Same stable state, new owner: the handoff is the event.
+			d.traceState(m.Addr, old, "GFwdGetM")
+		}
 	}
 }
 
@@ -220,19 +248,27 @@ func (d *Dir) putM(m *msg.Msg) {
 		// the copy-back; the evicting owner has answered the requestor
 		// peer-to-peer and drops its copy.
 		d.dram.Write(m.Addr, *m.Data, nil)
+		old := l.state
 		l.state = hS
 		l.owner = msg.None
 		l.sharers = map[msg.NodeID]bool{l.pendingReq: true}
 		l.copyBackFrom, l.pendingReq = msg.None, msg.None
 		l.busy = false
+		if d.Tracer != nil {
+			d.traceState(m.Addr, old, "GPutM (crossed fwd)")
+		}
 		d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
 		d.drain(m.Addr, l)
 		return
 	}
 	if !l.busy && (l.state == hM || l.state == hE) && l.owner == m.Src {
 		d.dram.Write(m.Addr, *m.Data, nil)
+		old := l.state
 		l.state = hI
 		l.owner = msg.None
+		if d.Tracer != nil {
+			d.traceState(m.Addr, old, "GPutM")
+		}
 	}
 	// Otherwise stale (ownership already handed to someone else via a
 	// pipelined GFwdGetM): ack and drop.
@@ -245,15 +281,20 @@ func (d *Dir) putS(m *msg.Msg) {
 	if l.busy && l.copyBackFrom == m.Src {
 		// Clean owner eviction crossing a GFwdGetS: memory is already
 		// current (the owner was E); complete the pending read.
+		old := l.state
 		l.state = hS
 		l.owner = msg.None
 		l.sharers = map[msg.NodeID]bool{l.pendingReq: true}
 		l.copyBackFrom, l.pendingReq = msg.None, msg.None
 		l.busy = false
+		if d.Tracer != nil {
+			d.traceState(m.Addr, old, "GPutS (crossed fwd)")
+		}
 		d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
 		d.drain(m.Addr, l)
 		return
 	}
+	old := l.state
 	switch {
 	case l.state == hS && l.sharers[m.Src]:
 		delete(l.sharers, m.Src)
@@ -264,6 +305,9 @@ func (d *Dir) putS(m *msg.Msg) {
 		// Clean-exclusive eviction.
 		l.state = hI
 		l.owner = msg.None
+	}
+	if d.Tracer != nil && l.state != old {
+		d.traceState(m.Addr, old, "GPutS")
 	}
 	d.send(&msg.Msg{Type: msg.GPutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
 }
@@ -279,11 +323,15 @@ func (d *Dir) copyBack(m *msg.Msg) {
 		return
 	}
 	d.dram.Write(m.Addr, *m.Data, nil)
+	old := l.state
 	l.state = hS
 	l.sharers = map[msg.NodeID]bool{l.copyBackFrom: true, l.pendingReq: true}
 	l.owner = msg.None
 	l.copyBackFrom, l.pendingReq = msg.None, msg.None
 	l.busy = false
+	if d.Tracer != nil {
+		d.traceState(m.Addr, old, "GCopyBack")
+	}
 	d.drain(m.Addr, l)
 }
 

@@ -26,6 +26,7 @@ import (
 	"c3/internal/msg"
 	"c3/internal/network"
 	"c3/internal/sim"
+	"c3/internal/trace"
 )
 
 // Variant selects the MESI-family dialect.
@@ -130,6 +131,22 @@ type L1 struct {
 
 	// Accesses/Misses drive MPKI accounting.
 	Accesses, Misses uint64
+
+	// Tracer, when non-nil, observes line state transitions.
+	Tracer *trace.Tracer
+}
+
+// traceState emits a line transition. Callers guard on l.Tracer; 0 means
+// the line is absent (invalid).
+func (l *L1) traceState(a mem.LineAddr, old, new int, note string) {
+	os, ns := "I", "I"
+	if old != 0 {
+		os = stateName(old)
+	}
+	if new != 0 {
+		ns = stateName(new)
+	}
+	l.Tracer.State(l.k.Now(), l.id, a, os, ns, note)
 }
 
 // NewL1 builds an L1 attached to kernel k, sending through net to its
@@ -274,6 +291,10 @@ func (l *L1) tryHit(e *cache.Entry, op pendingOp) bool {
 		return true
 	case cpu.Store:
 		if e.State == stM || e.State == stE {
+			if l.Tracer != nil && e.State == stE {
+				// The silent upgrade no directory can see.
+				l.traceState(e.Addr, stE, stM, "store hit")
+			}
 			e.State = stM // silent E->M upgrade
 			e.Data.SetWord(op.req.Addr.WordIndex(), op.req.Val)
 			l.c.Touch(e)
@@ -336,6 +357,9 @@ func (l *L1) evictEntry(e *cache.Entry) {
 	if old := l.evs[e.Addr]; old != nil {
 		panic("hostproto: double eviction")
 	}
+	if l.Tracer != nil {
+		l.traceState(e.Addr, e.State, 0, "evict "+ty.String())
+	}
 	l.evs[e.Addr] = t
 	l.c.Remove(e)
 	m := &msg.Msg{Type: ty, Addr: t.addr, VNet: msg.VReq}
@@ -397,6 +421,7 @@ func (l *L1) fill(m *msg.Msg) {
 		e = l.c.Install(m.Addr)
 	}
 	e.Data = *m.Data
+	old := e.State
 	switch m.Type {
 	case msg.DataS:
 		e.State = stS
@@ -407,6 +432,9 @@ func (l *L1) fill(m *msg.Msg) {
 		e.State = stE
 	case msg.DataM:
 		e.State = stM
+	}
+	if l.Tracer != nil {
+		l.traceState(m.Addr, old, e.State, m.Type.String())
 	}
 	// Our transaction's queued ops complete against the granted state
 	// first; owner snoops that raced ahead are serialized after it.
@@ -512,6 +540,9 @@ func (l *L1) invalidate(m *msg.Msg) {
 	}
 	switch e.State {
 	case stS, stF:
+		if l.Tracer != nil {
+			l.traceState(m.Addr, e.State, 0, "Inv")
+		}
 		l.c.Remove(e)
 		l.send(&msg.Msg{Type: msg.InvAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
 	default:
@@ -540,6 +571,7 @@ func (l *L1) snoopData(m *msg.Msg) {
 		return
 	}
 	dirty := false
+	old := e.State
 	switch e.State {
 	case stM:
 		dirty = true
@@ -557,6 +589,9 @@ func (l *L1) snoopData(m *msg.Msg) {
 		// races); respond clean.
 	default:
 		panic(fmt.Sprintf("hostproto: SnpData in state %s", stateName(e.State)))
+	}
+	if l.Tracer != nil && e.State != old {
+		l.traceState(m.Addr, old, e.State, "SnpData")
 	}
 	l.send(&msg.Msg{Type: msg.SnpRspData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
 		Data: msg.WithData(e.Data), Dirty: dirty})
@@ -607,6 +642,9 @@ func (l *L1) snoopInv(m *msg.Msg) {
 		rsp.Dirty = true
 	case stE, stS, stF:
 		rsp.Data = msg.WithData(e.Data)
+	}
+	if l.Tracer != nil {
+		l.traceState(m.Addr, e.State, 0, "SnpInv")
 	}
 	l.c.Remove(e)
 	l.send(rsp)

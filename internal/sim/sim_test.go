@@ -87,6 +87,46 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelAfterFire(t *testing.T) {
+	var k Kernel
+	fired := 0
+	e := k.Schedule(10, func() { fired++ })
+	k.Schedule(20, func() {})
+	if !k.Step() {
+		t.Fatal("Step should fire the first event")
+	}
+	// The event already ran; cancelling its handle must neither panic nor
+	// disturb the remaining queue.
+	k.Cancel(e)
+	k.Cancel(e)
+	k.Run(nil)
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1", fired)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20 (second event must survive)", k.Now())
+	}
+}
+
+func TestCancelHeadOfHeap(t *testing.T) {
+	var k Kernel
+	var got []int
+	head := k.Schedule(1, func() { got = append(got, 1) })
+	k.Schedule(2, func() { got = append(got, 2) })
+	k.Schedule(3, func() { got = append(got, 3) })
+	k.Cancel(head)
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", k.Pending())
+	}
+	k.Run(nil)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("got %v, want [2 3]", got)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now() = %d, want 3", k.Now())
+	}
+}
+
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var k Kernel
 	var got []int

@@ -27,6 +27,39 @@ func TestBandOf(t *testing.T) {
 	}
 }
 
+// TestBandBoundaries pins the band edges the Band doc comment promises:
+// 75 ns starts the middle band, 300 ns is inclusive on the high side.
+// Fig. 11 reproductions depend on these exact cut points; shifting either
+// silently reclassifies misses between semantic categories.
+func TestBandBoundaries(t *testing.T) {
+	edges := []struct {
+		ns   uint64
+		want Band
+	}{
+		{74, BandLow}, {75, BandMed},
+		{300, BandMed}, {301, BandHigh},
+	}
+	for _, e := range edges {
+		if got := BandOf(sim.NS(e.ns)); got != e.want {
+			t.Errorf("BandOf(NS(%d)) = %v, want %v", e.ns, got, e.want)
+		}
+	}
+	// One cycle below the 75 ns edge is still low: the comparison is on
+	// cycles, not whole nanoseconds.
+	if got := BandOf(sim.NS(75) - 1); got != BandLow {
+		t.Errorf("BandOf(NS(75)-1) = %v, want BandLow", got)
+	}
+	if got := BandOf(sim.NS(300) + 1); got != BandHigh {
+		t.Errorf("BandOf(NS(300)+1) = %v, want BandHigh", got)
+	}
+	labels := map[Band]string{BandLow: "<75ns", BandMed: "75-300ns", BandHigh: ">300ns"}
+	for b, want := range labels {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}
+
 func TestClassOf(t *testing.T) {
 	if ClassOf(cpu.Load) != ClassLoad || ClassOf(cpu.Store) != ClassStore ||
 		ClassOf(cpu.RMWAdd) != ClassRMW || ClassOf(cpu.RMWXchg) != ClassRMW {

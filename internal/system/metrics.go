@@ -1,0 +1,90 @@
+package system
+
+import (
+	"fmt"
+
+	"c3/internal/msg"
+	"c3/internal/protocol/hostproto"
+	"c3/internal/trace"
+)
+
+// Metrics builds the unified registry over this system's counters. The
+// registry holds lazy readers, not copies: register once, render any
+// time (including mid-run). Names are hierarchical and stable —
+// "c3.<cluster>.<counter>", "dcoh.<counter>" / "hdir.<counter>",
+// "net.msgs.<vnet>", "l1.<cluster>.<core>.<counter>",
+// "core.<cluster>.<core>.retired" — so downstream tooling can diff runs
+// by key.
+func (s *System) Metrics() *trace.Registry {
+	r := trace.NewRegistry()
+
+	for ci, cl := range s.Clusters {
+		st := &cl.C3.Stats
+		pre := fmt.Sprintf("c3.%d.", ci)
+		r.Counter(pre+"local_reqs", func() uint64 { return st.LocalReqs })
+		r.Counter(pre+"delegations", func() uint64 { return st.Delegations })
+		r.Counter(pre+"snoops_served", func() uint64 { return st.SnoopsServed })
+		r.Counter(pre+"conflicts", func() uint64 { return st.Conflicts })
+		r.Counter(pre+"conflicts_dir_first", func() uint64 { return st.ConflictsDirFirst })
+		r.Counter(pre+"evictions", func() uint64 { return st.Evictions })
+		r.Counter(pre+"writebacks", func() uint64 { return st.Writebacks })
+		r.Counter(pre+"stalled", func() uint64 { return st.Stalled })
+		if s.LocalMems[ci] != nil {
+			r.Counter(pre+"localmem_reads", func() uint64 { return st.LocalMemReads })
+			r.Counter(pre+"localmem_writes", func() uint64 { return st.LocalMemWrites })
+		}
+
+		for i, p := range cl.L1s {
+			lpre := fmt.Sprintf("l1.%d.%d.", ci, i)
+			switch l1 := p.(type) {
+			case *hostproto.L1:
+				r.Counter(lpre+"accesses", func() uint64 { return l1.Accesses })
+				r.Counter(lpre+"misses", func() uint64 { return l1.Misses })
+			case *hostproto.RCCL1:
+				r.Counter(lpre+"accesses", func() uint64 { return l1.Accesses })
+				r.Counter(lpre+"misses", func() uint64 { return l1.Misses })
+			}
+		}
+
+		// Cores attach after construction; read through the cluster so a
+		// render sees whatever is attached by then.
+		cluster, cc := cl, ci
+		for i := 0; i < cl.Cfg.Cores; i++ {
+			idx := i
+			r.Counter(fmt.Sprintf("core.%d.%d.retired", cc, idx), func() uint64 {
+				if idx < len(cluster.Cores) && cluster.Cores[idx] != nil {
+					return cluster.Cores[idx].Retired
+				}
+				return 0
+			})
+		}
+	}
+
+	if s.DCOH != nil {
+		st := &s.DCOH.Stats
+		r.Counter("dcoh.reads", func() uint64 { return st.Reads })
+		r.Counter("dcoh.writes", func() uint64 { return st.Writes })
+		r.Counter("dcoh.snoops", func() uint64 { return st.Snoops })
+		r.Counter("dcoh.conflicts", func() uint64 { return st.Conflicts })
+		r.Counter("dcoh.stalls", func() uint64 { return st.Stalls })
+	}
+	if s.HDir != nil {
+		st := &s.HDir.Stats
+		r.Counter("hdir.reads", func() uint64 { return st.Reads })
+		r.Counter("hdir.writes", func() uint64 { return st.Writes })
+		r.Counter("hdir.fwds", func() uint64 { return st.Fwds })
+		r.Counter("hdir.invs", func() uint64 { return st.Invs })
+		r.Counter("hdir.stalls", func() uint64 { return st.Stalls })
+	}
+
+	ns := &s.Net.Stats
+	for v := msg.VNet(0); v < msg.NumVNets; v++ {
+		vn := v
+		r.Counter("net.msgs."+v.String(), func() uint64 { return ns.Msgs[vn] })
+		r.Counter("net.bytes."+v.String(), func() uint64 { return ns.Bytes[vn] })
+	}
+	r.Counter("net.msgs.total", ns.TotalMsgs)
+	r.Counter("net.bytes.total", ns.TotalBytes)
+
+	return r
+}

@@ -19,6 +19,7 @@ import (
 	"c3/internal/protocol/hostproto"
 	"c3/internal/sim"
 	"c3/internal/ssp"
+	"c3/internal/trace"
 )
 
 // ClusterConfig describes one compute node.
@@ -52,6 +53,14 @@ type Config struct {
 	// Intra/Cross override the link configs (zero -> Table III).
 	Intra, Cross network.LinkConfig
 	DRAM         mem.DRAMConfig
+	// Tracer, when non-nil, is attached to the fabric and every
+	// controller; nil keeps the whole timed stack on its untraced path.
+	Tracer *trace.Tracer
+	// WatchdogAge, when non-zero (and Tracer is set), arms hang
+	// detection: a line with an open transaction older than this many
+	// cycles triggers a diagnostic report. Use trace.DefaultHangAge for
+	// the 10x-cross-cluster-round-trip default.
+	WatchdogAge sim.Time
 }
 
 // L1Port is the common face of the per-core private caches.
@@ -84,8 +93,18 @@ type System struct {
 	// configurations (nil entries otherwise).
 	LocalMems []*mem.DRAM
 
+	// Tracer mirrors Config.Tracer (nil when tracing is off).
+	Tracer *trace.Tracer
+
 	finished int
 	total    int
+}
+
+// CoreNode returns the synthetic trace node id for core (cluster, idx).
+// Cores are not network endpoints, so their retire events use negative
+// ids disjoint from every controller's.
+func CoreNode(cluster, idx int) msg.NodeID {
+	return msg.NodeID(-(1000*cluster + idx + 1))
 }
 
 // Proto returns "<local1>-<global>-<local2>" in the paper's notation,
@@ -124,7 +143,14 @@ func New(cfg Config) (*System, error) {
 		cfg.DRAM = mem.DefaultDRAMConfig()
 	}
 	dram := mem.NewDRAM(k, cfg.DRAM)
-	s := &System{K: k, Net: net, DRAM: dram}
+	s := &System{K: k, Net: net, DRAM: dram, Tracer: cfg.Tracer}
+	net.Tracer = cfg.Tracer
+
+	var dog *trace.Watchdog
+	if cfg.Tracer != nil && cfg.WatchdogAge != 0 {
+		dog = trace.NewWatchdog(k, cfg.WatchdogAge, 0)
+		cfg.Tracer.SetWatchdog(dog)
+	}
 
 	intra := cfg.Intra
 	if intra == (network.LinkConfig{}) {
@@ -138,10 +164,24 @@ func New(cfg Config) (*System, error) {
 	const dirID = msg.NodeID(1)
 	if gspec.Params.ConflictHandshake {
 		s.DCOH = cxl.New(dirID, k, net, dram)
+		s.DCOH.Tracer = cfg.Tracer
 		net.Register(dirID, s.DCOH)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Name(dirID, "DCOH")
+			if dog != nil {
+				dog.AddDumper("DCOH", s.DCOH)
+			}
+		}
 	} else {
 		s.HDir = hmesi.New(dirID, k, net, dram)
+		s.HDir.Tracer = cfg.Tracer
 		net.Register(dirID, s.HDir)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Name(dirID, "HDir")
+			if dog != nil {
+				dog.AddDumper("HDir", s.HDir)
+			}
+		}
 	}
 
 	next := msg.NodeID(2)
@@ -168,7 +208,14 @@ func New(cfg Config) (*System, error) {
 			LLCSize: cfg.LLCSize, LLCWays: cfg.LLCWays,
 			LocalRange: cc.LocalRange, LocalMem: localMem,
 		})
+		c3.Tracer = cfg.Tracer
 		net.Register(c3ID, c3)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Name(c3ID, fmt.Sprintf("C3[%d]", ci))
+			if dog != nil {
+				dog.AddDumper(fmt.Sprintf("C3[%d]", ci), c3)
+			}
+		}
 		net.Connect(c3ID, dirID, cross)
 		// Peer links for 3-hop data responses (hierarchical MESI); the
 		// star topology routes them through the same fabric.
@@ -197,7 +244,18 @@ func New(cfg Config) (*System, error) {
 				}
 				l1 = hostproto.NewL1(l1ID, c3ID, k, net, l1cfg)
 			}
+			if mesiL1, ok := l1.(*hostproto.L1); ok {
+				mesiL1.Tracer = cfg.Tracer
+			}
 			net.Register(l1ID, l1)
+			if cfg.Tracer != nil {
+				cfg.Tracer.Name(l1ID, fmt.Sprintf("L1[%d.%d]", ci, i))
+				if dog != nil {
+					if d, ok := l1.(trace.Dumper); ok {
+						dog.AddDumper(fmt.Sprintf("L1[%d.%d]", ci, i), d)
+					}
+				}
+			}
 			net.Connect(l1ID, c3ID, intra)
 			cl.L1s = append(cl.L1s, l1)
 		}
@@ -219,6 +277,9 @@ func (s *System) AttachSource(cluster, idx int, src cpu.Source) *cpu.Core {
 	}
 	id := cluster*1000 + idx
 	c := cpu.New(id, s.K, ccfg, cl.L1s[idx], src, func() { s.finished++ })
+	if s.Tracer != nil {
+		s.Tracer.Name(CoreNode(cluster, idx), fmt.Sprintf("core %d.%d", cluster, idx))
+	}
 	s.total++
 	for len(cl.Cores) <= idx {
 		cl.Cores = append(cl.Cores, nil)

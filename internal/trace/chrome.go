@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// ChromeSink streams events as Chrome trace-event JSON (the "JSON Array
+// Format"), directly loadable in ui.perfetto.dev or chrome://tracing.
+//
+// Mapping:
+//
+//   - one track (tid) per network endpoint, all under pid 1 ("fabric");
+//     track names come from the tracer's node labels;
+//   - each message becomes one complete event (ph "X") on the
+//     *destination* track, spanning send to delivery, so in-flight time
+//     is visible as span length; the vnet is the category;
+//   - state transitions and retirements are instant events (ph "i") on
+//     the acting node's track, with old/new state in args.
+//
+// Timestamps are microseconds (the format's unit); at the simulator's
+// 2 GHz clock, 1 us = 2000 cycles.
+type ChromeSink struct {
+	w     io.Writer
+	err   error
+	wrote bool
+	// Namer supplies track names; defaults to "node <id>".
+	Namer func(msg.NodeID) string
+
+	pending map[uint64]Event // serial -> send event awaiting delivery
+	named   map[msg.NodeID]bool
+}
+
+// NewChrome starts a Chrome trace stream on w. Call Close to terminate
+// the JSON array.
+func NewChrome(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: w,
+		pending: make(map[uint64]Event),
+		named:   make(map[msg.NodeID]bool)}
+}
+
+// usPerCycle converts a sim.Time to trace microseconds.
+func us(t sim.Time) float64 { return float64(t) / (1000 * sim.CyclesPerNS) }
+
+// record is one trace-event JSON object.
+type record struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (c *ChromeSink) write(r record) {
+	if c.err != nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		c.err = err
+		return
+	}
+	sep := ",\n"
+	if !c.wrote {
+		sep = "[\n"
+		c.wrote = true
+	}
+	if _, err := fmt.Fprintf(c.w, "%s%s", sep, b); err != nil {
+		c.err = err
+	}
+}
+
+// track lazily emits the thread_name metadata for a node's track.
+func (c *ChromeSink) track(id msg.NodeID) int64 {
+	if !c.named[id] {
+		c.named[id] = true
+		name := "node " + itoa(int64(id))
+		if c.Namer != nil {
+			name = c.Namer(id)
+		}
+		c.write(record{Name: "thread_name", Ph: "M", Pid: 1, Tid: int64(id),
+			Args: map[string]any{"name": name}})
+	}
+	return int64(id)
+}
+
+// Emit implements Sink.
+func (c *ChromeSink) Emit(ev Event) {
+	switch ev.Kind {
+	case KSend:
+		// Held until delivery so the span's duration is known. A message
+		// sent but never delivered simply never appears; the watchdog is
+		// the tool for those.
+		c.pending[ev.Serial] = ev
+	case KDeliver:
+		send, ok := c.pending[ev.Serial]
+		if !ok {
+			// Delivery without a recorded send (sink attached mid-flight):
+			// render a zero-length span at delivery time.
+			send = ev
+		}
+		delete(c.pending, ev.Serial)
+		d := us(ev.Time - send.Time)
+		c.write(record{
+			Name: fmt.Sprintf("%s %s", ev.MsgType, ev.Addr),
+			Cat:  ev.VNet.String(),
+			Ph:   "X", Ts: us(send.Time), Dur: &d,
+			Pid: 1, Tid: c.track(ev.Dst),
+			Args: map[string]any{
+				"src": int64(ev.Src), "dst": int64(ev.Dst), "serial": ev.Serial,
+			},
+		})
+	case KState:
+		c.write(record{
+			Name: fmt.Sprintf("%s %s", ev.Note, ev.Addr),
+			Cat:  "state",
+			Ph:   "i", Ts: us(ev.Time), S: "t",
+			Pid: 1, Tid: c.track(ev.Node),
+			Args: map[string]any{"old": ev.Old, "new": ev.New},
+		})
+	case KRetire:
+		c.write(record{
+			Name: fmt.Sprintf("%s %s", ev.Note, ev.Addr),
+			Cat:  "retire",
+			Ph:   "i", Ts: us(ev.Time), S: "t",
+			Pid: 1, Tid: c.track(ev.Node),
+		})
+	}
+}
+
+// Close terminates the JSON array and reports any streaming error.
+func (c *ChromeSink) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if !c.wrote {
+		_, c.err = io.WriteString(c.w, "[]")
+		return c.err
+	}
+	_, c.err = io.WriteString(c.w, "\n]\n")
+	return c.err
+}

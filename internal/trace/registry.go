@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"c3/internal/sim"
+)
+
+// Registry is the unified metrics surface: named counters and latency
+// histograms with uniform text and JSON renderers. It owns no storage —
+// counters are read lazily through closures over the components' own
+// Stats fields, so registering a metric adds nothing to the hot path.
+type Registry struct {
+	counters map[string]func() uint64
+	histos   map[string]*LatencyHist
+	gauges   map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]func() uint64),
+		histos:   make(map[string]*LatencyHist),
+		gauges:   make(map[string]func() float64),
+	}
+}
+
+// Counter registers a named monotonic counter reader.
+func (r *Registry) Counter(name string, read func() uint64) {
+	if _, dup := r.counters[name]; dup {
+		panic("trace: duplicate counter " + name)
+	}
+	r.counters[name] = read
+}
+
+// Gauge registers a named float reader (ratios, MPKI, geomeans).
+func (r *Registry) Gauge(name string, read func() float64) {
+	if _, dup := r.gauges[name]; dup {
+		panic("trace: duplicate gauge " + name)
+	}
+	r.gauges[name] = read
+}
+
+// Histogram registers a latency histogram.
+func (r *Registry) Histogram(name string, h *LatencyHist) {
+	if _, dup := r.histos[name]; dup {
+		panic("trace: duplicate histogram " + name)
+	}
+	r.histos[name] = h
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RenderText writes a human-readable metrics listing, sorted by name.
+func (r *Registry) RenderText(w io.Writer) {
+	for _, name := range sortedKeys(r.counters) {
+		fmt.Fprintf(w, "%-34s %12d\n", name, r.counters[name]())
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(w, "%-34s %12.3f\n", name, r.gauges[name]())
+	}
+	for _, name := range sortedKeys(r.histos) {
+		h := r.histos[name]
+		fmt.Fprintf(w, "%s: n=%d mean=%.0fns p50=%dns p99=%dns\n",
+			name, h.N, h.MeanNS(), h.QuantileNS(0.50), h.QuantileNS(0.99))
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %12d\n", h.bucketLabel(i), c)
+		}
+	}
+}
+
+// RenderJSON writes the registry as one JSON object:
+//
+//	{"counters": {name: value, ...},
+//	 "gauges":   {name: value, ...},
+//	 "histograms": {name: {"unit":"ns","bounds":[...],"counts":[...],
+//	                       "count":N,"sum":S}, ...}}
+//
+// Rendered by hand to keep key order deterministic (sorted by name).
+func (r *Registry) RenderJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	for i, name := range sortedKeys(r.counters) {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    %q: %d", name, r.counters[name]())
+	}
+	b.WriteString("\n  },\n  \"gauges\": {")
+	for i, name := range sortedKeys(r.gauges) {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "\n    %q: %g", name, r.gauges[name]())
+	}
+	b.WriteString("\n  },\n  \"histograms\": {")
+	for i, name := range sortedKeys(r.histos) {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		h := r.histos[name]
+		fmt.Fprintf(&b, "\n    %q: {\"unit\": \"ns\", \"bounds\": [", name)
+		for j, ub := range h.Bounds {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", uint64(ub)/sim.CyclesPerNS)
+		}
+		b.WriteString("], \"counts\": [")
+		for j, c := range h.Counts {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+		fmt.Fprintf(&b, "], \"count\": %d, \"sum\": %d}", h.N, uint64(h.Sum)/sim.CyclesPerNS)
+	}
+	b.WriteString("\n  }\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// LatencyHist is a fixed-bound latency histogram. Bounds are inclusive
+// upper bounds in cycles; Counts has one extra overflow bucket. Observe
+// is branch-light and allocation-free, safe to call from hot paths.
+type LatencyHist struct {
+	Bounds []sim.Time
+	Counts []uint64
+	N      uint64
+	Sum    sim.Time
+}
+
+// DefaultMissBounds are the default miss-latency bucket boundaries in
+// ns, chosen to straddle the Fig. 11 bands (75 ns intra-cluster,
+// 300 ns cross-cluster; see stats.Band).
+var DefaultMissBounds = []uint64{25, 50, 75, 100, 150, 200, 300, 400, 600, 1000, 2000}
+
+// NewLatencyHist builds a histogram with the given upper bounds in ns
+// (nil -> DefaultMissBounds).
+func NewLatencyHist(boundsNS []uint64) *LatencyHist {
+	if boundsNS == nil {
+		boundsNS = DefaultMissBounds
+	}
+	h := &LatencyHist{
+		Bounds: make([]sim.Time, len(boundsNS)),
+		Counts: make([]uint64, len(boundsNS)+1),
+	}
+	for i, ns := range boundsNS {
+		h.Bounds[i] = sim.NS(ns)
+		if i > 0 && h.Bounds[i] <= h.Bounds[i-1] {
+			panic("trace: histogram bounds not increasing")
+		}
+	}
+	return h
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(lat sim.Time) {
+	h.N++
+	h.Sum += lat
+	for i, ub := range h.Bounds {
+		if lat <= ub {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// MeanNS reports the mean sample in ns.
+func (h *LatencyHist) MeanNS() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N) / sim.CyclesPerNS
+}
+
+// QuantileNS reports the upper bound (ns) of the bucket containing the
+// q-quantile sample; the overflow bucket reports the last bound.
+func (h *LatencyHist) QuantileNS(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	// Rank of the quantile sample, rounding up: the p99 of 11 samples is
+	// the 11th, not the 10th.
+	target := uint64(math.Ceil(q * float64(h.N)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.Bounds) {
+				return uint64(h.Bounds[i]) / sim.CyclesPerNS
+			}
+			break
+		}
+	}
+	return uint64(h.Bounds[len(h.Bounds)-1]) / sim.CyclesPerNS
+}
+
+func (h *LatencyHist) bucketLabel(i int) string {
+	if i < len(h.Bounds) {
+		return fmt.Sprintf("<=%dns", uint64(h.Bounds[i])/sim.CyclesPerNS)
+	}
+	return fmt.Sprintf(">%dns", uint64(h.Bounds[len(h.Bounds)-1])/sim.CyclesPerNS)
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+)
+
+// RingSink keeps the most recent events in a fixed-capacity circular
+// buffer for post-mortem inspection: cheap enough to leave on for long
+// runs, and the history source for watchdog hang reports.
+type RingSink struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing builds a ring holding the last capacity events.
+func NewRing(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len reports how many events are retained.
+func (r *RingSink) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Events returns the retained events in chronological order.
+func (r *RingSink) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// History returns the retained events touching line addr, in order.
+func (r *RingSink) History(addr mem.LineAddr) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Addr == addr {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events, one per line. label may be nil.
+func (r *RingSink) Dump(w io.Writer, label func(msg.NodeID) string) {
+	for _, ev := range r.Events() {
+		writeEvent(w, ev, label)
+	}
+}
+
+// writeEvent renders one event in the ring/report format.
+func writeEvent(w io.Writer, ev Event, label func(msg.NodeID) string) {
+	lbl := func(id msg.NodeID) string {
+		if label != nil {
+			return label(id)
+		}
+		return itoa(int64(id))
+	}
+	switch ev.Kind {
+	case KSend, KDeliver:
+		fmt.Fprintf(w, "%10d  %-7s %-13s %s  %s -> %s  [%s] #%d\n",
+			ev.Time, ev.Kind, ev.MsgType, ev.Addr,
+			lbl(ev.Src), lbl(ev.Dst), ev.VNet, ev.Serial)
+	case KState:
+		fmt.Fprintf(w, "%10d  %-7s %-13s %s  %s: %s -> %s\n",
+			ev.Time, ev.Kind, ev.Note, ev.Addr, lbl(ev.Node), ev.Old, ev.New)
+	case KRetire:
+		fmt.Fprintf(w, "%10d  %-7s %-13s %s  %s\n",
+			ev.Time, ev.Kind, ev.Note, ev.Addr, lbl(ev.Node))
+	}
+}

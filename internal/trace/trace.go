@@ -1,0 +1,219 @@
+// Package trace is the simulator's observability layer: a protocol-level
+// event trace, a unified metrics registry, and hang diagnostics.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Every hook site in the timed stack guards
+//     with a plain nil check ("if x.Tracer != nil { ... }"); event
+//     construction happens behind the guard, so a run without tracing
+//     performs no allocation and no call on the hot path. The guard is
+//     pinned by TestTraceDisabledZeroAlloc and BenchmarkTraceDisabled.
+//
+//  2. One event vocabulary for every consumer. The same Event stream
+//     feeds the post-mortem ring buffer (RingSink), the Chrome
+//     trace-event / Perfetto exporter (ChromeSink), and the transaction
+//     watchdog — so a hang report, a perfetto track, and a unit test all
+//     describe a coherence flow in identical terms.
+//
+//  3. Storage stays where it is. The metrics Registry does not own any
+//     counters: it holds named readers over the existing Stats structs
+//     (core.Stats, cxl.Stats, hmesi.Stats, network.Stats), so hot-path
+//     increments remain branch-free field increments.
+package trace
+
+import (
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KSend: a message entered the fabric (Node = sender).
+	KSend Kind = iota
+	// KDeliver: a message reached its destination port (Node = receiver).
+	KDeliver
+	// KState: a controller committed a state transition for a line.
+	KState
+	// KRetire: a core retired a memory operation.
+	KRetire
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KSend:
+		return "send"
+	case KDeliver:
+		return "deliver"
+	case KState:
+		return "state"
+	case KRetire:
+		return "retire"
+	}
+	return "?"
+}
+
+// Event is one protocol-level observation. It is passed by value and
+// contains no pointers into simulator state, so sinks may retain it.
+type Event struct {
+	Kind Kind
+	Time sim.Time
+	// Node is the acting endpoint: sender for KSend, receiver for
+	// KDeliver, the controller for KState, the core's trace node for
+	// KRetire.
+	Node msg.NodeID
+	Addr mem.LineAddr
+
+	// Message fields (KSend/KDeliver).
+	MsgType  msg.Type
+	VNet     msg.VNet
+	Src, Dst msg.NodeID
+	Serial   uint64
+
+	// Transition fields (KState): the controller's before/after state
+	// rendering, e.g. "S/I" -> "M/M" for a C3 compound state.
+	Old, New string
+
+	// Note carries free-form context: the triggering opcode for KState,
+	// the op kind ("LD miss 240cyc") for KRetire.
+	Note string
+}
+
+// Sink consumes events. Emit runs synchronously on the simulator thread;
+// sinks must not call back into the simulation.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Tracer fans events out to its sinks and, when armed, to the hang
+// watchdog. A nil *Tracer is the disabled state; hook sites must guard
+// with a nil check rather than calling methods on nil.
+type Tracer struct {
+	sinks []Sink
+	watch *Watchdog
+	names map[msg.NodeID]string
+}
+
+// New builds a tracer over the given sinks.
+func New(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks, names: make(map[msg.NodeID]string)}
+}
+
+// AddSink attaches another sink.
+func (t *Tracer) AddSink(s Sink) { t.sinks = append(t.sinks, s) }
+
+// SetWatchdog arms hang detection; every subsequent event feeds the
+// transaction table.
+func (t *Tracer) SetWatchdog(w *Watchdog) {
+	t.watch = w
+	w.names = t.Label
+}
+
+// Watchdog returns the armed watchdog, if any.
+func (t *Tracer) Watchdog() *Watchdog { return t.watch }
+
+// Name registers a human-readable label for a trace node ("C3[0]",
+// "L1[5]", "DCOH", "core 1.2"). Labels appear as Perfetto track names
+// and in watchdog reports.
+func (t *Tracer) Name(id msg.NodeID, label string) { t.names[id] = label }
+
+// Label renders a node id, using its registered name when known.
+func (t *Tracer) Label(id msg.NodeID) string {
+	if n, ok := t.names[id]; ok {
+		return n
+	}
+	if id == msg.None {
+		return "-"
+	}
+	return "node " + itoa(int64(id))
+}
+
+// Emit dispatches one event.
+func (t *Tracer) Emit(ev Event) {
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+	if t.watch != nil {
+		t.watch.observe(ev)
+	}
+}
+
+// MsgSend records a message entering the fabric.
+func (t *Tracer) MsgSend(now sim.Time, m *msg.Msg) {
+	t.Emit(Event{Kind: KSend, Time: now, Node: m.Src, Addr: m.Addr,
+		MsgType: m.Type, VNet: m.VNet, Src: m.Src, Dst: m.Dst, Serial: m.Serial})
+}
+
+// MsgDeliver records a message reaching its destination.
+func (t *Tracer) MsgDeliver(now sim.Time, m *msg.Msg) {
+	t.Emit(Event{Kind: KDeliver, Time: now, Node: m.Dst, Addr: m.Addr,
+		MsgType: m.Type, VNet: m.VNet, Src: m.Src, Dst: m.Dst, Serial: m.Serial})
+}
+
+// State records a controller state transition.
+func (t *Tracer) State(now sim.Time, node msg.NodeID, addr mem.LineAddr, old, new, note string) {
+	t.Emit(Event{Kind: KState, Time: now, Node: node, Addr: addr,
+		Old: old, New: new, Note: note})
+}
+
+// Retire records a completed core memory operation.
+func (t *Tracer) Retire(now sim.Time, node msg.NodeID, addr mem.LineAddr, note string) {
+	t.Emit(Event{Kind: KRetire, Time: now, Node: node, Addr: addr, Note: note})
+}
+
+// itoa is a minimal integer formatter (avoids strconv on report paths
+// shared with label rendering; not hot).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// opens reports whether a message opens a tracked transaction at its
+// sender: the initiator requests of each protocol level. Snoops and
+// forwards are deliberately untracked — they complete inside the
+// envelope of the request that caused them, and their ack routing (e.g.
+// GInvAck to the requestor, not the directory) would unbalance a naive
+// pairing. The outermost request/grant pair is always precise.
+func opens(t msg.Type) bool {
+	switch t {
+	case msg.GetS, msg.GetM, msg.GetV, msg.WrThrough,
+		msg.AtomicAdd, msg.AtomicXchg, msg.SyncRel, msg.SyncAcq,
+		msg.PutS, msg.PutE, msg.PutM, msg.PutO,
+		msg.MemRdA, msg.MemRdS, msg.MemWrI, msg.MemWrS,
+		msg.GGetS, msg.GGetM, msg.GPutS, msg.GPutM, msg.GPutE:
+		return true
+	}
+	return false
+}
+
+// closes reports whether a delivered message terminates a tracked
+// transaction at its destination: the grants and completions.
+func closes(t msg.Type) bool {
+	switch t {
+	case msg.DataS, msg.DataE, msg.DataM, msg.DataV,
+		msg.PutAck, msg.SyncAck, msg.AtomicResp,
+		msg.CmpS, msg.CmpE, msg.CmpM, msg.CmpWr,
+		msg.GData, msg.GDataE, msg.GDataM, msg.GDataS, msg.GPutAck:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// DefaultHangAgeNS is the default watchdog threshold: 10x the simulated
+// cross-cluster round trip (Table III: two 70 ns link traversals plus
+// flit serialization and controller occupancy, ~150 ns end to end).
+// Any well-formed transaction completes well inside one round trip per
+// protocol level; ten round trips of silence on an open transaction is
+// a hang, not a queue.
+const DefaultHangAgeNS = 1500
+
+// DefaultHangAge is DefaultHangAgeNS in cycles.
+const DefaultHangAge = sim.Time(DefaultHangAgeNS * sim.CyclesPerNS)
+
+// Dumper is implemented by every controller that can render its state
+// (the model checker's DumpState); the watchdog reuses it for hang
+// reports.
+type Dumper interface {
+	DumpState(w io.Writer)
+}
+
+// atxn tracks the open transactions of one line.
+type atxn struct {
+	opens, closes int
+	// oldestOpen is when the current unbroken run of open transactions
+	// began; reset whenever the line goes idle (closes == opens).
+	oldestOpen sim.Time
+	last       sim.Time
+}
+
+// Watchdog maintains the in-flight transaction table and turns protocol
+// hangs into reports. It observes the same event stream as every other
+// sink: request sends open a per-line transaction, grant/completion
+// deliveries close one. When a line with open transactions has seen no
+// traffic at all for longer than MaxAge, the watchdog dumps the line's
+// event history (from its ring) and every registered controller's
+// DumpState, then reports through OnHang (default: panic, so silent
+// deadlocks cannot pass unnoticed). The criterion is silence, not age:
+// a hot line under sustained contention can stay open indefinitely
+// while making progress, and must not trip the watchdog.
+//
+// The check is event-driven, not polled: a kernel timer is armed only
+// while transactions are open and cancelled when the system goes idle,
+// so an armed watchdog never keeps the event queue alive after a run
+// completes.
+type Watchdog struct {
+	k      *sim.Kernel
+	MaxAge sim.Time
+	// OnHang, when non-nil, receives the report instead of panicking.
+	OnHang func(report string)
+
+	ring  *RingSink
+	open  map[mem.LineAddr]*atxn
+	timer *sim.Event
+	fired bool
+	rep   string
+
+	dumpers []namedDumper
+	names   func(msg.NodeID) string
+}
+
+type namedDumper struct {
+	name string
+	d    Dumper
+}
+
+// NewWatchdog builds a watchdog on kernel k. maxAge <= 0 selects
+// DefaultHangAge; historyCap sizes the per-report event ring (<= 0 for
+// the default).
+func NewWatchdog(k *sim.Kernel, maxAge sim.Time, historyCap int) *Watchdog {
+	if maxAge <= 0 {
+		maxAge = DefaultHangAge
+	}
+	return &Watchdog{
+		k: k, MaxAge: maxAge,
+		ring: NewRing(historyCap),
+		open: make(map[mem.LineAddr]*atxn),
+	}
+}
+
+// AddDumper registers a controller whose DumpState appears in reports.
+func (w *Watchdog) AddDumper(name string, d Dumper) {
+	w.dumpers = append(w.dumpers, namedDumper{name, d})
+}
+
+// Fired reports whether a hang has been detected.
+func (w *Watchdog) Fired() bool { return w.fired }
+
+// Report returns the hang report, or "" if none fired.
+func (w *Watchdog) Report() string { return w.rep }
+
+// observe feeds one trace event into the transaction table.
+func (w *Watchdog) observe(ev Event) {
+	if w.fired {
+		return
+	}
+	w.ring.Emit(ev)
+	switch ev.Kind {
+	case KSend:
+		t := w.open[ev.Addr]
+		if t != nil {
+			t.last = ev.Time // any traffic on an open line is progress
+		}
+		if !opens(ev.MsgType) {
+			return
+		}
+		if t == nil {
+			t = &atxn{}
+			w.open[ev.Addr] = t
+		}
+		if t.opens == t.closes {
+			t.oldestOpen = ev.Time
+		}
+		t.opens++
+		t.last = ev.Time
+		w.arm()
+	case KDeliver:
+		t := w.open[ev.Addr]
+		if t != nil {
+			t.last = ev.Time
+			if closes(ev.MsgType) && t.closes < t.opens {
+				t.closes++
+				if t.closes == t.opens {
+					delete(w.open, ev.Addr)
+					if len(w.open) == 0 {
+						w.disarm()
+					}
+				}
+			}
+		}
+	}
+}
+
+// arm schedules the hang check if it is not already pending.
+func (w *Watchdog) arm() {
+	if w.timer != nil || w.fired {
+		return
+	}
+	w.timer = w.k.After(w.MaxAge+1, w.check)
+}
+
+func (w *Watchdog) disarm() {
+	if w.timer != nil {
+		w.k.Cancel(w.timer)
+		w.timer = nil
+	}
+}
+
+// check fires the report for any silent open line, or re-arms for the
+// least recently active one.
+func (w *Watchdog) check() {
+	w.timer = nil
+	if w.fired || len(w.open) == 0 {
+		return
+	}
+	now := w.k.Now()
+	var stalest sim.Time
+	first := true
+	for addr, t := range w.open {
+		if now-t.last > w.MaxAge {
+			w.fire(addr, t)
+			return
+		}
+		if first || t.last < stalest {
+			stalest = t.last
+			first = false
+		}
+	}
+	w.timer = w.k.Schedule(stalest+w.MaxAge+1, w.check)
+}
+
+// fire builds and delivers the hang report.
+func (w *Watchdog) fire(addr mem.LineAddr, t *atxn) {
+	w.fired = true
+	w.disarm()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: watchdog: transaction hang on line %s at t=%d\n", addr, w.k.Now())
+	fmt.Fprintf(&b, "  open=%d closed=%d oldest-open=%d last-activity=%d max-age=%d\n",
+		t.opens, t.closes, t.oldestOpen, t.last, w.MaxAge)
+
+	// Other lines still in flight, for context.
+	var others []mem.LineAddr
+	for a := range w.open {
+		if a != addr {
+			others = append(others, a)
+		}
+	}
+	if len(others) > 0 {
+		sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
+		fmt.Fprintf(&b, "  other open lines: %v\n", others)
+	}
+
+	b.WriteString("\nmessage history of the hung line:\n")
+	hist := w.ring.History(addr)
+	if len(hist) == 0 {
+		b.WriteString("  (event ring no longer holds this line's history; enlarge historyCap)\n")
+	}
+	for _, ev := range hist {
+		writeEvent(&b, ev, w.names)
+	}
+
+	b.WriteString("\ncontroller state:\n")
+	for _, nd := range w.dumpers {
+		fmt.Fprintf(&b, "-- %s --\n", nd.name)
+		nd.d.DumpState(&b)
+	}
+
+	w.rep = b.String()
+	if w.OnHang != nil {
+		w.OnHang(w.rep)
+		return
+	}
+	panic(w.rep)
+}

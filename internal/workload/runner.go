@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"c3/internal/cpu"
+	"c3/internal/sim"
 	"c3/internal/stats"
 	"c3/internal/system"
+	"c3/internal/trace"
 )
 
 // RunConfig describes one workload execution.
@@ -28,6 +30,39 @@ type RunConfig struct {
 	// configuration); only shared, hot and sync lines stay in the CXL
 	// pool.
 	Hybrid bool
+	// Tracer, when non-nil, observes the run (protocol trace +
+	// retirement events).
+	Tracer *trace.Tracer
+	// WatchdogAge arms hang detection (cycles; 0 = off). Requires
+	// Tracer. A detected hang aborts the run with the diagnostic report
+	// as the error.
+	WatchdogAge sim.Time
+	// MissHist, when non-nil, receives every miss latency sample.
+	MissHist *trace.LatencyHist
+}
+
+// observer builds the per-core completion hook: the Fig. 11 breakdown
+// always accumulates; the optional miss histogram and retirement trace
+// ride along only when configured.
+func observer(cfg *RunConfig, sys *system.System, cl, idx int, miss *stats.MissBreakdown) func(cpu.OpStats) {
+	if cfg.Tracer == nil && cfg.MissHist == nil {
+		return miss.Observe
+	}
+	node := system.CoreNode(cl, idx)
+	tr, hist, k := cfg.Tracer, cfg.MissHist, sys.K
+	return func(s cpu.OpStats) {
+		miss.Observe(s)
+		if hist != nil && s.Missed {
+			hist.Observe(s.Latency)
+		}
+		if tr != nil {
+			note := s.Kind.String()
+			if s.Missed {
+				note += " miss"
+			}
+			tr.Retire(k.Now(), node, s.Addr.Line(), note)
+		}
+	}
 }
 
 // Run executes one workload and returns its datapoint.
@@ -73,12 +108,21 @@ func RunOn(cfg RunConfig) (stats.Run, *system.System, error) {
 		}
 	}
 	sys, err := system.New(system.Config{
-		Global:   cfg.Global,
-		Seed:     cfg.Seed,
-		Clusters: clusters,
+		Global:      cfg.Global,
+		Seed:        cfg.Seed,
+		Clusters:    clusters,
+		Tracer:      cfg.Tracer,
+		WatchdogAge: cfg.WatchdogAge,
 	})
 	if err != nil {
 		return stats.Run{}, nil, err
+	}
+	var dog *trace.Watchdog
+	if cfg.Tracer != nil {
+		if dog = cfg.Tracer.Watchdog(); dog != nil {
+			// Capture the report instead of panicking; Run aborts below.
+			dog.OnHang = func(string) {}
+		}
 	}
 
 	total := 2 * cfg.CoresPerCluster
@@ -88,11 +132,16 @@ func RunOn(cfg RunConfig) (stats.Run, *system.System, error) {
 		for i := 0; i < cfg.CoresPerCluster; i++ {
 			src := NewSource(&spec, id, total, cfg.Seed+101)
 			c := sys.AttachSource(cl, i, src)
-			c.Observe = miss.Observe
+			c.Observe = observer(&cfg, sys, cl, i, &miss)
 			id++
 		}
 	}
-	if !sys.Run(limit) {
+	completed := sys.Run(limit)
+	if dog != nil && dog.Fired() {
+		return stats.Run{}, sys, fmt.Errorf("workload %s (%s): watchdog hang\n%s",
+			spec.Name, sys.Proto(), dog.Report())
+	}
+	if !completed {
 		return stats.Run{}, sys, fmt.Errorf("workload %s (%s): wedged after %d events",
 			spec.Name, sys.Proto(), limit)
 	}

@@ -1,10 +1,14 @@
 package workload
 
 import (
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"c3/internal/cpu"
 	"c3/internal/stats"
+	"c3/internal/trace"
 )
 
 func TestSpecsWellFormed(t *testing.T) {
@@ -153,5 +157,111 @@ func TestHotWorkloadsSlowerUnderCXL(t *testing.T) {
 	}
 	if vips > 1.2 {
 		t.Fatalf("vips should be nearly CXL-insensitive, got %.3f", vips)
+	}
+}
+
+// sinkFunc adapts a function to trace.Sink.
+type sinkFunc func(trace.Event)
+
+func (f sinkFunc) Emit(ev trace.Event) { f(ev) }
+
+func TestRunWithTraceMetricsAndHistogram(t *testing.T) {
+	// End-to-end observability: one traced run must feed every surface —
+	// the ring sink sees all four event kinds, the Chrome sink emits
+	// valid JSON, the miss histogram agrees with the Fig. 11 breakdown,
+	// and the metrics registry's lazy counters read the post-run values.
+	spec, _ := ByName("histogram")
+	kinds := map[trace.Kind]int{}
+	count := sinkFunc(func(ev trace.Event) { kinds[ev.Kind]++ })
+	var buf bytes.Buffer
+	chrome := trace.NewChrome(&buf)
+	tr := trace.New(count, chrome)
+	chrome.Namer = tr.Label
+	hist := trace.NewLatencyHist(nil)
+	r, sys, err := RunOn(RunConfig{
+		Spec: spec, Global: "cxl", Locals: [2]string{"mesi", "moesi"},
+		MCMs: [2]cpu.MCM{cpu.TSO, cpu.WMO}, CoresPerCluster: 2,
+		OpsScale: 0.3, Seed: 5,
+		Tracer: tr, MissHist: hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chrome.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []trace.Kind{trace.KSend, trace.KDeliver, trace.KState, trace.KRetire} {
+		if kinds[k] == 0 {
+			t.Errorf("trace saw no %v events", k)
+		}
+	}
+	if uint64(kinds[trace.KRetire]) != r.Miss.Ops {
+		t.Errorf("retire events = %d, ops = %d", kinds[trace.KRetire], r.Miss.Ops)
+	}
+
+	var records []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(records) == 0 {
+		t.Fatal("chrome output is empty")
+	}
+
+	if hist.N != r.Miss.TotalMisses() {
+		t.Errorf("histogram saw %d misses, breakdown counted %d", hist.N, r.Miss.TotalMisses())
+	}
+
+	reg := sys.Metrics()
+	var out bytes.Buffer
+	if err := reg.RenderJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if m.Counters["net.msgs.total"] == 0 {
+		t.Error("net.msgs.total should be nonzero after a run")
+	}
+	var retired uint64
+	for name, v := range m.Counters {
+		if strings.HasPrefix(name, "core.") {
+			retired += v
+		}
+	}
+	if retired != r.Miss.Ops {
+		t.Errorf("core.*.retired sums to %d, breakdown ops = %d", retired, r.Miss.Ops)
+	}
+}
+
+func TestWatchdogCatchesStalledRun(t *testing.T) {
+	// Force a "hang" by setting the watchdog age below any real
+	// transaction latency: the first in-flight request trips it, and the
+	// run must abort with the full diagnostic — stuck line, message
+	// history, and controller DumpStates.
+	spec, _ := ByName("vips")
+	tr := trace.New()
+	_, _, err := RunOn(RunConfig{
+		Spec: spec, Global: "cxl", Locals: [2]string{"mesi", "mesi"},
+		MCMs: [2]cpu.MCM{cpu.WMO, cpu.WMO}, CoresPerCluster: 2,
+		OpsScale: 0.1, Seed: 9,
+		Tracer: tr, WatchdogAge: 1,
+	})
+	if err == nil {
+		t.Fatal("1-cycle watchdog should have tripped")
+	}
+	for _, want := range []string{
+		"watchdog hang",
+		"transaction hang on line",
+		"message history of the hung line:",
+		"controller state:",
+		"-- DCOH --",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic missing %q\n%s", want, err.Error())
+		}
 	}
 }
