@@ -7,21 +7,32 @@
 //	c3bench -exp all
 //
 // Scale knobs: -scale multiplies kernel op budgets, -cores sets cores
-// per cluster, -iters sets litmus iterations per cell. The defaults
-// complete in minutes; the paper-scale equivalents are documented in
-// EXPERIMENTS.md.
+// per cluster, -iters sets litmus iterations per cell, -j bounds the
+// worker pool (results are identical for every worker count). The
+// defaults complete in minutes; the paper-scale equivalents are
+// documented in EXPERIMENTS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"c3"
 )
+
+// benchStat is one entry of the -bench-json report: wall time and
+// allocation cost per experiment, in `go test -bench` units.
+type benchStat struct {
+	NsOp     int64  `json:"ns_per_op"`
+	AllocsOp uint64 `json:"allocs_per_op"`
+	BytesOp  uint64 `json:"bytes_per_op"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig9|fig10|fig11|tab4|hybrid|all")
@@ -29,8 +40,11 @@ func main() {
 	cores := flag.Int("cores", 4, "cores per cluster")
 	iters := flag.Int("iters", 400, "litmus iterations per Table IV cell")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(workers, "workers", 0, "alias for -j")
 	verbose := flag.Bool("v", false, "per-run progress")
 	out := flag.String("out", "", "also write each experiment's table to <out>/<exp>.txt")
+	benchJSON := flag.String("bench-json", "", "write per-experiment timing/alloc stats (JSON) to this file")
 	flag.Parse()
 
 	if *out != "" {
@@ -40,20 +54,34 @@ func main() {
 		}
 	}
 
-	opts := c3.ExpOptions{CoresPerCluster: *cores, OpsScale: *scale, Seed: *seed}
+	opts := c3.ExpOptions{CoresPerCluster: *cores, OpsScale: *scale, Seed: *seed, Workers: *workers}
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
+	stats := map[string]benchStat{}
 	run := func(name string, f func() (interface{ Render() string }, error)) {
+		var before, after runtime.MemStats
+		if *benchJSON != "" {
+			runtime.ReadMemStats(&before)
+		}
 		start := time.Now()
 		r, err := f()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "c3bench %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *benchJSON != "" {
+			runtime.ReadMemStats(&after)
+			stats[name] = benchStat{
+				NsOp:     elapsed.Nanoseconds(),
+				AllocsOp: after.Mallocs - before.Mallocs,
+				BytesOp:  after.TotalAlloc - before.TotalAlloc,
+			}
+		}
 		body := r.Render()
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), body)
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, elapsed.Seconds(), body)
 		if *out != "" {
 			file := filepath.Join(*out, strings.ToLower(strings.ReplaceAll(
 				strings.Fields(name)[0], ".", ""))+".txt")
@@ -67,7 +95,7 @@ func main() {
 	want := func(n string) bool { return *exp == "all" || *exp == n }
 	if want("tab4") {
 		run("Table IV", func() (interface{ Render() string }, error) {
-			return c3.TableIV(*iters, *seed)
+			return c3.TableIVWorkers(*iters, *seed, *workers)
 		})
 	}
 	if want("fig9") {
@@ -83,5 +111,16 @@ func main() {
 		run("Hybrid (extension)", func() (interface{ Render() string }, error) {
 			return c3.Hybrid(opts)
 		})
+	}
+
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(stats, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3bench:", err)
+			os.Exit(1)
+		}
 	}
 }

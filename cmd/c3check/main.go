@@ -30,6 +30,8 @@ func main() {
 	mcm1 := flag.String("mcm1", "arm", "cluster 1 MCM")
 	tiny := flag.Bool("tiny", false, "tiny CXL cache: explore eviction flows")
 	maxStates := flag.Uint64("max", 500_000, "state budget")
+	workers := flag.Int("j", 0, "worker goroutines for successor expansion (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(workers, "workers", 0, "alias for -j")
 	flag.Parse()
 
 	tests := []string{"MP", "SB", "LB", "S", "R", "2_2W"}
@@ -46,6 +48,7 @@ func main() {
 			MCMs:      mcms,
 			TinyLLC:   *tiny,
 			MaxStates: *maxStates,
+			Workers:   *workers,
 		})
 		if err != nil {
 			fmt.Printf("%-8s FAIL: %v\n", name, err)

@@ -31,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	trace := flag.Bool("trace", false, "print the coherence-message trace of the first iteration")
 	traceJSON := flag.String("trace-json", "", "write the first iteration's protocol trace to this file (Chrome/Perfetto JSON)")
+	workers := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	flag.IntVar(workers, "workers", 0, "alias for -j")
 	flag.Parse()
 
 	if *list {
@@ -40,7 +42,7 @@ func main() {
 		return
 	}
 	if *table {
-		rep, err := c3.TableIV(*iters, *seed)
+		rep, err := c3.TableIVWorkers(*iters, *seed, *workers)
 		fail(err)
 		fmt.Print(rep.Render())
 		if !rep.AllPass() {
@@ -75,6 +77,7 @@ func main() {
 		Seed:      *seed,
 		Trace:     *trace,
 		TraceJSON: *traceJSON,
+		Workers:   *workers,
 	})
 	fail(err)
 	fmt.Printf("%s: %d iterations, %d distinct outcomes, %d forbidden\n",

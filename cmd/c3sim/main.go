@@ -10,22 +10,27 @@
 //	c3sim -w histogram -trace /tmp/t.json     # Perfetto/Chrome trace
 //	c3sim -w histogram -metrics json          # machine-readable counters
 //	c3sim -w histogram -watchdog -1           # hang detection, default age
+//	c3sim -w histogram,barnes,vips -j 4       # several kernels in parallel
+//	c3sim -w all                              # the full kernel set
 //	c3sim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"c3"
+	"c3/internal/parallel"
 	"c3/internal/sim"
 	"c3/internal/trace"
 	"c3/internal/workload"
 )
 
 func main() {
-	w := flag.String("w", "", "workload name (see -list)")
+	w := flag.String("w", "", "workload name, comma-separated list, or \"all\" (see -list)")
 	list := flag.Bool("list", false, "list the 33 kernels")
 	global := flag.String("global", "cxl", "global protocol: cxl|hmesi")
 	local0 := flag.String("local0", "mesi", "cluster 0 protocol")
@@ -39,6 +44,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON to this file")
 	metrics := flag.String("metrics", "text", "metrics output format: text|json")
 	watchdog := flag.Int64("watchdog", 0, "hang watchdog age in ns (0 = off, -1 = default)")
+	workers := flag.Int("j", 0, "worker goroutines in multi-workload mode (0 = GOMAXPROCS)")
+	flag.IntVar(workers, "workers", 0, "alias for -j")
 	flag.Parse()
 
 	if *list {
@@ -76,6 +83,55 @@ func main() {
 	if *metrics != "text" && *metrics != "json" {
 		fmt.Fprintf(os.Stderr, "c3sim: -metrics %q (want text|json)\n", *metrics)
 		os.Exit(2)
+	}
+
+	names := strings.Split(*w, ",")
+	if *w == "all" {
+		names = c3.Workloads()
+	}
+	if len(names) > 1 {
+		// Multi-workload mode: fan the kernels across the pool. Tracing,
+		// hang watchdogs and JSON metrics are single-run diagnostics —
+		// their outputs would interleave — so reject the combination.
+		if *traceOut != "" || *watchdog != 0 || *metrics == "json" {
+			fmt.Fprintln(os.Stderr, "c3sim: -trace, -watchdog and -metrics json need a single workload")
+			os.Exit(2)
+		}
+		specs := make([]workload.Spec, len(names))
+		for i, n := range names {
+			spec, ok := workload.ByName(n)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "c3sim: unknown workload %q\n", n)
+				os.Exit(1)
+			}
+			specs[i] = spec
+		}
+		_, err := parallel.MapOrdered(context.Background(), *workers, len(specs),
+			func(i int) (stats, error) {
+				run, err := workload.Run(workload.RunConfig{
+					Spec:            specs[i],
+					Global:          *global,
+					Locals:          [2]string{*local0, *local1},
+					MCMs:            [2]c3.MCM{m0, m1},
+					CoresPerCluster: *cores,
+					OpsScale:        *scale,
+					Seed:            *seed,
+					Hybrid:          *hybrid,
+				})
+				if err != nil {
+					return stats{}, fmt.Errorf("%s: %w", specs[i].Name, err)
+				}
+				return stats{time: uint64(run.Time), ops: run.Miss.Ops, mpki: run.Miss.MPKI()}, nil
+			},
+			func(i int, s stats) {
+				fmt.Printf("%-16s %12d cycles  %10d ops  MPKI %5.1f\n",
+					names[i], s.time, s.ops, s.mpki)
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3sim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	spec, ok := workload.ByName(*w)
@@ -157,4 +213,11 @@ func main() {
 	fmt.Printf("\nmiss cycles by latency band and op type:\n%s", run.Miss.Render())
 	fmt.Println("\nmetrics:")
 	reg.RenderText(os.Stdout)
+}
+
+// stats is the compact per-run summary printed in multi-workload mode.
+type stats struct {
+	time uint64
+	ops  uint64
+	mpki float64
 }

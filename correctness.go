@@ -31,6 +31,9 @@ type LitmusConfig struct {
 	// trace to this file in Chrome trace-event format (open in
 	// ui.perfetto.dev).
 	TraceJSON string
+	// Workers shards iterations across goroutines (0 = GOMAXPROCS,
+	// 1 = serial); results are identical for every worker count.
+	Workers int
 }
 
 // LitmusResult summarizes a campaign.
@@ -71,7 +74,7 @@ func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
 	}
 	rcfg := litmus.RunnerConfig{
 		Locals: cfg.Locals, Global: cfg.Global, MCMs: [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
-		Iters: cfg.Iters, Sync: mode, BaseSeed: cfg.Seed,
+		Iters: cfg.Iters, Sync: mode, BaseSeed: cfg.Seed, Workers: cfg.Workers,
 	}
 	if cfg.Trace {
 		rcfg.TraceTo = os.Stdout
@@ -108,6 +111,9 @@ type VerifyConfig struct {
 	// explored space.
 	TinyLLC   bool
 	MaxStates uint64
+	// Workers parallelizes successor expansion (0 = GOMAXPROCS,
+	// 1 = serial); reports are identical for every worker count.
+	Workers int
 }
 
 // VerifyReport summarizes an exhaustive exploration.
@@ -140,7 +146,7 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 		MCMs:    [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
 		Sync:    litmus.SyncFull,
 		TinyLLC: cfg.TinyLLC,
-	}, verif.CheckerConfig{MaxStates: cfg.MaxStates})
+	}, verif.CheckerConfig{MaxStates: cfg.MaxStates, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package c3
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"c3/internal/cpu"
 	"c3/internal/litmus"
+	"c3/internal/parallel"
 	"c3/internal/stats"
 	"c3/internal/workload"
 )
@@ -22,7 +24,14 @@ type ExpOptions struct {
 	// OpsScale multiplies each kernel's op budget (default 1.0).
 	OpsScale float64
 	Seed     int64
-	// Progress, when non-nil, receives one line per completed run.
+	// Workers fans independent runs out across that many goroutines
+	// (0 = GOMAXPROCS, 1 = serial). Each run owns a private kernel and
+	// system and aggregation is job-ordered, so reports are
+	// byte-identical for every worker count.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run. It is
+	// called serially and in deterministic run order regardless of
+	// Workers, but possibly from a different goroutine than the caller's.
 	Progress func(string)
 }
 
@@ -73,7 +82,8 @@ func Fig9MCMCombos() []string { return []string{"ARM-ARM", "ARM-TSO", "TSO-TSO"}
 // Fig9ProtoCombos lists the figure's protocol configurations.
 func Fig9ProtoCombos() []string { return []string{"MESI-CXL-MESI", "MESI-CXL-MOESI"} }
 
-// Fig9 regenerates Figure 9.
+// Fig9 regenerates Figure 9, fanning the independent runs across
+// o.Workers goroutines.
 func Fig9(o ExpOptions) (*Fig9Report, error) {
 	o.fill()
 	mcms := map[string][2]MCM{
@@ -85,30 +95,53 @@ func Fig9(o ExpOptions) (*Fig9Report, error) {
 		"MESI-CXL-MESI":  {"mesi", "mesi"},
 		"MESI-CXL-MOESI": {"mesi", "moesi"},
 	}
-	rep := &Fig9Report{Norm: map[string]map[string]map[string]float64{}}
+	type job struct{ pc, mc, name, suite string }
+	var jobs []job
 	for _, pc := range Fig9ProtoCombos() {
-		series := map[string]map[string]*stats.Series{} // mcm -> suite -> series
 		for _, mc := range Fig9MCMCombos() {
-			series[mc] = map[string]*stats.Series{}
 			for _, name := range o.Workloads {
-				spec, _ := workload.ByName(name)
-				r, err := runOne(name, "cxl", protos[pc], mcms[mc], &o)
-				if err != nil {
-					return nil, err
+				spec, ok := workload.ByName(name)
+				if !ok {
+					return nil, fmt.Errorf("c3: unknown workload %q", name)
 				}
-				suite := string(spec.Suite)
-				if series[mc][suite] == nil {
-					series[mc][suite] = &stats.Series{}
-				}
-				series[mc][suite].Add(r)
-				o.progress("fig9 %s %s %s: %d cycles", pc, mc, name, r.Time)
+				jobs = append(jobs, job{pc, mc, name, string(spec.Suite)})
 			}
 		}
+	}
+	runs, err := parallel.MapOrdered(context.Background(), o.Workers, len(jobs),
+		func(i int) (stats.Run, error) {
+			j := jobs[i]
+			return runOne(j.name, "cxl", protos[j.pc], mcms[j.mc], &o)
+		},
+		func(i int, r stats.Run) {
+			j := jobs[i]
+			o.progress("fig9 %s %s %s: %d cycles", j.pc, j.mc, j.name, r.Time)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// series[pc][mc][suite], filled in job order.
+	series := map[string]map[string]map[string]*stats.Series{}
+	for i, j := range jobs {
+		if series[j.pc] == nil {
+			series[j.pc] = map[string]map[string]*stats.Series{}
+		}
+		if series[j.pc][j.mc] == nil {
+			series[j.pc][j.mc] = map[string]*stats.Series{}
+		}
+		if series[j.pc][j.mc][j.suite] == nil {
+			series[j.pc][j.mc][j.suite] = &stats.Series{}
+		}
+		series[j.pc][j.mc][j.suite].Add(runs[i])
+	}
+	rep := &Fig9Report{Norm: map[string]map[string]map[string]float64{}}
+	for _, pc := range Fig9ProtoCombos() {
 		rep.Norm[pc] = map[string]map[string]float64{}
 		for _, mc := range Fig9MCMCombos() {
 			rep.Norm[pc][mc] = map[string]float64{}
-			for suite, s := range series[mc] {
-				base := series["ARM-ARM"][suite].GeoMeanTime()
+			for suite, s := range series[pc][mc] {
+				base := series[pc]["ARM-ARM"][suite].GeoMeanTime()
 				rep.Norm[pc][mc][suite] = s.GeoMeanTime() / base
 			}
 		}
@@ -160,30 +193,56 @@ func Fig10Combos() []string {
 	return []string{"MESI-CXL-MESI", "MESI-CXL-MOESI", "MESI-CXL-MESIF"}
 }
 
-// Fig10 regenerates Figure 10.
-func Fig10(o ExpOptions) (*Fig10Report, error) {
-	o.fill()
-	combos := map[string]struct {
-		global string
-		locals [2]string
-	}{
+type protoConfig struct {
+	global string
+	locals [2]string
+}
+
+// fig10Combos returns the run configurations in deterministic order
+// (baseline first), so job lists, progress lines, and failure reports
+// never depend on map iteration.
+func fig10Combos() ([]string, map[string]protoConfig) {
+	order := []string{"MESI-MESI-MESI", "MESI-CXL-MESI", "MESI-CXL-MOESI", "MESI-CXL-MESIF"}
+	defs := map[string]protoConfig{
 		"MESI-MESI-MESI": {"hmesi", [2]string{"mesi", "mesi"}},
 		"MESI-CXL-MESI":  {"cxl", [2]string{"mesi", "mesi"}},
 		"MESI-CXL-MOESI": {"cxl", [2]string{"mesi", "moesi"}},
 		"MESI-CXL-MESIF": {"cxl", [2]string{"mesi", "mesif"}},
 	}
+	return order, defs
+}
+
+// Fig10 regenerates Figure 10, fanning the independent runs across
+// o.Workers goroutines.
+func Fig10(o ExpOptions) (*Fig10Report, error) {
+	o.fill()
+	order, defs := fig10Combos()
 	mcms := [2]MCM{ARM, ARM} // fixed MCM, per Sec. VI-C
-	times := map[string]map[string]float64{}
-	for combo, c := range combos {
-		times[combo] = map[string]float64{}
+	type job struct{ combo, name string }
+	var jobs []job
+	for _, combo := range order {
 		for _, name := range o.Workloads {
-			r, err := runOne(name, c.global, c.locals, mcms, &o)
-			if err != nil {
-				return nil, err
-			}
-			times[combo][name] = float64(r.Time)
-			o.progress("fig10 %s %s: %d cycles", combo, name, r.Time)
+			jobs = append(jobs, job{combo, name})
 		}
+	}
+	runs, err := parallel.MapOrdered(context.Background(), o.Workers, len(jobs),
+		func(i int) (stats.Run, error) {
+			j := jobs[i]
+			c := defs[j.combo]
+			return runOne(j.name, c.global, c.locals, mcms, &o)
+		},
+		func(i int, r stats.Run) {
+			o.progress("fig10 %s %s: %d cycles", jobs[i].combo, jobs[i].name, r.Time)
+		})
+	if err != nil {
+		return nil, err
+	}
+	times := map[string]map[string]float64{}
+	for i, j := range jobs {
+		if times[j.combo] == nil {
+			times[j.combo] = map[string]float64{}
+		}
+		times[j.combo][j.name] = float64(runs[i].Time)
 	}
 	rep := &Fig10Report{
 		Norm:  map[string]map[string]float64{},
@@ -261,30 +320,50 @@ func Fig11Workloads() []string {
 	return []string{"histogram", "barnes", "lu-ncont", "vips"}
 }
 
-// Fig11 regenerates Figure 11.
+// fig11Configs returns the comparison configurations in deterministic
+// order (baseline first).
+func fig11Configs() ([]string, map[string]protoConfig) {
+	order := []string{"MESI-MESI-MESI", "MESI-CXL-MESI"}
+	defs := map[string]protoConfig{
+		"MESI-MESI-MESI": {"hmesi", [2]string{"mesi", "mesi"}},
+		"MESI-CXL-MESI":  {"cxl", [2]string{"mesi", "mesi"}},
+	}
+	return order, defs
+}
+
+// Fig11 regenerates Figure 11, fanning the independent runs across
+// o.Workers goroutines.
 func Fig11(o ExpOptions) (*Fig11Report, error) {
 	o.fill()
 	if len(o.Workloads) == 33 {
 		o.Workloads = Fig11Workloads()
 	}
-	rep := &Fig11Report{Breakdown: map[string]map[string]stats.MissBreakdown{}}
-	configs := map[string]struct {
-		global string
-		locals [2]string
-	}{
-		"MESI-MESI-MESI": {"hmesi", [2]string{"mesi", "mesi"}},
-		"MESI-CXL-MESI":  {"cxl", [2]string{"mesi", "mesi"}},
-	}
+	order, defs := fig11Configs()
+	type job struct{ name, cfg string }
+	var jobs []job
 	for _, name := range o.Workloads {
-		rep.Breakdown[name] = map[string]stats.MissBreakdown{}
-		for cfg, c := range configs {
-			r, err := runOne(name, c.global, c.locals, [2]MCM{ARM, ARM}, &o)
-			if err != nil {
-				return nil, err
-			}
-			rep.Breakdown[name][cfg] = r.Miss
-			o.progress("fig11 %s %s: %d miss cycles", name, cfg, r.Miss.TotalMissCycles())
+		for _, cfg := range order {
+			jobs = append(jobs, job{name, cfg})
 		}
+	}
+	runs, err := parallel.MapOrdered(context.Background(), o.Workers, len(jobs),
+		func(i int) (stats.Run, error) {
+			j := jobs[i]
+			c := defs[j.cfg]
+			return runOne(j.name, c.global, c.locals, [2]MCM{ARM, ARM}, &o)
+		},
+		func(i int, r stats.Run) {
+			o.progress("fig11 %s %s: %d miss cycles", jobs[i].name, jobs[i].cfg, r.Miss.TotalMissCycles())
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig11Report{Breakdown: map[string]map[string]stats.MissBreakdown{}}
+	for i, j := range jobs {
+		if rep.Breakdown[j.name] == nil {
+			rep.Breakdown[j.name] = map[string]stats.MissBreakdown{}
+		}
+		rep.Breakdown[j.name][j.cfg] = runs[i].Miss
 	}
 	return rep, nil
 }
@@ -323,14 +402,31 @@ func (r *Fig11Report) Render() string {
 type TableIVReport struct {
 	// Pass[protoCombo][mcmCombo][test] records a clean campaign.
 	Pass map[string]map[string]map[string]bool
-	// Details carries forbidden-outcome diagnostics on failure.
+	// Details carries forbidden-outcome diagnostics on failure, in the
+	// fixed (protoCombo, mcmCombo, test) cell order.
 	Details []string
 	Iters   int
 }
 
-// TableIV regenerates the litmus matrix of Table IV. iters configures
-// executions per cell (the paper uses 100k; tests use less).
+// tableIVProtoOrder and tableIVMCMOrder fix the cell enumeration order so
+// reports and diagnostics never depend on map iteration.
+func tableIVProtoOrder() []string { return []string{"MESI-CXL-MESI", "MESI-CXL-MOESI"} }
+func tableIVMCMOrder() []string   { return []string{"Arm-Arm", "TSO-Arm", "TSO-TSO"} }
+
+// TableIV regenerates the litmus matrix of Table IV with the default
+// worker count (GOMAXPROCS). iters configures executions per cell (the
+// paper uses 100k; tests use less).
 func TableIV(iters int, seed int64) (*TableIVReport, error) {
+	return TableIVWorkers(iters, seed, 0)
+}
+
+// TableIVWorkers is TableIV with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). The 42 cells (7 tests x 2 protocol combos x
+// 3 MCM combos) are independent campaigns and fan out across the pool;
+// each cell runs its iterations serially (the cell fan-out already
+// saturates the workers), and results merge in fixed cell order, so the
+// report is byte-identical for every worker count.
+func TableIVWorkers(iters int, seed int64, workers int) (*TableIVReport, error) {
 	if iters <= 0 {
 		iters = 100
 	}
@@ -343,29 +439,46 @@ func TableIV(iters int, seed int64) (*TableIVReport, error) {
 		"TSO-Arm": {TSO, ARM},
 		"TSO-TSO": {TSO, TSO},
 	}
-	rep := &TableIVReport{Pass: map[string]map[string]map[string]bool{}, Iters: iters}
-	for pcName, locals := range protoCombos {
-		rep.Pass[pcName] = map[string]map[string]bool{}
-		for mcName, mcms := range mcmCombos {
-			rep.Pass[pcName][mcName] = map[string]bool{}
+	type cell struct{ pc, mc, test string }
+	var cells []cell
+	for _, pc := range tableIVProtoOrder() {
+		for _, mc := range tableIVMCMOrder() {
 			for _, test := range litmus.TableIVNames() {
-				tc, _ := litmus.ByName(test)
-				res, err := litmus.Run(tc, litmus.RunnerConfig{
-					Locals: locals, Global: "cxl",
-					MCMs:  [2]cpu.MCM{mcms[0], mcms[1]},
-					Iters: iters, Sync: litmus.SyncFull, BaseSeed: seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				ok := res.Forbidden == 0
-				rep.Pass[pcName][mcName][test] = ok
-				if !ok {
-					rep.Details = append(rep.Details, fmt.Sprintf(
-						"%s/%s/%s: %d forbidden (%s)", pcName, mcName, test,
-						res.Forbidden, res.ForbiddenExample))
-				}
+				cells = append(cells, cell{pc, mc, test})
 			}
+		}
+	}
+	results, err := parallel.Map(context.Background(), workers, len(cells),
+		func(i int) (*litmus.Result, error) {
+			c := cells[i]
+			locals := protoCombos[c.pc]
+			mcms := mcmCombos[c.mc]
+			tc, _ := litmus.ByName(c.test)
+			return litmus.Run(tc, litmus.RunnerConfig{
+				Locals: locals, Global: "cxl",
+				MCMs:  [2]cpu.MCM{mcms[0], mcms[1]},
+				Iters: iters, Sync: litmus.SyncFull, BaseSeed: seed,
+				Workers: 1,
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &TableIVReport{Pass: map[string]map[string]map[string]bool{}, Iters: iters}
+	for i, c := range cells {
+		if rep.Pass[c.pc] == nil {
+			rep.Pass[c.pc] = map[string]map[string]bool{}
+		}
+		if rep.Pass[c.pc][c.mc] == nil {
+			rep.Pass[c.pc][c.mc] = map[string]bool{}
+		}
+		res := results[i]
+		ok := res.Forbidden == 0
+		rep.Pass[c.pc][c.mc][c.test] = ok
+		if !ok {
+			rep.Details = append(rep.Details, fmt.Sprintf(
+				"%s/%s/%s: %d forbidden (%s)", c.pc, c.mc, c.test,
+				res.Forbidden, res.ForbiddenExample))
 		}
 	}
 	return rep, nil
@@ -377,8 +490,8 @@ func (r *TableIVReport) AllPass() bool { return len(r.Details) == 0 }
 // Render prints the matrix in the paper's layout.
 func (r *TableIVReport) Render() string {
 	var b strings.Builder
-	mcms := []string{"Arm-Arm", "TSO-Arm", "TSO-TSO"}
-	protos := []string{"MESI-CXL-MESI", "MESI-CXL-MOESI"}
+	mcms := tableIVMCMOrder()
+	protos := tableIVProtoOrder()
 	fmt.Fprintf(&b, "Table IV — litmus results (%d iterations per cell)\n", r.Iters)
 	fmt.Fprintf(&b, "%-10s", "Test")
 	for range protos {
@@ -426,41 +539,54 @@ type HybridReport struct {
 	Overhead map[string][2]float64
 }
 
-// Hybrid runs the extension experiment on a subset of kernels.
+// Hybrid runs the extension experiment on a subset of kernels, one
+// worker per kernel (each kernel needs its three runs — baseline,
+// all-remote, hybrid — for normalization, so the kernel is the natural
+// fan-out unit).
 func Hybrid(o ExpOptions) (*HybridReport, error) {
 	o.fill()
 	if len(o.Workloads) == 33 {
 		o.Workloads = []string{"histogram", "barnes", "vips", "canneal", "fft", "kmeans"}
 	}
+	overheads, err := parallel.MapOrdered(context.Background(), o.Workers, len(o.Workloads),
+		func(i int) ([2]float64, error) {
+			name := o.Workloads[i]
+			spec, ok := workload.ByName(name)
+			if !ok {
+				return [2]float64{}, fmt.Errorf("c3: unknown workload %q", name)
+			}
+			run := func(global string, hybrid bool) (float64, error) {
+				r, err := workload.Run(workload.RunConfig{
+					Spec: spec, Global: global, Locals: [2]string{"mesi", "mesi"},
+					MCMs:            [2]cpu.MCM{cpu.WMO, cpu.WMO},
+					CoresPerCluster: o.CoresPerCluster, OpsScale: o.OpsScale,
+					Seed: o.Seed, Hybrid: hybrid,
+				})
+				return float64(r.Time), err
+			}
+			baseR, err := run("hmesi", false)
+			if err != nil {
+				return [2]float64{}, err
+			}
+			cxlR, err := run("cxl", false)
+			if err != nil {
+				return [2]float64{}, err
+			}
+			cxlH, err := run("cxl", true)
+			if err != nil {
+				return [2]float64{}, err
+			}
+			return [2]float64{cxlR / baseR, cxlH / baseR}, nil
+		},
+		func(i int, v [2]float64) {
+			o.progress("hybrid %s: all-remote %.3f, hybrid %.3f", o.Workloads[i], v[0], v[1])
+		})
+	if err != nil {
+		return nil, err
+	}
 	rep := &HybridReport{Overhead: map[string][2]float64{}}
-	for _, name := range o.Workloads {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("c3: unknown workload %q", name)
-		}
-		run := func(global string, hybrid bool) (float64, error) {
-			r, err := workload.Run(workload.RunConfig{
-				Spec: spec, Global: global, Locals: [2]string{"mesi", "mesi"},
-				MCMs:            [2]cpu.MCM{cpu.WMO, cpu.WMO},
-				CoresPerCluster: o.CoresPerCluster, OpsScale: o.OpsScale,
-				Seed: o.Seed, Hybrid: hybrid,
-			})
-			return float64(r.Time), err
-		}
-		baseR, err := run("hmesi", false)
-		if err != nil {
-			return nil, err
-		}
-		cxlR, err := run("cxl", false)
-		if err != nil {
-			return nil, err
-		}
-		cxlH, err := run("cxl", true)
-		if err != nil {
-			return nil, err
-		}
-		rep.Overhead[name] = [2]float64{cxlR / baseR, cxlH / baseR}
-		o.progress("hybrid %s: all-remote %.3f, hybrid %.3f", name, cxlR/baseR, cxlH/baseR)
+	for i, name := range o.Workloads {
+		rep.Overhead[name] = overheads[i]
 	}
 	return rep, nil
 }

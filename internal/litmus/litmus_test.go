@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"reflect"
 	"testing"
 
 	"c3/internal/cpu"
@@ -123,6 +124,48 @@ func TestTableIVFast(t *testing.T) {
 							res.Forbidden, res.Iters, res.ForbiddenExample)
 					}
 				})
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial: a campaign must produce an identical
+// Result — outcome histogram, forbidden count, forbidden example — for
+// every worker count, because seeds and start offsets are derived per
+// iteration and shards merge in iteration order.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for _, name := range []string{"SB", "MP"} {
+		tc, _ := ByName(name)
+		cfg := RunnerConfig{
+			Locals: [2]string{"mesi", "moesi"}, Global: "cxl",
+			MCMs:  [2]cpu.MCM{cpu.WMO, cpu.TSO},
+			Iters: iters, Sync: SyncNone, BaseSeed: 4242,
+		}
+		serial := cfg
+		serial.Workers = 1
+		want, err := Run(tc, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 7, 8} {
+			par := cfg
+			par.Workers = workers
+			got, err := Run(tc, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+				t.Fatalf("%s workers=%d: outcome maps differ\nserial: %v\nparallel: %v",
+					name, workers, want.Outcomes, got.Outcomes)
+			}
+			if got.Forbidden != want.Forbidden || got.ForbiddenExample != want.ForbiddenExample {
+				t.Fatalf("%s workers=%d: forbidden %d/%q, serial %d/%q",
+					name, workers, got.Forbidden, got.ForbiddenExample,
+					want.Forbidden, want.ForbiddenExample)
 			}
 		}
 	}

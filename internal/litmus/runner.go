@@ -1,12 +1,14 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"c3/internal/cpu"
 	"c3/internal/msg"
+	"c3/internal/parallel"
 	"c3/internal/sim"
 	"c3/internal/system"
 	"c3/internal/trace"
@@ -29,6 +31,11 @@ type RunnerConfig struct {
 	// IssueJitter/DrainJitter override the cores' timing randomization
 	// (0 -> defaults of 1200/900 cycles).
 	IssueJitter, DrainJitter int
+	// Workers shards Iters across that many goroutines (0 = GOMAXPROCS,
+	// 1 = serial). Every iteration owns a private kernel and system, and
+	// all randomness is derived per iteration from BaseSeed, so a
+	// campaign's Result is byte-identical for every worker count.
+	Workers int
 	// TraceTo, when non-nil, receives the full coherence-message trace
 	// of the first iteration (one line per delivery).
 	TraceTo io.Writer
@@ -76,13 +83,93 @@ func toProgram(t Test, th Thread) []cpu.Instr {
 	return prog
 }
 
-// Run executes one litmus campaign.
+// Run executes one litmus campaign, sharding iterations across
+// cfg.Workers goroutines. Iteration seeds are BaseSeed + it*7919 exactly
+// as in a serial run, start offsets come from one shared stream drawn up
+// front in iteration order, and shard results merge in iteration order —
+// so the Result is identical for any worker count.
 func Run(t Test, cfg RunnerConfig) (*Result, error) {
 	if cfg.Iters <= 0 {
 		cfg.Iters = 100
 	}
 	res := &Result{Test: t.Name, Iters: cfg.Iters, Outcomes: make(map[string]int)}
+
+	// Staggered start offsets widen the interleaving space. They are
+	// drawn from a single BaseSeed-derived stream in iteration order
+	// (the stream a serial campaign consumes), then indexed per
+	// iteration by the shards.
+	nt := len(t.Threads)
 	rng := rand.New(rand.NewSource(cfg.BaseSeed ^ 0x5eed))
+	offsets := make([]sim.Time, cfg.Iters*nt)
+	for i := range offsets {
+		offsets[i] = sim.Time(rng.Intn(800))
+	}
+
+	workers := parallel.Workers(cfg.Workers)
+	if workers > cfg.Iters {
+		workers = cfg.Iters
+	}
+	type shard struct {
+		outcomes  map[string]int
+		forbidden int
+		example   string
+	}
+	// Contiguous shards: shard s owns [s*Iters/w, (s+1)*Iters/w), so
+	// iteration 0 — the only one that traces — always lands in shard 0,
+	// and the first shard reporting a forbidden outcome holds the first
+	// forbidden iteration overall.
+	shards, err := parallel.Map(context.Background(), workers, workers, func(s int) (shard, error) {
+		lo, hi := s*cfg.Iters/workers, (s+1)*cfg.Iters/workers
+		sr := shard{outcomes: make(map[string]int)}
+		for it := lo; it < hi; it++ {
+			o, err := runIteration(t, &cfg, it, offsets[it*nt:(it+1)*nt])
+			if err != nil {
+				return sr, err
+			}
+			key := o.String()
+			sr.outcomes[key]++
+			if t.Forbidden(o) {
+				sr.forbidden++
+				if sr.example == "" {
+					sr.example = key
+				}
+			}
+		}
+		return sr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sr := range shards {
+		for k, v := range sr.outcomes {
+			res.Outcomes[k] += v
+		}
+		res.Forbidden += sr.forbidden
+		if res.ForbiddenExample == "" && sr.example != "" {
+			res.ForbiddenExample = sr.example
+		}
+	}
+	return res, nil
+}
+
+// runIteration executes one randomized execution on a private system and
+// returns its outcome. starts carries the per-thread staggered start
+// offsets for this iteration.
+func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome, error) {
+	seed := cfg.BaseSeed + int64(it)*7919
+	mkCore := func(m cpu.MCM) cpu.Config {
+		cc := cpu.DefaultConfig(m)
+		// Jitter widens the explored interleavings (the role gem5's
+		// intrinsic timing variation plays for the paper's runs).
+		cc.IssueJitter, cc.DrainJitter, cc.Seed = 1200, 900, seed
+		if cfg.IssueJitter > 0 {
+			cc.IssueJitter = cfg.IssueJitter
+		}
+		if cfg.DrainJitter > 0 {
+			cc.DrainJitter = cfg.DrainJitter
+		}
+		return cc
+	}
 
 	perCluster := [2]int{0, 0}
 	for i := range t.Threads {
@@ -90,109 +177,87 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 	}
 	perCluster[0]++ // collector slot
 
-	for it := 0; it < cfg.Iters; it++ {
-		seed := cfg.BaseSeed + int64(it)*7919
-		mkCore := func(m cpu.MCM) cpu.Config {
-			cc := cpu.DefaultConfig(m)
-			// Jitter widens the explored interleavings (the role gem5's
-			// intrinsic timing variation plays for the paper's runs).
-			cc.IssueJitter, cc.DrainJitter, cc.Seed = 1200, 900, seed
-			if cfg.IssueJitter > 0 {
-				cc.IssueJitter = cfg.IssueJitter
-			}
-			if cfg.DrainJitter > 0 {
-				cc.DrainJitter = cfg.DrainJitter
-			}
-			return cc
-		}
-		var tr *trace.Tracer
-		if it == 0 {
-			tr = cfg.Tracer
-		}
-		sys, err := system.New(system.Config{
-			Global: cfg.Global,
-			Seed:   seed,
-			Tracer: tr,
-			Clusters: []system.ClusterConfig{
-				{Protocol: cfg.Locals[0], MCM: cfg.MCMs[0], Cores: perCluster[0], Core: mkCore(cfg.MCMs[0])},
-				{Protocol: cfg.Locals[1], MCM: cfg.MCMs[1], Cores: perCluster[1], Core: mkCore(cfg.MCMs[1])},
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		if cfg.TraceTo != nil && it == 0 {
-			w := cfg.TraceTo
-			sys.Net.Trace = func(m *msg.Msg, delivered bool) {
-				if delivered {
-					fmt.Fprintf(w, "%8d  %v\n", sys.K.Now(), m)
-				}
-			}
-		}
-
-		slot := [2]int{0, 0}
-		srcs := make([]*cpu.SliceSource, len(t.Threads))
-		cores := make([]*cpu.Core, len(t.Threads))
-		for i, th := range t.Threads {
-			eff := th
-			switch cfg.Sync {
-			case SyncFull:
-				eff = Refine(th, cfg.MCMs[clusterOf(i)])
-			case SyncNone:
-				eff = Strip(th)
-			}
-			srcs[i] = cpu.NewSliceSource(toProgram(t, eff))
-			cl := clusterOf(i)
-			cores[i] = sys.AttachSource(cl, slot[cl], srcs[i])
-			slot[cl]++
-		}
-		// Staggered starts widen the interleaving space.
-		for _, c := range cores {
-			c := c
-			sys.K.Schedule(sim.Time(rng.Intn(800)), func() { c.Start() })
-		}
-		limit := sys.K.Stepped + 3_000_000
-		for !allDone(cores) {
-			if sys.K.Stepped >= limit || !sys.K.Step() {
-				return nil, fmt.Errorf("litmus %s: iteration %d wedged", t.Name, it)
-			}
-		}
-
-		// Collector: read final variable values through the coherent
-		// system (cluster 0's spare core).
-		var colProg []cpu.Instr
-		colProg = append(colProg, cpu.Instr{Kind: cpu.Fence})
-		for vi, v := range t.Vars {
-			colProg = append(colProg, cpu.Instr{Kind: cpu.Load, Addr: varAddr(t.Vars, v), Reg: vi, Acq: vi == 0})
-		}
-		col := cpu.NewSliceSource(colProg)
-		cc := sys.AttachSource(0, perCluster[0]-1, col)
-		cc.Start()
-		limit = sys.K.Stepped + 1_000_000
-		for !cc.Finished() {
-			if sys.K.Stepped >= limit || !sys.K.Step() {
-				return nil, fmt.Errorf("litmus %s: collector wedged", t.Name)
-			}
-		}
-
-		o := Outcome{}
-		for i, src := range srcs {
-			for reg, val := range src.Regs {
-				o[Key(i, reg)] = val
-			}
-		}
-		for vi, v := range t.Vars {
-			o[string(v)] = col.Regs[vi]
-		}
-		res.Outcomes[o.String()]++
-		if t.Forbidden(o) {
-			res.Forbidden++
-			if res.ForbiddenExample == "" {
-				res.ForbiddenExample = o.String()
+	// Tracing is first-iteration-only and therefore confined to the
+	// shard that runs iteration 0.
+	var tr *trace.Tracer
+	if it == 0 {
+		tr = cfg.Tracer
+	}
+	sys, err := system.New(system.Config{
+		Global: cfg.Global,
+		Seed:   seed,
+		Tracer: tr,
+		Clusters: []system.ClusterConfig{
+			{Protocol: cfg.Locals[0], MCM: cfg.MCMs[0], Cores: perCluster[0], Core: mkCore(cfg.MCMs[0])},
+			{Protocol: cfg.Locals[1], MCM: cfg.MCMs[1], Cores: perCluster[1], Core: mkCore(cfg.MCMs[1])},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraceTo != nil && it == 0 {
+		w := cfg.TraceTo
+		sys.Net.Trace = func(m *msg.Msg, delivered bool) {
+			if delivered {
+				fmt.Fprintf(w, "%8d  %v\n", sys.K.Now(), m)
 			}
 		}
 	}
-	return res, nil
+
+	slot := [2]int{0, 0}
+	srcs := make([]*cpu.SliceSource, len(t.Threads))
+	cores := make([]*cpu.Core, len(t.Threads))
+	for i, th := range t.Threads {
+		eff := th
+		switch cfg.Sync {
+		case SyncFull:
+			eff = Refine(th, cfg.MCMs[clusterOf(i)])
+		case SyncNone:
+			eff = Strip(th)
+		}
+		srcs[i] = cpu.NewSliceSource(toProgram(t, eff))
+		cl := clusterOf(i)
+		cores[i] = sys.AttachSource(cl, slot[cl], srcs[i])
+		slot[cl]++
+	}
+	for i, c := range cores {
+		c := c
+		sys.K.Schedule(starts[i], func() { c.Start() })
+	}
+	limit := sys.K.Stepped + 3_000_000
+	for !allDone(cores) {
+		if sys.K.Stepped >= limit || !sys.K.Step() {
+			return nil, fmt.Errorf("litmus %s: iteration %d wedged", t.Name, it)
+		}
+	}
+
+	// Collector: read final variable values through the coherent
+	// system (cluster 0's spare core).
+	var colProg []cpu.Instr
+	colProg = append(colProg, cpu.Instr{Kind: cpu.Fence})
+	for vi, v := range t.Vars {
+		colProg = append(colProg, cpu.Instr{Kind: cpu.Load, Addr: varAddr(t.Vars, v), Reg: vi, Acq: vi == 0})
+	}
+	col := cpu.NewSliceSource(colProg)
+	cc := sys.AttachSource(0, perCluster[0]-1, col)
+	cc.Start()
+	limit = sys.K.Stepped + 1_000_000
+	for !cc.Finished() {
+		if sys.K.Stepped >= limit || !sys.K.Step() {
+			return nil, fmt.Errorf("litmus %s: collector wedged", t.Name)
+		}
+	}
+
+	o := Outcome{}
+	for i, src := range srcs {
+		for reg, val := range src.Regs {
+			o[Key(i, reg)] = val
+		}
+	}
+	for vi, v := range t.Vars {
+		o[string(v)] = col.Regs[vi]
+	}
+	return o, nil
 }
 
 func allDone(cores []*cpu.Core) bool {

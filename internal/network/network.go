@@ -111,17 +111,24 @@ type Network struct {
 	Tracer *trace.Tracer
 
 	Stats Stats
+
+	// deliverFn is the single long-lived delivery callback shared by
+	// every send (see Send): scheduling it through ScheduleArg keeps the
+	// hot path free of per-message closures.
+	deliverFn func(any)
 }
 
 // New returns an empty network on kernel k. Jitter on unordered links is
 // drawn from a generator seeded with seed, so runs are reproducible.
 func New(k *sim.Kernel, seed int64) *Network {
-	return &Network{
+	n := &Network{
 		k:      k,
 		rng:    rand.New(rand.NewSource(seed)),
 		ports:  make(map[msg.NodeID]Port),
 		routes: make(map[routeKey]*link),
 	}
+	n.deliverFn = n.deliver
+	return n
 }
 
 // Register attaches the receiver for node id.
@@ -161,8 +168,7 @@ func (n *Network) route(m *msg.Msg) *link {
 // Send queues m for delivery. The message must not be mutated afterwards.
 func (n *Network) Send(m *msg.Msg) {
 	l := n.route(m)
-	port := n.ports[m.Dst]
-	if port == nil {
+	if n.ports[m.Dst] == nil {
 		panic(fmt.Sprintf("network: no port for dst %d (%v)", m.Dst, m))
 	}
 	n.serial++
@@ -202,15 +208,25 @@ func (n *Network) Send(m *msg.Msg) {
 		l.pair.lastArrival = arrive
 	}
 
-	n.k.Schedule(arrive, func() {
-		if n.Trace != nil {
-			n.Trace(m, true)
-		}
-		if n.Tracer != nil {
-			n.Tracer.MsgDeliver(n.k.Now(), m)
-		}
-		port.Recv(m)
-	})
+	// Delivery is not terminal for the message itself — receivers queue
+	// *Msg behind busy lines (DCOH convoys, directory pipelining), so the
+	// Msg cannot be pooled here. What can be recycled is the scheduling
+	// bookkeeping: the kernel event comes from the kernel's freelist and
+	// the callback is the network's one shared deliverFn, so a send
+	// allocates nothing in steady state.
+	n.k.ScheduleArg(arrive, n.deliverFn, m)
+}
+
+// deliver completes one in-flight message (the ScheduleArg callback).
+func (n *Network) deliver(a any) {
+	m := a.(*msg.Msg)
+	if n.Trace != nil {
+		n.Trace(m, true)
+	}
+	if n.Tracer != nil {
+		n.Tracer.MsgDeliver(n.k.Now(), m)
+	}
+	n.ports[m.Dst].Recv(m)
 }
 
 // TotalMsgs reports messages sent across all virtual networks.

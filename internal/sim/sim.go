@@ -6,10 +6,15 @@
 // here: performance runs must be reproducible for the benchmark harness,
 // and the litmus runner perturbs timing only through explicit, seeded
 // jitter injected at the network layer (never through map iteration or
-// scheduling races).
+// scheduling races). Run-level parallelism (internal/parallel) gives each
+// concurrent run its own Kernel, so nothing here needs locks.
+//
+// The hot path is allocation-free in steady state: fired and cancelled
+// events are recycled through a per-kernel freelist, and the binary heap
+// is sifted directly on []*event (no container/heap interface boxing).
+// Components that schedule at high rate can avoid the per-call closure
+// too, via ScheduleArg (see internal/network's delivery path).
 package sim
-
-import "container/heap"
 
 // Time is a simulation timestamp in cycles of the global clock.
 // With the paper's 2 GHz cores, 1 cycle = 0.5 ns.
@@ -21,42 +26,114 @@ const CyclesPerNS = 2
 // NS returns the Time corresponding to n nanoseconds.
 func NS(n uint64) Time { return Time(n * CyclesPerNS) }
 
-// Event is a scheduled callback. Fn runs exactly once at When.
-type Event struct {
-	When Time
-	Fn   func()
+// event is a scheduled callback. Exactly one of fn/afn is set; afn runs
+// with arg (the closure-free variant used by hot senders). Events are
+// owned by the kernel and recycled after they fire or are cancelled; the
+// generation counter keeps stale Handles harmless.
+type event struct {
+	when Time
+	fn   func()
+	afn  func(any)
+	arg  any
 
 	seq   uint64 // tie-break so equal-time events run in schedule order
-	index int    // heap bookkeeping; -1 when not queued
+	gen   uint32 // bumped on recycle; Handles with an older gen are stale
+	index int32  // heap bookkeeping; -1 when not queued
 }
 
-type eventHeap []*Event
+// Handle identifies a scheduled event for Cancel. The zero Handle is
+// valid and cancels as a no-op, as does any Handle whose event already
+// fired, was cancelled, or was recycled for a later schedule.
+type Handle struct {
+	e   *event
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].When != h[j].When {
-		return h[i].When < h[j].When
+// Valid reports whether the handle was obtained from Schedule/After (it
+// does not imply the event is still pending).
+func (h Handle) Valid() bool { return h.e != nil }
+
+type eventHeap []*event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *eventHeap) push(e *event) {
+	e.index = int32(len(*h))
 	*h = append(*h, e)
+	h.up(len(*h) - 1)
 }
-func (h *eventHeap) Pop() any {
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+	e := old[0]
+	n := len(old) - 1
+	old.swap(0, n)
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+// remove deletes the event at heap position i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	e := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		(*h).down(i)
+		(*h).up(i)
+	}
+	e.index = -1
 }
 
 // Kernel is the event loop. The zero value is ready to use.
@@ -64,6 +141,7 @@ type Kernel struct {
 	now    Time
 	nextSq uint64
 	events eventHeap
+	free   []*event
 	// Stepped counts processed events; useful as a progress/limit guard.
 	Stepped uint64
 }
@@ -74,30 +152,71 @@ func (k *Kernel) Now() Time { return k.now }
 // Pending reports how many events are queued.
 func (k *Kernel) Pending() int { return len(k.events) }
 
-// Schedule queues fn to run at absolute time t. Scheduling in the past is
-// a programming error and panics (it would silently reorder causality).
-func (k *Kernel) Schedule(t Time, fn func()) *Event {
+// alloc takes an event from the freelist, or makes one.
+func (k *Kernel) alloc(t Time) *event {
 	if t < k.now {
 		panic("sim: scheduling event in the past")
 	}
-	e := &Event{When: t, Fn: fn, seq: k.nextSq}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.when = t
+	e.seq = k.nextSq
 	k.nextSq++
-	heap.Push(&k.events, e)
 	return e
 }
 
+// recycle returns a fired or cancelled event to the freelist. The
+// generation bump invalidates every outstanding Handle to it.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn, e.afn, e.arg = nil, nil, nil
+	k.free = append(k.free, e)
+}
+
+// Schedule queues fn to run at absolute time t. Scheduling in the past is
+// a programming error and panics (it would silently reorder causality).
+func (k *Kernel) Schedule(t Time, fn func()) Handle {
+	e := k.alloc(t)
+	e.fn = fn
+	k.events.push(e)
+	return Handle{e: e, gen: e.gen}
+}
+
+// ScheduleArg is Schedule without the per-call closure: fn is typically a
+// long-lived method value shared across many events, and arg carries the
+// per-event state (a pointer, so boxing it into any does not allocate).
+// The network delivery path uses it to stay allocation-free in steady
+// state.
+func (k *Kernel) ScheduleArg(t Time, fn func(any), arg any) Handle {
+	e := k.alloc(t)
+	e.afn = fn
+	e.arg = arg
+	k.events.push(e)
+	return Handle{e: e, gen: e.gen}
+}
+
 // After queues fn to run d cycles from now.
-func (k *Kernel) After(d Time, fn func()) *Event {
+func (k *Kernel) After(d Time, fn func()) Handle {
 	return k.Schedule(k.now+d, fn)
 }
 
-// Cancel removes a queued event. Cancelling an already-fired or cancelled
-// event is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.index < 0 || e.index >= len(k.events) || k.events[e.index] != e {
+// Cancel removes a queued event. Cancelling an already-fired, cancelled,
+// or zero handle is a no-op — the generation counter makes stale handles
+// safe even though the underlying event may have been recycled for an
+// unrelated schedule.
+func (k *Kernel) Cancel(h Handle) {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.index < 0 {
 		return
 	}
-	heap.Remove(&k.events, e.index)
+	k.events.remove(int(e.index))
+	k.recycle(e)
 }
 
 // Step runs the next event. It reports false when the queue is empty.
@@ -105,10 +224,18 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*Event)
-	k.now = e.When
+	e := k.events.popMin()
+	k.now = e.when
 	k.Stepped++
-	e.Fn()
+	fn, afn, arg := e.fn, e.afn, e.arg
+	// Recycle before running the callback so that events it schedules
+	// reuse this slot immediately (and its own Handle goes stale first).
+	k.recycle(e)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

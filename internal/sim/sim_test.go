@@ -130,7 +130,7 @@ func TestCancelHeadOfHeap(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	var k Kernel
 	var got []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, k.Schedule(Time(i+1), func() { got = append(got, i) }))
@@ -195,6 +195,72 @@ func TestRandomizedOrdering(t *testing.T) {
 func TestNS(t *testing.T) {
 	if NS(70) != 140 {
 		t.Fatalf("NS(70) = %d, want 140 cycles at 2 GHz", NS(70))
+	}
+}
+
+// TestStaleHandleAfterRecycle: once an event fires, its storage may be
+// recycled for a later schedule; cancelling through the stale handle must
+// not disturb the new event (the generation counter's whole job).
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	var k Kernel
+	firedA, firedB := false, false
+	hA := k.Schedule(10, func() { firedA = true })
+	if !k.Step() {
+		t.Fatal("Step should fire A")
+	}
+	// B reuses A's freelisted event struct.
+	hB := k.Schedule(20, func() { firedB = true })
+	k.Cancel(hA) // stale: must be a no-op
+	k.Run(nil)
+	if !firedA || !firedB {
+		t.Fatalf("firedA=%v firedB=%v, want both (stale cancel hit B?)", firedA, firedB)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", k.Pending())
+	}
+	_ = hB
+}
+
+// TestStaleHandleAfterCancelReuse: same as above but the slot is freed by
+// Cancel rather than by firing.
+func TestStaleHandleAfterCancelReuse(t *testing.T) {
+	var k Kernel
+	hA := k.Schedule(10, func() {})
+	k.Cancel(hA)
+	firedB := false
+	k.Schedule(20, func() { firedB = true })
+	k.Cancel(hA) // stale again
+	k.Run(nil)
+	if !firedB {
+		t.Fatal("stale double-cancel killed the reused event")
+	}
+}
+
+func TestCancelZeroHandle(t *testing.T) {
+	var k Kernel
+	k.Cancel(Handle{}) // must not panic
+	if (Handle{}).Valid() {
+		t.Fatal("zero Handle should not be Valid")
+	}
+	h := k.Schedule(1, func() {})
+	if !h.Valid() {
+		t.Fatal("scheduled Handle should be Valid")
+	}
+	k.Run(nil)
+}
+
+func TestScheduleArg(t *testing.T) {
+	var k Kernel
+	var got []int
+	fn := func(a any) { got = append(got, *a.(*int)) }
+	vals := []int{3, 1, 2}
+	k.ScheduleArg(30, fn, &vals[0])
+	k.ScheduleArg(10, fn, &vals[1])
+	h := k.ScheduleArg(20, fn, &vals[2])
+	k.Cancel(h)
+	k.Run(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
 	}
 }
 

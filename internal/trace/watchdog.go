@@ -61,7 +61,8 @@ type Watchdog struct {
 
 	ring  *RingSink
 	open  map[mem.LineAddr]*atxn
-	timer *sim.Event
+	timer sim.Handle
+	armed bool
 	fired bool
 	rep   string
 
@@ -143,23 +144,25 @@ func (w *Watchdog) observe(ev Event) {
 
 // arm schedules the hang check if it is not already pending.
 func (w *Watchdog) arm() {
-	if w.timer != nil || w.fired {
+	if w.armed || w.fired {
 		return
 	}
 	w.timer = w.k.After(w.MaxAge+1, w.check)
+	w.armed = true
 }
 
 func (w *Watchdog) disarm() {
-	if w.timer != nil {
+	if w.armed {
 		w.k.Cancel(w.timer)
-		w.timer = nil
+		w.timer = sim.Handle{}
+		w.armed = false
 	}
 }
 
 // check fires the report for any silent open line, or re-arms for the
 // least recently active one.
 func (w *Watchdog) check() {
-	w.timer = nil
+	w.armed = false
 	if w.fired || len(w.open) == 0 {
 		return
 	}
@@ -177,6 +180,7 @@ func (w *Watchdog) check() {
 		}
 	}
 	w.timer = w.k.Schedule(stalest+w.MaxAge+1, w.check)
+	w.armed = true
 }
 
 // fire builds and delivers the hang report.

@@ -1,9 +1,11 @@
 package verif
 
 import (
+	"context"
 	"fmt"
 
 	"c3/internal/mem"
+	"c3/internal/parallel"
 )
 
 // Report summarizes one exhaustive exploration.
@@ -19,6 +21,13 @@ type Report struct {
 type CheckerConfig struct {
 	MaxStates uint64 // 0 -> 200k
 	MaxDepth  int    // 0 -> 400
+	// Workers parallelizes successor expansion (0 = GOMAXPROCS, 1 =
+	// serial). Each successor is reconstructed by replaying its delivery
+	// prefix on a private model, so branches are independent; hashes and
+	// invariant results merge in canonical action order, keeping the
+	// visit order — and therefore the Report — identical to a serial
+	// exploration.
+	Workers int
 }
 
 // Check exhaustively explores cfg's state space and verifies all
@@ -88,20 +97,39 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		if len(path) >= ccfg.MaxDepth {
 			return rep, fmt.Errorf("verif: depth bound %d exceeded (livelock?)", ccfg.MaxDepth)
 		}
-		for ai := range acts {
-			m, err := replay(path)
-			if err != nil {
-				return rep, err
-			}
-			m.Step(m.Fabric.Enabled()[ai])
-			h := m.Hash()
-			if visited[h] {
+		// Expand all successors in parallel: each branch replays the
+		// prefix on its own model (independent by construction), then
+		// hashes and invariant-checks the resulting state. The merge
+		// below runs serially in canonical action order, so visited-set
+		// updates, state counts, truncation, and the frontier are
+		// byte-identical to a serial exploration. Invariants are pure
+		// functions of the state, so checking them eagerly here (even
+		// for states the merge will skip as already visited) changes
+		// nothing observable.
+		type successor struct {
+			hash   uint64
+			invErr error
+		}
+		kids, err := parallel.Map(context.Background(), ccfg.Workers, len(acts),
+			func(ai int) (successor, error) {
+				m, err := replay(path)
+				if err != nil {
+					return successor{}, err
+				}
+				m.Step(m.Fabric.Enabled()[ai])
+				return successor{hash: m.Hash(), invErr: m.checkInvariants()}, nil
+			})
+		if err != nil {
+			return rep, err
+		}
+		for ai, kid := range kids {
+			if visited[kid.hash] {
 				continue
 			}
-			visited[h] = true
+			visited[kid.hash] = true
 			rep.States++
-			if err := m.checkInvariants(); err != nil {
-				return rep, fmt.Errorf("%w (depth %d)", err, len(path)+1)
+			if kid.invErr != nil {
+				return rep, fmt.Errorf("%w (depth %d)", kid.invErr, len(path)+1)
 			}
 			if rep.States >= ccfg.MaxStates {
 				rep.Truncated = true

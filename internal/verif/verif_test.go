@@ -43,6 +43,43 @@ func byName(t *testing.T, name string) litmus.Test {
 	return tc
 }
 
+// TestCheckParallelMatchesSerial: the exploration report must be
+// identical for every worker count — the parallel expansion merges
+// successors in canonical action order, so visit order is preserved.
+func TestCheckParallelMatchesSerial(t *testing.T) {
+	mcfg := ModelConfig{
+		Test:   mp(t),
+		Locals: [2]string{"mesi", "mesi"},
+		Global: "cxl",
+		MCMs:   [2]cpu.MCM{cpu.WMO, cpu.WMO},
+		Sync:   litmus.SyncFull,
+	}
+	budget := uint64(20_000)
+	if testing.Short() {
+		budget = 4_000
+	}
+	want, err := Check(mcfg, CheckerConfig{MaxStates: budget, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Check(mcfg, CheckerConfig{MaxStates: budget, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.States != want.States || got.Terminals != want.Terminals ||
+			got.Truncated != want.Truncated || got.MaxDepth != want.MaxDepth ||
+			len(got.Outcomes) != len(want.Outcomes) {
+			t.Fatalf("workers=%d: report %+v, serial %+v", workers, got, want)
+		}
+		for o := range want.Outcomes {
+			if !got.Outcomes[o] {
+				t.Fatalf("workers=%d: outcome %q missing", workers, o)
+			}
+		}
+	}
+}
+
 // TestCheckShapesCXL exhaustively verifies the Table IV shapes on the
 // CXL global protocol with both homogeneous and mixed MCMs.
 func TestCheckShapesCXL(t *testing.T) {

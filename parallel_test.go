@@ -1,0 +1,99 @@
+package c3_test
+
+// Parallel == serial equivalence at the experiment level: the worker
+// pool must never change a report, only how fast it arrives. These run
+// the same experiments at Workers 1 and Workers 8 and require the
+// reports — including their rendered text — to be identical.
+
+import (
+	"reflect"
+	"testing"
+
+	"c3"
+)
+
+func TestFig10ParallelMatchesSerial(t *testing.T) {
+	opts := c3.ExpOptions{
+		Workloads:       []string{"histogram", "vips", "fft", "kmeans"},
+		CoresPerCluster: 2,
+		OpsScale:        0.1,
+		Seed:            7,
+	}
+	serial := opts
+	serial.Workers = 1
+	want, err := c3.Fig10(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opts
+	par.Workers = 8
+	got, err := c3.Fig10(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel Fig10 diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Render() != want.Render() {
+		t.Fatalf("parallel Fig10 render diverged:\n%s\nvs\n%s", got.Render(), want.Render())
+	}
+}
+
+func TestTableIVParallelMatchesSerial(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	want, err := c3.TableIVWorkers(iters, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c3.TableIVWorkers(iters, 99, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel TableIV diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Render() != want.Render() {
+		t.Fatalf("parallel TableIV render diverged:\n%s\nvs\n%s", got.Render(), want.Render())
+	}
+}
+
+// TestFig9UnknownWorkload: a bad workload name must surface as an error,
+// not be silently skipped.
+func TestFig9UnknownWorkload(t *testing.T) {
+	_, err := c3.Fig9(c3.ExpOptions{
+		Workloads:       []string{"histogram", "no-such-kernel"},
+		CoresPerCluster: 2,
+		OpsScale:        0.1,
+	})
+	if err == nil {
+		t.Fatal("Fig9 accepted an unknown workload")
+	}
+}
+
+// TestExpProgressDeterministic: progress lines arrive in run order for
+// any worker count.
+func TestExpProgressDeterministic(t *testing.T) {
+	collect := func(workers int) []string {
+		var lines []string
+		_, err := c3.Fig10(c3.ExpOptions{
+			Workloads:       []string{"histogram", "vips"},
+			CoresPerCluster: 2,
+			OpsScale:        0.1,
+			Seed:            7,
+			Workers:         workers,
+			Progress:        func(s string) { lines = append(lines, s) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+	want := collect(1)
+	got := collect(8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("progress diverged:\n got %v\nwant %v", got, want)
+	}
+}
