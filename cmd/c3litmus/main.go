@@ -33,6 +33,7 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write the first iteration's protocol trace to this file (Chrome/Perfetto JSON)")
 	workers := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
+	faults := flag.String("faults", "", "fault plan: preset name (light|noisy|stall|blackout) or drop=..,dup=.. spec")
 	flag.Parse()
 
 	if *list {
@@ -78,10 +79,14 @@ func main() {
 		Trace:     *trace,
 		TraceJSON: *traceJSON,
 		Workers:   *workers,
+		Faults:    *faults,
 	})
 	fail(err)
 	fmt.Printf("%s: %d iterations, %d distinct outcomes, %d forbidden\n",
 		res.Test, res.Iters, res.Distinct, res.Forbidden)
+	if *faults != "" {
+		fmt.Printf("faults: %d poisoned, %d hangs\n", res.Poisoned, res.Hangs)
+	}
 	if res.Forbidden > 0 {
 		fmt.Printf("example forbidden outcome: %s\n", res.ForbiddenExample)
 		if !*unsynced {

@@ -46,6 +46,7 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "hang watchdog age in ns (0 = off, -1 = default)")
 	workers := flag.Int("j", 0, "worker goroutines in multi-workload mode (0 = GOMAXPROCS)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
+	faultSpec := flag.String("faults", "", "fault plan: preset name (light|noisy|stall|blackout) or drop=..,dup=.. spec")
 	flag.Parse()
 
 	if *list {
@@ -84,6 +85,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c3sim: -metrics %q (want text|json)\n", *metrics)
 		os.Exit(2)
 	}
+	var plan *c3.FaultPlan
+	if *faultSpec != "" {
+		p, err := c3.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3sim: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		plan = &p
+	}
 
 	names := strings.Split(*w, ",")
 	if *w == "all" {
@@ -117,6 +127,7 @@ func main() {
 					OpsScale:        *scale,
 					Seed:            *seed,
 					Hybrid:          *hybrid,
+					Faults:          plan,
 				})
 				if err != nil {
 					return stats{}, fmt.Errorf("%s: %w", specs[i].Name, err)
@@ -150,6 +161,7 @@ func main() {
 		Seed:            *seed,
 		Hybrid:          *hybrid,
 		MissHist:        trace.NewLatencyHist(nil),
+		Faults:          plan,
 	}
 
 	var chrome *trace.ChromeSink
@@ -211,6 +223,11 @@ func main() {
 		run.Name, run.Config, run.Time, float64(run.Time)/2000.0)
 	fmt.Printf("ops       %d (MPKI %.1f)\n", run.Miss.Ops, run.Miss.MPKI())
 	fmt.Printf("\nmiss cycles by latency band and op type:\n%s", run.Miss.Render())
+	if plan != nil {
+		if lines := sys.PoisonedLines(); len(lines) > 0 {
+			fmt.Printf("\nWARNING: %d line(s) completed poisoned under fault injection\n", len(lines))
+		}
+	}
 	fmt.Println("\nmetrics:")
 	reg.RenderText(os.Stdout)
 }

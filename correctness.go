@@ -34,6 +34,11 @@ type LitmusConfig struct {
 	// Workers shards iterations across goroutines (0 = GOMAXPROCS,
 	// 1 = serial); results are identical for every worker count.
 	Workers int
+	// Faults arms the cross-cluster fault injector from a plan spec —
+	// either a named preset ("light", "noisy", "stall", "blackout") or a
+	// "drop=0.01,dup=0.01,stall=100:200,retries=8" string (see
+	// ParseFaultPlan). Empty = perfect fabric.
+	Faults string
 }
 
 // LitmusResult summarizes a campaign.
@@ -43,6 +48,13 @@ type LitmusResult struct {
 	Distinct         int
 	Forbidden        int
 	ForbiddenExample string
+	// Poisoned counts iterations that completed with a poisoned line
+	// (link-retry budget exhausted under fault injection); they are
+	// detected degradation, not forbidden outcomes.
+	Poisoned int
+	// Hangs counts watchdog firings under fault injection, by class.
+	Hangs       int
+	HangClasses map[string]int
 	// Outcomes histograms every observed outcome.
 	Outcomes map[string]int
 }
@@ -76,6 +88,14 @@ func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
 		Locals: cfg.Locals, Global: cfg.Global, MCMs: [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
 		Iters: cfg.Iters, Sync: mode, BaseSeed: cfg.Seed, Workers: cfg.Workers,
 	}
+	if cfg.Faults != "" {
+		plan, err := ParseFaultPlan(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		rcfg.Faults = &plan
+		rcfg.HangWatch = true
+	}
 	if cfg.Trace {
 		rcfg.TraceTo = os.Stdout
 	}
@@ -98,6 +118,7 @@ func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
 	return &LitmusResult{
 		Test: res.Test, Iters: res.Iters, Distinct: res.Distinct(),
 		Forbidden: res.Forbidden, ForbiddenExample: res.ForbiddenExample,
+		Poisoned: res.Poisoned, Hangs: res.Hangs, HangClasses: res.HangClasses,
 		Outcomes: res.Outcomes,
 	}, nil
 }

@@ -1,0 +1,384 @@
+// Package faults models an unreliable CXL fabric: a seeded, deterministic
+// fault plan that the network consults on every cross-cluster link
+// traversal. Real CXL links are not the lossless channel the paper's
+// evaluation assumes — the link layer retries on CRC error, stalls on
+// credit exhaustion, and poisons data on uncorrectable failure — and the
+// C3 ordering assumptions (FIFO completions, the BIConflict handshake)
+// are exactly what such faults stress.
+//
+// A Plan describes what goes wrong (drop / duplication / delay-spike
+// probabilities, link-down stall windows, per-link overrides); an
+// Injector turns the plan into per-link deterministic decisions. Each
+// directed (src, dst, vnet) link owns an independent PCG stream seeded
+// from (Plan.Seed, link key), so one link's traffic never perturbs
+// another's fault schedule and a run is reproducible for any event
+// interleaving that keeps per-link send order (which the single-threaded
+// kernel guarantees).
+//
+// Recovery from these faults — sequence numbers, ack/timeout retry, dedup
+// and poison-on-exhaustion — lives in internal/network's reliable
+// delivery shim; this package only decides fates and keeps the books.
+package faults
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// Window is a half-open simulated-time interval [From, To) during which a
+// link delivers nothing (the model of a link-down / credit-exhaustion
+// stall: every flit in the window is lost and must be retried).
+type Window struct {
+	From, To sim.Time
+}
+
+func (w Window) contains(t sim.Time) bool { return t >= w.From && t < w.To }
+
+// Rates is one set of fault probabilities. All probabilities are
+// per-traversal (a retransmission rolls again).
+type Rates struct {
+	// Drop is the probability a message is lost in flight.
+	Drop float64
+	// Dup is the probability a message is delivered twice (the second
+	// copy one flit later — the shape a replayed link-layer flit takes).
+	Dup float64
+	// Delay is the probability of an extra latency spike, drawn
+	// uniformly from [1, DelayMax] cycles (DelayMax 0 -> 100).
+	Delay float64
+	// DelayMax bounds the delay spike.
+	DelayMax sim.Time
+	// Stalls lists link-down windows; inside one, every traversal drops.
+	Stalls []Window
+}
+
+func (r Rates) active() bool {
+	return r.Drop > 0 || r.Dup > 0 || r.Delay > 0 || len(r.Stalls) > 0
+}
+
+// LinkRates overrides the plan's default rates for one directed link
+// family. msg.None wildcards an endpoint.
+type LinkRates struct {
+	Src, Dst msg.NodeID
+	Rates
+}
+
+// Plan is one deterministic fault schedule.
+type Plan struct {
+	// Seed roots every per-link PCG stream.
+	Seed uint64
+	// Rates apply to every faulty (cross-cluster) link unless overridden.
+	Rates
+	// PerLink overrides rates for specific directed links (first match
+	// wins; msg.None wildcards).
+	PerLink []LinkRates
+	// MaxRetries caps the reliable shim's retransmissions before a
+	// message poisons its line (0 -> DefaultMaxRetries).
+	MaxRetries int
+}
+
+// DefaultMaxRetries is the retry cap before poison (8 retransmissions
+// with doubling backoff spans ~25k cycles on a Table III cross link —
+// far beyond any transient, so exhaustion means the link is dead).
+const DefaultMaxRetries = 8
+
+// DefaultDelayMax is the delay-spike bound when a plan leaves it zero.
+const DefaultDelayMax = sim.Time(100)
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	if p.Rates.active() {
+		return true
+	}
+	for _, l := range p.PerLink {
+		if l.Rates.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// Retries returns the effective retry cap.
+func (p *Plan) Retries() int {
+	if p == nil || p.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// String renders the plan compactly ("drop=0.01,dup=0.01,stall=0:60000"),
+// in ParsePlan's syntax; deterministic, for report keys.
+func (p *Plan) String() string {
+	if p == nil {
+		return "none"
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("drop", p.Drop)
+	add("dup", p.Dup)
+	add("delay", p.Delay)
+	if p.DelayMax > 0 {
+		parts = append(parts, fmt.Sprintf("delaymax=%d", p.DelayMax))
+	}
+	for _, w := range p.Stalls {
+		parts = append(parts, fmt.Sprintf("stall=%d:%d", w.From, w.To))
+	}
+	if p.MaxRetries > 0 {
+		parts = append(parts, fmt.Sprintf("retries=%d", p.MaxRetries))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the command-line plan syntax: comma-separated k=v
+// pairs among drop, dup, delay (probabilities in [0,1]), delaymax
+// (cycles), stall=from:to (repeatable), retries, seed. "none" or ""
+// yields a zero plan (Enabled() == false).
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("faults: %q: want key=value", field)
+		}
+		switch k {
+		case "drop", "dup", "delay":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("faults: %s=%q: want probability in [0,1]", k, v)
+			}
+			switch k {
+			case "drop":
+				p.Drop = f
+			case "dup":
+				p.Dup = f
+			case "delay":
+				p.Delay = f
+			}
+		case "delaymax":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("faults: delaymax=%q: want cycles", v)
+			}
+			p.DelayMax = sim.Time(n)
+		case "stall":
+			from, to, ok := strings.Cut(v, ":")
+			if !ok {
+				return p, fmt.Errorf("faults: stall=%q: want from:to", v)
+			}
+			f, err1 := strconv.ParseUint(from, 10, 64)
+			t, err2 := strconv.ParseUint(to, 10, 64)
+			if err1 != nil || err2 != nil || t <= f {
+				return p, fmt.Errorf("faults: stall=%q: want from:to with to > from", v)
+			}
+			p.Stalls = append(p.Stalls, Window{sim.Time(f), sim.Time(t)})
+		case "retries":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return p, fmt.Errorf("faults: retries=%q: want positive count", v)
+			}
+			p.MaxRetries = n
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("faults: seed=%q: want uint64", v)
+			}
+			p.Seed = n
+		default:
+			return p, fmt.Errorf("faults: unknown key %q (want drop|dup|delay|delaymax|stall|retries|seed)", k)
+		}
+	}
+	return p, nil
+}
+
+// Fate is the injector's verdict on one link traversal.
+type Fate struct {
+	// Drop loses the message (the sender's retry shim recovers it).
+	Drop bool
+	// Dup delivers a second copy (the receiver's dedup suppresses it).
+	Dup bool
+	// Delay adds this many cycles of extra latency.
+	Delay sim.Time
+}
+
+// Stats counts injected faults and the recovery work they caused. The
+// injector owns the fault counters; the network's reliable shim
+// increments the recovery ones (Retries, Poisoned, Acks, AckDrops).
+type Stats struct {
+	Decisions  uint64 // traversals consulted
+	Drops      uint64 // messages lost to the rate
+	Dups       uint64 // duplicate deliveries injected
+	Delays     uint64 // delay spikes injected
+	StallDrops uint64 // messages lost to stall windows
+	Retries    uint64 // retransmissions performed by the shim
+	Poisoned   uint64 // messages that exhausted retries
+	Acks       uint64 // shim acks delivered
+	AckDrops   uint64 // shim acks lost to the plan
+}
+
+type linkKey struct {
+	src, dst msg.NodeID
+	vnet     msg.VNet
+}
+
+type linkState struct {
+	rng   *rand.Rand
+	rates Rates
+}
+
+// Injector evaluates a Plan, one deterministic stream per directed link.
+type Injector struct {
+	plan  Plan
+	links map[linkKey]*linkState
+
+	Stats Stats
+
+	poisoned map[mem.LineAddr]struct{}
+}
+
+// NewInjector compiles a plan.
+func NewInjector(p Plan) *Injector {
+	if p.DelayMax == 0 {
+		p.DelayMax = DefaultDelayMax
+	}
+	return &Injector{
+		plan:     p,
+		links:    make(map[linkKey]*linkState),
+		poisoned: make(map[mem.LineAddr]struct{}),
+	}
+}
+
+// Plan returns the compiled plan.
+func (in *Injector) Plan() *Plan { return &in.plan }
+
+// MaxRetries returns the shim's retry cap under this plan.
+func (in *Injector) MaxRetries() int { return in.plan.Retries() }
+
+// splitmix64 finalizes a link key into an independent PCG stream id.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (in *Injector) link(k linkKey) *linkState {
+	if ls := in.links[k]; ls != nil {
+		return ls
+	}
+	rates := in.plan.Rates
+	for _, o := range in.plan.PerLink {
+		if (o.Src == msg.None || o.Src == k.src) && (o.Dst == msg.None || o.Dst == k.dst) {
+			rates = o.Rates
+			break
+		}
+	}
+	if rates.DelayMax == 0 {
+		rates.DelayMax = in.plan.DelayMax
+	}
+	stream := splitmix64(uint64(int64(k.src))<<24 ^ uint64(int64(k.dst))<<8 ^ uint64(k.vnet))
+	ls := &linkState{
+		rng:   rand.New(rand.NewPCG(in.plan.Seed, stream)),
+		rates: rates,
+	}
+	in.links[k] = ls
+	return ls
+}
+
+// roll draws one fate from a link's stream without touching counters.
+func (ls *linkState) roll(now sim.Time) (f Fate, stalled bool) {
+	for _, w := range ls.rates.Stalls {
+		if w.contains(now) {
+			return Fate{Drop: true}, true
+		}
+	}
+	if ls.rates.Drop > 0 && ls.rng.Float64() < ls.rates.Drop {
+		return Fate{Drop: true}, false
+	}
+	if ls.rates.Dup > 0 && ls.rng.Float64() < ls.rates.Dup {
+		f.Dup = true
+	}
+	if ls.rates.Delay > 0 && ls.rng.Float64() < ls.rates.Delay {
+		f.Delay = 1 + sim.Time(ls.rng.Uint64N(uint64(ls.rates.DelayMax)))
+	}
+	return f, false
+}
+
+// Decide rolls the fate of one message traversal of the directed link
+// (src, dst, vnet) departing at time now.
+func (in *Injector) Decide(src, dst msg.NodeID, vnet msg.VNet, now sim.Time) Fate {
+	in.Stats.Decisions++
+	f, stalled := in.link(linkKey{src, dst, vnet}).roll(now)
+	switch {
+	case stalled:
+		in.Stats.StallDrops++
+	case f.Drop:
+		in.Stats.Drops++
+	default:
+		if f.Dup {
+			in.Stats.Dups++
+		}
+		if f.Delay > 0 {
+			in.Stats.Delays++
+		}
+	}
+	return f
+}
+
+// DecideAck rolls the fate of a shim ack on the reverse link. Acks ride
+// the same per-link stream as payload traffic; only drop and delay apply
+// (a duplicated ack is harmless and not modelled).
+func (in *Injector) DecideAck(src, dst msg.NodeID, vnet msg.VNet, now sim.Time) Fate {
+	f, _ := in.link(linkKey{src, dst, vnet}).roll(now)
+	if f.Drop {
+		in.Stats.AckDrops++
+	} else {
+		in.Stats.Acks++
+	}
+	f.Dup = false
+	return f
+}
+
+// RecordPoison marks a line as carrying poisoned data.
+func (in *Injector) RecordPoison(a mem.LineAddr) {
+	in.Stats.Poisoned++
+	in.poisoned[a] = struct{}{}
+}
+
+// PoisonedLines returns the poisoned lines, sorted.
+func (in *Injector) PoisonedLines() []mem.LineAddr {
+	out := make([]mem.LineAddr, 0, len(in.poisoned))
+	for a := range in.poisoned {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Poisoned reports whether line a carries poisoned data.
+func (in *Injector) Poisoned(a mem.LineAddr) bool {
+	_, ok := in.poisoned[a]
+	return ok
+}

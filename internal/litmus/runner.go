@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"c3/internal/cpu"
+	"c3/internal/faults"
 	"c3/internal/msg"
 	"c3/internal/parallel"
 	"c3/internal/sim"
@@ -43,16 +44,37 @@ type RunnerConfig struct {
 	// event stream (structured counterpart of TraceTo; feed it a
 	// ChromeSink to open the iteration in Perfetto).
 	Tracer *trace.Tracer
+	// Faults, when non-nil and enabled, runs every iteration on an
+	// unreliable cross-cluster fabric under this plan. The plan seed is
+	// re-derived per iteration (like fabric jitter), so campaigns remain
+	// byte-identical for any worker count.
+	Faults *faults.Plan
+	// HangWatch arms a hang watchdog on every iteration (not just the
+	// traced one); firings are classified and counted in Result.Hangs /
+	// Result.HangClasses instead of panicking.
+	HangWatch bool
 }
 
 // Result aggregates a campaign.
 type Result struct {
-	Test      string
-	Iters     int
-	Outcomes  map[string]int
+	Test     string
+	Iters    int
+	Outcomes map[string]int
+	// Forbidden counts forbidden outcomes among clean (non-poisoned)
+	// iterations — the silent coherence violations. An iteration that
+	// reported a poisoned line is tallied under Poisoned instead: its
+	// data is flagged untrustworthy, which is the detected-degradation
+	// contract, not a silent wrong value.
 	Forbidden int
 	// ForbiddenExample is one offending outcome, for diagnostics.
 	ForbiddenExample string
+	// Poisoned counts iterations that completed with at least one
+	// poisoned line (retry exhaustion on the faulty fabric).
+	Poisoned int
+	// Hangs counts watchdog firings across iterations (HangWatch mode);
+	// HangClasses histograms their classifications.
+	Hangs       int
+	HangClasses map[string]int
 }
 
 // Distinct reports how many distinct outcomes appeared.
@@ -92,7 +114,8 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 	if cfg.Iters <= 0 {
 		cfg.Iters = 100
 	}
-	res := &Result{Test: t.Name, Iters: cfg.Iters, Outcomes: make(map[string]int)}
+	res := &Result{Test: t.Name, Iters: cfg.Iters, Outcomes: make(map[string]int),
+		HangClasses: make(map[string]int)}
 
 	// Staggered start offsets widen the interleaving space. They are
 	// drawn from a single BaseSeed-derived stream in iteration order
@@ -110,9 +133,12 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 		workers = cfg.Iters
 	}
 	type shard struct {
-		outcomes  map[string]int
-		forbidden int
-		example   string
+		outcomes    map[string]int
+		forbidden   int
+		example     string
+		poisoned    int
+		hangs       int
+		hangClasses map[string]int
 	}
 	// Contiguous shards: shard s owns [s*Iters/w, (s+1)*Iters/w), so
 	// iteration 0 — the only one that traces — always lands in shard 0,
@@ -120,15 +146,22 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 	// forbidden iteration overall.
 	shards, err := parallel.Map(context.Background(), workers, workers, func(s int) (shard, error) {
 		lo, hi := s*cfg.Iters/workers, (s+1)*cfg.Iters/workers
-		sr := shard{outcomes: make(map[string]int)}
+		sr := shard{outcomes: make(map[string]int), hangClasses: make(map[string]int)}
 		for it := lo; it < hi; it++ {
-			o, err := runIteration(t, &cfg, it, offsets[it*nt:(it+1)*nt])
+			o, info, err := runIteration(t, &cfg, it, offsets[it*nt:(it+1)*nt])
 			if err != nil {
 				return sr, err
 			}
 			key := o.String()
 			sr.outcomes[key]++
-			if t.Forbidden(o) {
+			if info.poisoned {
+				sr.poisoned++
+			}
+			if info.hangClass != "" {
+				sr.hangs++
+				sr.hangClasses[info.hangClass]++
+			}
+			if t.Forbidden(o) && !info.poisoned {
 				sr.forbidden++
 				if sr.example == "" {
 					sr.example = key
@@ -148,14 +181,28 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 		if res.ForbiddenExample == "" && sr.example != "" {
 			res.ForbiddenExample = sr.example
 		}
+		res.Poisoned += sr.poisoned
+		res.Hangs += sr.hangs
+		for k, v := range sr.hangClasses {
+			res.HangClasses[k] += v
+		}
 	}
 	return res, nil
+}
+
+// iterInfo carries an iteration's robustness observations alongside its
+// outcome.
+type iterInfo struct {
+	// poisoned: the iteration completed with >= 1 poisoned line.
+	poisoned bool
+	// hangClass is the watchdog's classification if it fired ("" if not).
+	hangClass string
 }
 
 // runIteration executes one randomized execution on a private system and
 // returns its outcome. starts carries the per-thread staggered start
 // offsets for this iteration.
-func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome, error) {
+func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome, iterInfo, error) {
 	seed := cfg.BaseSeed + int64(it)*7919
 	mkCore := func(m cpu.MCM) cpu.Config {
 		cc := cpu.DefaultConfig(m)
@@ -178,22 +225,48 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 	perCluster[0]++ // collector slot
 
 	// Tracing is first-iteration-only and therefore confined to the
-	// shard that runs iteration 0.
+	// shard that runs iteration 0. HangWatch mode additionally arms a
+	// sink-less tracer on every other iteration, purely to feed the
+	// watchdog's transaction table.
 	var tr *trace.Tracer
 	if it == 0 {
 		tr = cfg.Tracer
 	}
+	var wdAge sim.Time
+	if cfg.HangWatch {
+		if tr == nil {
+			tr = trace.New()
+		}
+		wdAge = trace.DefaultHangAge
+	}
+	// The fault plan's seed is re-derived per iteration, exactly like
+	// fabric jitter, so the fault schedule varies across iterations yet
+	// stays identical for any worker count.
+	var fplan *faults.Plan
+	if cfg.Faults.Enabled() {
+		p := *cfg.Faults
+		p.Seed ^= uint64(seed) * 0x9e3779b97f4a7c15
+		fplan = &p
+	}
 	sys, err := system.New(system.Config{
-		Global: cfg.Global,
-		Seed:   seed,
-		Tracer: tr,
+		Global:      cfg.Global,
+		Seed:        seed,
+		Tracer:      tr,
+		WatchdogAge: wdAge,
+		Faults:      fplan,
 		Clusters: []system.ClusterConfig{
 			{Protocol: cfg.Locals[0], MCM: cfg.MCMs[0], Cores: perCluster[0], Core: mkCore(cfg.MCMs[0])},
 			{Protocol: cfg.Locals[1], MCM: cfg.MCMs[1], Cores: perCluster[1], Core: mkCore(cfg.MCMs[1])},
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, iterInfo{}, err
+	}
+	var info iterInfo
+	if tr != nil {
+		if dog := tr.Watchdog(); dog != nil {
+			dog.OnHangReport = func(r trace.HangReport) { info.hangClass = r.Class }
+		}
 	}
 	if cfg.TraceTo != nil && it == 0 {
 		w := cfg.TraceTo
@@ -227,7 +300,7 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 	limit := sys.K.Stepped + 3_000_000
 	for !allDone(cores) {
 		if sys.K.Stepped >= limit || !sys.K.Step() {
-			return nil, fmt.Errorf("litmus %s: iteration %d wedged", t.Name, it)
+			return nil, info, fmt.Errorf("litmus %s: iteration %d wedged", t.Name, it)
 		}
 	}
 
@@ -244,7 +317,7 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 	limit = sys.K.Stepped + 1_000_000
 	for !cc.Finished() {
 		if sys.K.Stepped >= limit || !sys.K.Step() {
-			return nil, fmt.Errorf("litmus %s: collector wedged", t.Name)
+			return nil, info, fmt.Errorf("litmus %s: collector wedged", t.Name)
 		}
 	}
 
@@ -257,7 +330,8 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 	for vi, v := range t.Vars {
 		o[string(v)] = col.Regs[vi]
 	}
-	return o, nil
+	info.poisoned = len(sys.PoisonedLines()) > 0
+	return o, info, nil
 }
 
 func allDone(cores []*cpu.Core) bool {

@@ -1,0 +1,239 @@
+package litmus
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"c3/internal/cpu"
+	"c3/internal/faults"
+	"c3/internal/parallel"
+)
+
+// NamedPlan pairs a fault plan with a stable display name for reports.
+type NamedPlan struct {
+	Name string
+	Plan faults.Plan
+}
+
+// DefaultPlans is the standard soak sweep: from light line noise up to a
+// full link blackout window. The blackout window (100% drop for the
+// first 60k cycles) outlives the shim's entire retry budget on a
+// Table III cross link (~25k cycles), so early transactions must poison;
+// traffic after the window recovers normally.
+func DefaultPlans() []NamedPlan {
+	return []NamedPlan{
+		{Name: "light", Plan: faults.Plan{Rates: faults.Rates{Drop: 0.01, Dup: 0.01}}},
+		{Name: "noisy", Plan: faults.Plan{Rates: faults.Rates{Drop: 0.05, Dup: 0.05, Delay: 0.10, DelayMax: 200}}},
+		{Name: "stall", Plan: faults.Plan{Rates: faults.Rates{Drop: 0.02, Stalls: []faults.Window{{From: 2000, To: 12000}}}}},
+		{Name: "blackout", Plan: faults.Plan{Rates: faults.Rates{Stalls: []faults.Window{{From: 0, To: 60_000}}}}},
+	}
+}
+
+// PlanByName finds one of the default plans.
+func PlanByName(name string) (NamedPlan, bool) {
+	for _, p := range DefaultPlans() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return NamedPlan{}, false
+}
+
+// SoakConfig describes one soak campaign: the cross product of litmus
+// tests x fault plans x base seeds, each run as a full (synced) campaign
+// on the unreliable fabric with per-iteration hang watchdogs armed.
+type SoakConfig struct {
+	// Tests to run (default: the Table IV set).
+	Tests []string
+	// Plans to sweep (default: DefaultPlans).
+	Plans []NamedPlan
+	// Seeds are the campaign base seeds (default: {1}).
+	Seeds []int64
+	// Iters per campaign (default 25; soak cost is Tests x Plans x
+	// Seeds x Iters full system runs).
+	Iters int
+	// Locals / Global / MCMs mirror RunnerConfig (defaults mesi/mesi,
+	// cxl, weak/weak).
+	Locals [2]string
+	Global string
+	MCMs   [2]cpu.MCM
+	// Workers fans campaigns across goroutines (0 = GOMAXPROCS,
+	// 1 = serial). Reports are byte-identical for every worker count.
+	Workers int
+}
+
+// SoakRun is one campaign's row in the report.
+type SoakRun struct {
+	Test string
+	Plan string
+	Seed int64
+
+	Iters     int
+	Distinct  int
+	Forbidden int // silent coherence violations among clean iterations
+	Poisoned  int // iterations degraded to a detected poisoned line
+	Hangs     int // watchdog firings (classified, not fatal)
+	Classes   string
+	Err       string // campaign abort (wedge or captured panic)
+}
+
+// ok reports whether the run upheld the robustness contract: it finished
+// and every iteration either passed coherence checks or flagged its
+// degradation — no silent wrong value, no panic.
+func (r *SoakRun) ok() bool { return r.Err == "" && r.Forbidden == 0 }
+
+// SoakReport aggregates a soak campaign.
+type SoakReport struct {
+	Runs []SoakRun
+}
+
+// OK reports whether every run upheld the contract.
+func (r *SoakReport) OK() bool {
+	for i := range r.Runs {
+		if !r.Runs[i].ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// Render produces the deterministic report table.
+func (r *SoakReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %6s %7s %9s %9s %9s %6s  %s\n",
+		"test", "plan", "seed", "iters", "distinct", "forbidden", "poisoned", "hangs", "status")
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		status := "ok"
+		switch {
+		case run.Err != "":
+			status = "ERROR: " + run.Err
+		case run.Forbidden > 0:
+			status = "FORBIDDEN"
+		case run.Poisoned > 0:
+			status = "degraded"
+		}
+		if run.Classes != "" {
+			status += " [" + run.Classes + "]"
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %6d %7d %9d %9d %9d %6d  %s\n",
+			run.Test, run.Plan, run.Seed, run.Iters, run.Distinct,
+			run.Forbidden, run.Poisoned, run.Hangs, status)
+	}
+	if r.OK() {
+		b.WriteString("SOAK PASS: every run passed coherence checks or reported detected degradation\n")
+	} else {
+		b.WriteString("SOAK FAIL: silent coherence violation or aborted campaign above\n")
+	}
+	return b.String()
+}
+
+// classesString renders a hang-class histogram deterministically.
+func classesString(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// RunSoak executes the soak sweep. Campaign-level failures (wedges,
+// captured panics) become report rows, never process crashes; the
+// returned error is reserved for configuration mistakes (unknown test
+// names).
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	if len(cfg.Tests) == 0 {
+		cfg.Tests = TableIVNames()
+	}
+	if len(cfg.Plans) == 0 {
+		cfg.Plans = DefaultPlans()
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []int64{1}
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 25
+	}
+	if cfg.Locals[0] == "" {
+		cfg.Locals = [2]string{"mesi", "mesi"}
+	}
+	if cfg.Global == "" {
+		cfg.Global = "cxl"
+	}
+
+	type campaign struct {
+		test Test
+		plan NamedPlan
+		seed int64
+	}
+	var jobs []campaign
+	for _, name := range cfg.Tests {
+		t, ok := ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("soak: unknown litmus test %q", name)
+		}
+		for _, p := range cfg.Plans {
+			for _, s := range cfg.Seeds {
+				jobs = append(jobs, campaign{test: t, plan: p, seed: s})
+			}
+		}
+	}
+
+	// Parallelism lives at the campaign level; each campaign runs its
+	// iterations serially (Workers: 1) so the worker budget is not
+	// oversubscribed and every row is independent of scheduling.
+	runs, err := parallel.Map(context.Background(), parallel.Workers(cfg.Workers), len(jobs),
+		func(i int) (SoakRun, error) {
+			job := jobs[i]
+			row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
+			plan := job.plan.Plan
+			res, err := runSoakCampaign(job.test, RunnerConfig{
+				Locals:    cfg.Locals,
+				Global:    cfg.Global,
+				MCMs:      cfg.MCMs,
+				Iters:     cfg.Iters,
+				Sync:      SyncFull,
+				BaseSeed:  job.seed,
+				Workers:   1,
+				Faults:    &plan,
+				HangWatch: true,
+			})
+			if err != nil {
+				row.Err = err.Error()
+				return row, nil
+			}
+			row.Iters = res.Iters
+			row.Distinct = res.Distinct()
+			row.Forbidden = res.Forbidden
+			row.Poisoned = res.Poisoned
+			row.Hangs = res.Hangs
+			row.Classes = classesString(res.HangClasses)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &SoakReport{Runs: runs}, nil
+}
+
+// runSoakCampaign shields a campaign behind a recover so one poisoned
+// code path can never take down the whole sweep: a panic becomes that
+// row's error, which Render reports and OK() fails.
+func runSoakCampaign(t Test, cfg RunnerConfig) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return Run(t, cfg)
+}

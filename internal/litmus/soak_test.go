@@ -1,0 +1,162 @@
+package litmus
+
+import (
+	"testing"
+
+	"c3/internal/faults"
+)
+
+// TestFaultRecoveryConverges is the headline acceptance scenario: with
+// >= 1% drop + duplication on the cross-cluster links, the full Table IV
+// suite must still pass — the retry shim absorbs every fault, no
+// forbidden outcome, no poison, no wedge.
+func TestFaultRecoveryConverges(t *testing.T) {
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	plan := faults.Plan{Rates: faults.Rates{Drop: 0.01, Dup: 0.01}}
+	for _, name := range TableIVNames() {
+		tc, _ := ByName(name)
+		t.Run(name, func(t *testing.T) {
+			p := plan
+			res, err := Run(tc, RunnerConfig{
+				Locals: [2]string{"mesi", "mesi"}, Global: "cxl",
+				Iters: iters, Sync: SyncFull, BaseSeed: 7,
+				Faults: &p, HangWatch: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Forbidden != 0 {
+				t.Fatalf("forbidden outcome under 1%% faults (%d/%d): %s",
+					res.Forbidden, res.Iters, res.ForbiddenExample)
+			}
+			if res.Poisoned != 0 {
+				t.Fatalf("%d iterations poisoned under a recoverable plan", res.Poisoned)
+			}
+		})
+	}
+}
+
+// TestPerMessageClassFaults drops, duplicates and delays each message
+// class in isolation (via per-link rates targeting the hub direction) on
+// a 2-host litmus run and requires convergence.
+func TestPerMessageClassFaults(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 6
+	}
+	tc, _ := ByName("MP")
+	cases := []struct {
+		name  string
+		rates faults.Rates
+	}{
+		{"drop", faults.Rates{Drop: 0.05}},
+		{"dup", faults.Rates{Dup: 0.1}},
+		{"delay", faults.Rates{Delay: 0.2, DelayMax: 400}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := faults.Plan{Rates: c.rates}
+			res, err := Run(tc, RunnerConfig{
+				Locals: [2]string{"mesi", "mesi"}, Global: "cxl",
+				Iters: iters, Sync: SyncFull, BaseSeed: 11,
+				Faults: &p, HangWatch: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Forbidden != 0 || res.Poisoned != 0 {
+				t.Fatalf("forbidden=%d poisoned=%d under %s faults",
+					res.Forbidden, res.Poisoned, c.name)
+			}
+		})
+	}
+}
+
+// TestBlackoutPoisons is the degradation acceptance scenario: a 100%-drop
+// stall window longer than the whole retry budget must produce poisoned
+// iterations — detected, reported, never a silent wrong value or a hang.
+func TestBlackoutPoisons(t *testing.T) {
+	tc, _ := ByName("MP")
+	p, ok := PlanByName("blackout")
+	if !ok {
+		t.Fatal("blackout preset missing")
+	}
+	plan := p.Plan
+	res, err := Run(tc, RunnerConfig{
+		Locals: [2]string{"mesi", "mesi"}, Global: "cxl",
+		Iters: 5, Sync: SyncFull, BaseSeed: 3,
+		Faults: &plan, HangWatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Poisoned == 0 {
+		t.Fatal("blackout produced no poisoned iterations")
+	}
+	if res.Forbidden != 0 {
+		t.Fatalf("blackout produced a silent forbidden outcome: %s", res.ForbiddenExample)
+	}
+	if res.Hangs == 0 || res.HangClasses["link-retry"] == 0 {
+		t.Fatalf("blackout hangs unclassified: hangs=%d classes=%v", res.Hangs, res.HangClasses)
+	}
+}
+
+// TestSoakReportIdenticalForAnyWorkerCount: the c3soak contract — the
+// rendered report is byte-identical for every -j. Run under -race in CI.
+func TestSoakReportIdenticalForAnyWorkerCount(t *testing.T) {
+	iters := 6
+	if testing.Short() {
+		iters = 3
+	}
+	cfg := SoakConfig{
+		Tests: []string{"MP", "SB"},
+		Plans: []NamedPlan{
+			{Name: "light", Plan: faults.Plan{Rates: faults.Rates{Drop: 0.01, Dup: 0.01}}},
+			{Name: "blackout", Plan: faults.Plan{Rates: faults.Rates{Stalls: []faults.Window{{From: 0, To: 60_000}}}}},
+		},
+		Seeds: []int64{1, 2},
+		Iters: iters,
+	}
+	var base string
+	for _, workers := range []int{1, 2, 7} {
+		cfg.Workers = workers
+		rep, err := RunSoak(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := rep.Render()
+		if base == "" {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Fatalf("workers=%d report differs:\n--- serial ---\n%s--- j=%d ---\n%s",
+				workers, base, workers, got)
+		}
+	}
+	// The sweep includes blackout rows, so the verdict must be "degraded
+	// but detected", and OK() must still hold.
+	rep, _ := RunSoak(cfg)
+	if !rep.OK() {
+		t.Fatalf("soak contract failed:\n%s", rep.Render())
+	}
+	foundDegraded := false
+	for _, r := range rep.Runs {
+		if r.Plan == "blackout" && r.Poisoned > 0 {
+			foundDegraded = true
+		}
+	}
+	if !foundDegraded {
+		t.Fatalf("blackout rows show no detected degradation:\n%s", rep.Render())
+	}
+}
+
+// TestSoakUnknownTest: configuration mistakes are errors, not report rows.
+func TestSoakUnknownTest(t *testing.T) {
+	if _, err := RunSoak(SoakConfig{Tests: []string{"nope"}, Iters: 1}); err == nil {
+		t.Fatal("unknown test accepted")
+	}
+}

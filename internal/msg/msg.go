@@ -195,6 +195,17 @@ type Msg struct {
 
 	// Serial is a unique id assigned at send time, for tracing.
 	Serial uint64
+
+	// Seq is the link-layer sequence number stamped by the network's
+	// reliable-delivery shim on faulty cross-cluster links (0 when the
+	// link is perfect). Receivers dedup and reorder by it; it is not
+	// protocol-visible.
+	Seq uint64
+	// Poisoned marks data delivered by forced completion after the shim
+	// exhausted its retries — the CXL poison analogue: the transaction
+	// completes rather than hangs, but the payload is untrustworthy and
+	// the line is recorded in the injector's poison set.
+	Poisoned bool
 }
 
 // WithData returns a copy of d suitable for attaching to a message.
@@ -224,6 +235,9 @@ func (m *Msg) String() string {
 	}
 	if m.Acks != 0 {
 		s += fmt.Sprintf(" acks=%d", m.Acks)
+	}
+	if m.Poisoned {
+		s += " POISONED"
 	}
 	return s
 }

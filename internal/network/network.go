@@ -12,12 +12,23 @@
 // BIConflict/BIConflictAck handshake meaningful — while request and snoop
 // networks on the global fabric may reorder via seeded random jitter,
 // modelling CXL's switched, unordered message delivery.
+//
+// The fabric is perfect by default. EnableFaults arms a deterministic
+// fault injector (internal/faults) on the cross-cluster links and layers
+// a reliable-delivery shim (reliable.go) over them: sequence numbers,
+// ack/timeout retransmission with capped exponential backoff, receiver
+// dedup/reorder, and poison-on-retry-exhaustion. The no-fault hot path
+// stays allocation-free: every fault hook is a nil check on fields that
+// are only populated when a plan is armed (pinned by
+// BenchmarkNetworkSend and the CI alloc gate).
 package network
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
+	"sort"
 
+	"c3/internal/faults"
 	"c3/internal/msg"
 	"c3/internal/sim"
 	"c3/internal/trace"
@@ -53,6 +64,9 @@ type LinkConfig struct {
 	// never be overtaken by a later snoop; the CXL fabric must not (the
 	// Fig. 2 races require snoops to reorder with completions).
 	CrossVNetOrder bool
+	// Cross marks the link as part of the cross-cluster CXL fabric: the
+	// tier the fault injector targets and the reliable shim protects.
+	Cross bool
 }
 
 // IntraCluster returns the Table III point-to-point link configuration.
@@ -65,7 +79,7 @@ func IntraCluster() LinkConfig {
 // round-trip CXL memory access. Jitter models fabric reordering.
 func CrossCluster() LinkConfig {
 	return LinkConfig{Latency: sim.NS(70), FlitBytes: 256, RouterCycles: 1,
-		Unordered: true, JitterMax: 24}
+		Unordered: true, JitterMax: 24, Cross: true}
 }
 
 type routeKey struct {
@@ -78,13 +92,21 @@ type pairOrder struct {
 }
 
 type link struct {
+	key           routeKey
 	cfg           LinkConfig
 	lastDeparture sim.Time
 	lastArrival   sim.Time
 	ordered       bool
+	// jitter, when non-nil, is this link's private reordering stream
+	// (unordered links only). Per-link streams keep one link's traffic
+	// from perturbing another's schedule and survive link additions.
+	jitter *rand.Rand
 	// pair, when non-nil, carries the shared arrival horizon for
 	// cross-vnet-ordered links.
 	pair *pairOrder
+	// rel, when non-nil, is the reliable-delivery shim state: armed on
+	// Cross links once EnableFaults has installed an injector.
+	rel *relState
 }
 
 // Stats aggregates traffic counters.
@@ -96,10 +118,15 @@ type Stats struct {
 // Network is the timed fabric.
 type Network struct {
 	k      *sim.Kernel
-	rng    *rand.Rand
+	seed   int64
 	ports  map[msg.NodeID]Port
 	routes map[routeKey]*link
 	serial uint64
+
+	// inj, when non-nil, is the armed fault injector (EnableFaults).
+	// Every fault-path branch guards on it, so a perfect fabric pays one
+	// predictable nil check per send and per delivery.
+	inj *faults.Injector
 
 	// Trace, when non-nil, observes every message at send (false) and
 	// delivery (true). Retained for lightweight ad-hoc hooks (the litmus
@@ -119,17 +146,37 @@ type Network struct {
 }
 
 // New returns an empty network on kernel k. Jitter on unordered links is
-// drawn from a generator seeded with seed, so runs are reproducible.
+// drawn from per-link generators derived from seed, so runs are
+// reproducible and links are independent.
 func New(k *sim.Kernel, seed int64) *Network {
 	n := &Network{
 		k:      k,
-		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
 		ports:  make(map[msg.NodeID]Port),
 		routes: make(map[routeKey]*link),
 	}
 	n.deliverFn = n.deliver
 	return n
 }
+
+// EnableFaults arms the fault injector for plan p and attaches the
+// reliable-delivery shim to every Cross link (already-connected and
+// future ones). A plan with no active rates is a no-op: the fabric stays
+// perfect and the hot path keeps its nil checks.
+func (n *Network) EnableFaults(p faults.Plan) {
+	if !p.Enabled() {
+		return
+	}
+	n.inj = faults.NewInjector(p)
+	for _, l := range n.routes {
+		if l.cfg.Cross && l.rel == nil {
+			l.rel = newRelState()
+		}
+	}
+}
+
+// Injector returns the armed fault injector, or nil on a perfect fabric.
+func (n *Network) Injector() *faults.Injector { return n.inj }
 
 // Register attaches the receiver for node id.
 func (n *Network) Register(id msg.NodeID, p Port) {
@@ -139,8 +186,20 @@ func (n *Network) Register(id msg.NodeID, p Port) {
 	n.ports[id] = p
 }
 
+// linkStream derives the per-link RNG stream id (splitmix64 finalizer,
+// so adjacent node ids land in unrelated streams).
+func linkStream(k routeKey) uint64 {
+	x := uint64(int64(k.src))<<24 ^ uint64(int64(k.dst))<<8 ^ uint64(k.vnet)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Connect creates the three virtual-network links in both directions
 // between a and b. VRsp is always ordered; VReq/VSnp follow cfg.Unordered.
+// Connecting the same pair twice is a wiring bug and panics (mirroring
+// Register), rather than silently resetting the links' FIFO horizons.
 func (n *Network) Connect(a, b msg.NodeID, cfg LinkConfig) {
 	for _, p := range [2][2]msg.NodeID{{a, b}, {b, a}} {
 		var shared *pairOrder
@@ -148,13 +207,47 @@ func (n *Network) Connect(a, b msg.NodeID, cfg LinkConfig) {
 			shared = &pairOrder{}
 		}
 		for v := msg.VNet(0); v < msg.NumVNets; v++ {
-			n.routes[routeKey{p[0], p[1], v}] = &link{
+			key := routeKey{p[0], p[1], v}
+			if _, dup := n.routes[key]; dup {
+				panic(fmt.Sprintf("network: duplicate link %d->%d", p[0], p[1]))
+			}
+			l := &link{
+				key:     key,
 				cfg:     cfg,
 				ordered: !cfg.Unordered || v == msg.VRsp,
 				pair:    shared,
 			}
+			if !l.ordered && cfg.JitterMax > 0 {
+				l.jitter = rand.New(rand.NewPCG(uint64(n.seed), linkStream(key)))
+			}
+			if n.inj != nil && cfg.Cross {
+				l.rel = newRelState()
+			}
+			n.routes[key] = l
 		}
 	}
+}
+
+// Validate checks that every connected link endpoint has a registered
+// port. system.New calls it after wiring, so a misconfigured topology
+// fails at build time with a list of the unregistered nodes instead of
+// panicking mid-run in Send.
+func (n *Network) Validate() error {
+	seen := make(map[msg.NodeID]bool)
+	var missing []msg.NodeID
+	for k := range n.routes {
+		for _, id := range [2]msg.NodeID{k.src, k.dst} {
+			if n.ports[id] == nil && !seen[id] {
+				seen[id] = true
+				missing = append(missing, id)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return fmt.Errorf("network: links reference unregistered ports %v", missing)
 }
 
 func (n *Network) route(m *msg.Msg) *link {
@@ -165,12 +258,12 @@ func (n *Network) route(m *msg.Msg) *link {
 	return l
 }
 
-// Send queues m for delivery. The message must not be mutated afterwards.
+// Send queues m for delivery. The message must not be mutated afterwards
+// by the sender (the network itself stamps shim metadata on faulty
+// links). Port registration is checked by Validate at build time, not
+// here on the hot path.
 func (n *Network) Send(m *msg.Msg) {
 	l := n.route(m)
-	if n.ports[m.Dst] == nil {
-		panic(fmt.Sprintf("network: no port for dst %d (%v)", m.Dst, m))
-	}
 	n.serial++
 	m.Serial = n.serial
 	n.Stats.Msgs[m.VNet]++
@@ -181,7 +274,18 @@ func (n *Network) Send(m *msg.Msg) {
 	if n.Tracer != nil {
 		n.Tracer.MsgSend(n.k.Now(), m)
 	}
+	if l.rel != nil {
+		n.relSend(l, m)
+		return
+	}
+	n.transmit(l, m)
+}
 
+// transmit pushes one copy of m through l: sender occupancy, propagation,
+// jitter and ordering clamps, and — on shim-protected links — the
+// injector's fate for this traversal. Retransmissions come back through
+// here and roll a fresh fate.
+func (n *Network) transmit(l *link, m *msg.Msg) {
 	flits := sim.Time((m.Size() + l.cfg.FlitBytes - 1) / l.cfg.FlitBytes)
 	depart := n.k.Now()
 	if l.lastDeparture > depart {
@@ -190,14 +294,25 @@ func (n *Network) Send(m *msg.Msg) {
 	depart += flits
 	l.lastDeparture = depart
 
+	var fate faults.Fate
+	if l.rel != nil {
+		fate = n.inj.Decide(l.key.src, l.key.dst, l.key.vnet, depart)
+		if fate.Drop {
+			// Lost in flight. The flit still occupied the sender (the
+			// departure horizon advanced above); recovery is the retry
+			// timer's job.
+			return
+		}
+	}
+
 	arrive := depart + l.cfg.Latency + l.cfg.RouterCycles
 	if l.ordered {
 		if arrive < l.lastArrival {
 			arrive = l.lastArrival
 		}
 		l.lastArrival = arrive
-	} else if l.cfg.JitterMax > 0 {
-		arrive += sim.Time(n.rng.Int63n(int64(l.cfg.JitterMax) + 1))
+	} else if l.jitter != nil {
+		arrive += sim.Time(l.jitter.Uint64N(uint64(l.cfg.JitterMax) + 1))
 	}
 	if l.pair != nil {
 		// Single physical channel: later sends on any vnet of this
@@ -207,6 +322,7 @@ func (n *Network) Send(m *msg.Msg) {
 		}
 		l.pair.lastArrival = arrive
 	}
+	arrive += fate.Delay
 
 	// Delivery is not terminal for the message itself — receivers queue
 	// *Msg behind busy lines (DCOH convoys, directory pipelining), so the
@@ -215,11 +331,29 @@ func (n *Network) Send(m *msg.Msg) {
 	// the callback is the network's one shared deliverFn, so a send
 	// allocates nothing in steady state.
 	n.k.ScheduleArg(arrive, n.deliverFn, m)
+	if fate.Dup {
+		// The duplicate trails by one flit, the shape a replayed
+		// link-layer retry takes; the receiver's dedup suppresses it.
+		n.k.ScheduleArg(arrive+flits+1, n.deliverFn, m)
+	}
 }
 
-// deliver completes one in-flight message (the ScheduleArg callback).
+// deliver completes one in-flight traversal (the ScheduleArg callback).
+// On shim-protected links the arrival first passes dedup/reorder/ack.
 func (n *Network) deliver(a any) {
 	m := a.(*msg.Msg)
+	if n.inj != nil {
+		if l := n.routes[routeKey{m.Src, m.Dst, m.VNet}]; l != nil && l.rel != nil {
+			n.relArrive(l, m)
+			return
+		}
+	}
+	n.deliverNow(m)
+}
+
+// deliverNow hands m to its destination port (the single point every
+// accepted message funnels through, faulty or not).
+func (n *Network) deliverNow(m *msg.Msg) {
 	if n.Trace != nil {
 		n.Trace(m, true)
 	}

@@ -1,7 +1,7 @@
 package network
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"c3/internal/mem"
@@ -170,6 +170,23 @@ func TestUnorderedDeterministicUnderSeed(t *testing.T) {
 	t.Fatal("50 different seeds all produced seed-3's schedule; jitter looks dead")
 }
 
+func TestJitterStreamPinned(t *testing.T) {
+	// Pin the rand/v2 per-link PCG stream: these values are the seed-3
+	// delivery schedule under the current (seed, link-key) derivation.
+	// If this test fails, the jitter stream changed — every recorded
+	// trace and golden report in the repo silently shifts with it, so
+	// treat that as a breaking change, not a test to update casually.
+	order, times := runJittered(3)
+	wantOrder := []int{1, 4, 6, 8, 2, 0, 5, 9, 7, 12}
+	wantTimes := []sim.Time{19, 20, 20, 20, 22, 23, 23, 23, 27, 27}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] || times[i] != wantTimes[i] {
+			t.Fatalf("jitter stream drifted at delivery %d: got (%d, %d), pinned (%d, %d)",
+				i, order[i], times[i], wantOrder[i], wantTimes[i])
+		}
+	}
+}
+
 func TestOrderedDeterministicAcrossSeeds(t *testing.T) {
 	// The flip side: on an ordered link the seed must not matter at all.
 	run := func(seed int64) []sim.Time {
@@ -231,6 +248,83 @@ func TestNoRoutePanics(t *testing.T) {
 	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq})
 }
 
+func TestConnectDuplicatePanics(t *testing.T) {
+	k := &sim.Kernel{}
+	n := New(k, 1)
+	n.Register(0, &collector{k: k})
+	n.Register(1, &collector{k: k})
+	n.Connect(0, 1, IntraCluster())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("connecting the same pair twice should panic")
+		}
+	}()
+	n.Connect(1, 0, CrossCluster()) // same pair, either direction
+}
+
+func TestValidate(t *testing.T) {
+	k := &sim.Kernel{}
+	n := New(k, 1)
+	n.Register(0, &collector{k: k})
+	n.Register(1, &collector{k: k})
+	n.Connect(0, 1, IntraCluster())
+	if err := n.Validate(); err != nil {
+		t.Fatalf("fully wired network: %v", err)
+	}
+	// A link whose endpoints were never registered must be reported, with
+	// every missing node named.
+	n.Connect(7, 9, CrossCluster())
+	err := n.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted links to unregistered ports")
+	}
+	for _, want := range []string{"7", "9"} {
+		if !containsStr(err.Error(), want) {
+			t.Fatalf("Validate error %q does not name missing port %s", err, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkNetworkSend pins the perfect-fabric hot path: with no fault
+// plan armed, a send (including its kernel event and delivery) must stay
+// at 0 allocs/op. The CI alloc gate greps this benchmark's output.
+func BenchmarkNetworkSend(b *testing.B) {
+	k := &sim.Kernel{}
+	n := New(k, 1)
+	sink := &countingPort{}
+	n.Register(0, &countingPort{})
+	n.Register(1, sink)
+	n.Connect(0, 1, CrossCluster())
+	m := &msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq}
+	// Warm the kernel freelist and the link state.
+	n.Send(m)
+	k.Run(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(m)
+		k.Run(nil)
+	}
+	if sink.n == 0 {
+		b.Fatal("benchmark delivered nothing")
+	}
+}
+
+// countingPort avoids the collector's slice appends, which would charge
+// receiver bookkeeping to the send path.
+type countingPort struct{ n int }
+
+func (p *countingPort) Recv(*msg.Msg) { p.n++ }
+
 func TestTraceHook(t *testing.T) {
 	k, n, _ := pair(t, IntraCluster())
 	sends, delivers := 0, 0
@@ -268,18 +362,18 @@ func TestPropertyPerChannelFIFO(t *testing.T) {
 	n.Register(0, &collector{k: k})
 	n.Register(1, c)
 	n.Connect(0, 1, IntraCluster()) // cross-vnet ordered
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewPCG(4, 0))
 	const N = 500
 	for i := 0; i < N; i++ {
 		m := &msg.Msg{Type: msg.GetS, Src: 0, Dst: 1,
-			VNet: msg.VNet(rng.Intn(int(msg.NumVNets))), Acks: i}
-		if rng.Intn(2) == 0 {
+			VNet: msg.VNet(rng.IntN(int(msg.NumVNets))), Acks: i}
+		if rng.IntN(2) == 0 {
 			var d mem.Data
 			m.Data = &d // vary sizes so serialization differs
 		}
 		n.Send(m)
-		if rng.Intn(3) == 0 {
-			k.RunLimit(uint64(rng.Intn(5)))
+		if rng.IntN(3) == 0 {
+			k.RunLimit(uint64(rng.IntN(5)))
 		}
 	}
 	k.Run(nil)
@@ -302,10 +396,10 @@ func TestPropertyUnorderedRspFIFOUnderLoad(t *testing.T) {
 	n.Register(0, &collector{k: k})
 	n.Register(1, c)
 	n.Connect(0, 1, CrossCluster())
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewPCG(11, 0))
 	rspSent := 0
 	for i := 0; i < 600; i++ {
-		v := msg.VNet(rng.Intn(int(msg.NumVNets)))
+		v := msg.VNet(rng.IntN(int(msg.NumVNets)))
 		m := &msg.Msg{Type: msg.CmpM, Src: 0, Dst: 1, VNet: v}
 		if v == msg.VRsp {
 			m.Acks = rspSent

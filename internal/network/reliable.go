@@ -1,0 +1,222 @@
+// Reliable-delivery shim for faulty cross-cluster links.
+//
+// Real CXL links recover from CRC errors below the protocol layer: the
+// link-layer retry state machine replays flits in order, so the protocol
+// above observes a lossless, per-channel-FIFO fabric — until recovery
+// fails outright, at which point the data poison / viral mechanisms
+// deliver flagged data rather than hanging the coherence protocol.
+//
+// This file models that contract at message granularity:
+//
+//   - every message on a shim-protected link carries a per-link sequence
+//     number (msg.Msg.Seq);
+//   - the receiver acknowledges each arrival; unacked messages are
+//     retransmitted on a capped-exponential-backoff timer;
+//   - the receiver dedups by sequence number (duplicates and stale
+//     retransmissions are suppressed) and, on ordered links (VRsp — the
+//     channel the BIConflict handshake relies on), holds out-of-order
+//     arrivals in a reorder buffer so delivery order equals send order,
+//     exactly the property hardware flit replay preserves;
+//   - a message that exhausts its retries is force-delivered with
+//     Msg.Poisoned set and its line recorded in the injector's poison
+//     set: the transaction completes with flagged data instead of
+//     wedging the system (graceful degradation, surfaced in
+//     system.Metrics as faults.poisoned).
+//
+// All of this state exists only when EnableFaults armed an injector;
+// a perfect fabric never allocates any of it.
+package network
+
+import (
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// ackSlack pads the retransmission timeout beyond the ideal round trip:
+// receiver-side occupancy and ack scheduling are not modelled as flit
+// traffic, so the RTO must not fire on an ack that is merely in flight.
+const ackSlack = sim.Time(32)
+
+// maxBackoffShift caps the exponential backoff at 16x the base RTO.
+const maxBackoffShift = 4
+
+// pendingTx is one unacknowledged message at the sender.
+type pendingTx struct {
+	m        *msg.Msg
+	attempts int // retransmissions performed so far
+	timer    sim.Handle
+}
+
+// relState is the shim state of one directed link: the sender's
+// retransmission window and the receiver's dedup/reorder horizon.
+type relState struct {
+	// Sender side.
+	nextSeq uint64
+	pending map[uint64]*pendingTx
+
+	// Receiver side. contig is the highest sequence number below which
+	// everything has been accepted (and, on ordered links, delivered);
+	// seen/buf track the sparse accepted set above it.
+	contig uint64
+	seen   map[uint64]bool     // unordered links: accepted out-of-order seqs
+	buf    map[uint64]*msg.Msg // ordered links: accepted, awaiting gap fill
+}
+
+func newRelState() *relState {
+	return &relState{
+		pending: make(map[uint64]*pendingTx),
+		seen:    make(map[uint64]bool),
+		buf:     make(map[uint64]*msg.Msg),
+	}
+}
+
+// accepted reports whether seq has already been taken by the receiver.
+func (r *relState) accepted(seq uint64, ordered bool) bool {
+	if seq <= r.contig {
+		return true
+	}
+	if ordered {
+		return r.buf[seq] != nil
+	}
+	return r.seen[seq]
+}
+
+// relSend stamps m with the link's next sequence number, registers it in
+// the retransmission window, transmits, and arms the retry timer.
+func (n *Network) relSend(l *link, m *msg.Msg) {
+	r := l.rel
+	r.nextSeq++
+	m.Seq = r.nextSeq
+	p := &pendingTx{m: m}
+	r.pending[m.Seq] = p
+	n.transmit(l, m)
+	n.armRetry(l, p)
+}
+
+// rto computes the retransmission timeout for the given attempt: twice
+// the one-way ideal (propagation + router + serialization) plus jitter
+// and ack slack, doubling per retry up to 16x.
+func (n *Network) rto(l *link, m *msg.Msg, attempts int) sim.Time {
+	flits := sim.Time((m.Size() + l.cfg.FlitBytes - 1) / l.cfg.FlitBytes)
+	base := 2*(l.cfg.Latency+l.cfg.RouterCycles+flits) + l.cfg.JitterMax + ackSlack
+	shift := attempts
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	return base << shift
+}
+
+func (n *Network) armRetry(l *link, p *pendingTx) {
+	p.timer = n.k.After(n.rto(l, p.m, p.attempts), func() { n.retry(l, p) })
+}
+
+// retry fires when an ack failed to arrive in time: retransmit with
+// backoff, or — once the plan's retry budget is spent — poison the line
+// and force completion so the protocol above degrades instead of hanging.
+func (n *Network) retry(l *link, p *pendingTx) {
+	r := l.rel
+	if r.pending[p.m.Seq] != p {
+		return // acked while this event was already queued
+	}
+	p.attempts++
+	if p.attempts > n.inj.MaxRetries() {
+		delete(r.pending, p.m.Seq)
+		if r.accepted(p.m.Seq, l.ordered) {
+			// Every ack died but the data made it: the receiver accepted
+			// this sequence number long ago. Retiring the entry without
+			// poison mirrors hardware, where replayed flits are re-acked
+			// until one ack survives — poison is for lost data, and
+			// flagging a message the receiver already consumed would
+			// mutate it behind the protocol's back.
+			return
+		}
+		p.m.Poisoned = true
+		n.inj.RecordPoison(p.m.Addr)
+		// Forced completion bypasses the faulty link: hardware poison is
+		// signalled in-band on the still-working side channels. It lands
+		// through the normal arrival path so dedup and (on ordered
+		// links) the reorder buffer still apply.
+		n.k.ScheduleArg(n.k.Now()+l.cfg.Latency+l.cfg.RouterCycles+1, n.deliverFn, p.m)
+		return
+	}
+	n.inj.Stats.Retries++
+	if n.Tracer != nil {
+		// A retransmission is progress on the line: re-emitting the send
+		// keeps the hang watchdog from misreading recovery as silence.
+		n.Tracer.MsgSend(n.k.Now(), p.m)
+	}
+	n.transmit(l, p.m)
+	n.armRetry(l, p)
+}
+
+// relArrive filters one physical arrival through dedup and, on ordered
+// links, the reorder buffer; every arrival (fresh or duplicate) is
+// acknowledged, because a duplicate usually means the previous ack died.
+func (n *Network) relArrive(l *link, m *msg.Msg) {
+	r := l.rel
+	seq := m.Seq
+	if !r.accepted(seq, l.ordered) {
+		if l.ordered {
+			r.buf[seq] = m
+			for {
+				next := r.buf[r.contig+1]
+				if next == nil {
+					break
+				}
+				delete(r.buf, r.contig+1)
+				r.contig++
+				n.deliverNow(next)
+			}
+		} else {
+			r.seen[seq] = true
+			n.deliverNow(m)
+			for r.seen[r.contig+1] {
+				delete(r.seen, r.contig+1)
+				r.contig++
+			}
+		}
+	}
+	n.sendAck(l, seq)
+}
+
+// sendAck returns an ack for seq over the reverse link. Acks are control
+// credits, not flits: they add no sender occupancy, but they do roll the
+// reverse link's fault fate (an unreliable link loses acks too — that is
+// what makes duplicate suppression necessary).
+func (n *Network) sendAck(l *link, seq uint64) {
+	fate := n.inj.DecideAck(l.key.dst, l.key.src, l.key.vnet, n.k.Now())
+	if fate.Drop {
+		return
+	}
+	delay := l.cfg.Latency + l.cfg.RouterCycles + 1 + fate.Delay
+	n.k.After(delay, func() { n.ackArrive(l, seq) })
+}
+
+// ackArrive retires the acknowledged message from the retransmission
+// window. Stale acks (already retired, or superseded by poison) are
+// no-ops.
+func (n *Network) ackArrive(l *link, seq uint64) {
+	r := l.rel
+	if p := r.pending[seq]; p != nil {
+		n.k.Cancel(p.timer)
+		delete(r.pending, seq)
+	}
+}
+
+// PendingRetries reports whether any shim-protected link still holds an
+// unacknowledged message for line a — the watchdog's "link-retry"
+// classification: the line is not deadlocked, recovery is in progress.
+func (n *Network) PendingRetries(a mem.LineAddr) bool {
+	for _, l := range n.routes {
+		if l.rel == nil {
+			continue
+		}
+		for _, p := range l.rel.pending {
+			if p.m.Addr == a {
+				return true
+			}
+		}
+	}
+	return false
+}

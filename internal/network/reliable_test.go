@@ -1,0 +1,238 @@
+package network
+
+import (
+	"testing"
+
+	"c3/internal/faults"
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// faultyPair builds a 0->1 cross-cluster connection with plan p armed.
+func faultyPair(t *testing.T, p faults.Plan) (*sim.Kernel, *Network, *collector) {
+	t.Helper()
+	k := &sim.Kernel{}
+	n := New(k, 1)
+	c := &collector{k: k}
+	n.Register(0, &collector{k: k})
+	n.Register(1, c)
+	n.Connect(0, 1, CrossCluster())
+	n.EnableFaults(p)
+	return k, n, c
+}
+
+// TestReliableExactlyOnce drives each message class through a lossy,
+// duplicating, delaying cross link and checks the shim's contract: every
+// message is delivered exactly once, and the response network stays FIFO.
+func TestReliableExactlyOnce(t *testing.T) {
+	const N = 200
+	cases := []struct {
+		name string
+		vnet msg.VNet
+		typ  msg.Type
+	}{
+		{"VReq", msg.VReq, msg.GetS},
+		{"VSnp", msg.VSnp, msg.SnpData},
+		{"VRsp", msg.VRsp, msg.CmpM},
+	}
+	plans := []struct {
+		name string
+		plan faults.Plan
+	}{
+		{"drop", faults.Plan{Seed: 2, Rates: faults.Rates{Drop: 0.3}}},
+		{"dup", faults.Plan{Seed: 2, Rates: faults.Rates{Dup: 0.5}}},
+		{"delay", faults.Plan{Seed: 2, Rates: faults.Rates{Delay: 0.5, DelayMax: 500}}},
+		{"all", faults.Plan{Seed: 2, Rates: faults.Rates{Drop: 0.2, Dup: 0.2, Delay: 0.2, DelayMax: 300}}},
+	}
+	for _, tc := range cases {
+		for _, pl := range plans {
+			t.Run(tc.name+"/"+pl.name, func(t *testing.T) {
+				k, n, c := faultyPair(t, pl.plan)
+				for i := 0; i < N; i++ {
+					n.Send(&msg.Msg{Type: tc.typ, Src: 0, Dst: 1, VNet: tc.vnet, Acks: i})
+				}
+				k.Run(nil)
+				if len(c.got) != N {
+					t.Fatalf("delivered %d msgs, want exactly %d", len(c.got), N)
+				}
+				seen := make(map[int]bool, N)
+				for _, m := range c.got {
+					if seen[m.Acks] {
+						t.Fatalf("message %d delivered twice", m.Acks)
+					}
+					seen[m.Acks] = true
+					if m.Poisoned {
+						t.Fatalf("message %d poisoned under a recoverable plan", m.Acks)
+					}
+				}
+				if tc.vnet == msg.VRsp {
+					for i, m := range c.got {
+						if m.Acks != i {
+							t.Fatalf("VRsp order violated at %d: got send-index %d", i, m.Acks)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestReliableSurvivesAckLoss drops 60% of everything — including the
+// shim's own acks on the reverse link — and still requires exactly-once.
+func TestReliableSurvivesAckLoss(t *testing.T) {
+	const N = 100
+	k, n, c := faultyPair(t, faults.Plan{Seed: 4, Rates: faults.Rates{Drop: 0.6}})
+	for i := 0; i < N; i++ {
+		n.Send(&msg.Msg{Type: msg.CmpM, Src: 0, Dst: 1, VNet: msg.VRsp, Acks: i})
+	}
+	k.Run(nil)
+	if len(c.got) != N {
+		t.Fatalf("delivered %d msgs, want %d", len(c.got), N)
+	}
+	for i, m := range c.got {
+		if m.Acks != i {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+	st := &n.Injector().Stats
+	if st.AckDrops == 0 {
+		t.Fatal("plan never dropped an ack; the scenario did not exercise ack loss")
+	}
+	if st.Retries == 0 {
+		t.Fatal("60% drop produced no retransmissions")
+	}
+}
+
+// TestReliablePoisonOnExhaustion is the acceptance scenario: a link that
+// drops everything forces the shim through its whole retry budget, after
+// which the message must be force-delivered poisoned — graceful
+// degradation with the books to prove it, not a hang.
+func TestReliablePoisonOnExhaustion(t *testing.T) {
+	plan := faults.Plan{Seed: 1, Rates: faults.Rates{Drop: 1}, MaxRetries: 2}
+	k, n, c := faultyPair(t, plan)
+	n.Send(&msg.Msg{Type: msg.DataS, Src: 0, Dst: 1, VNet: msg.VRsp, Addr: 0x1040})
+	k.Run(nil)
+	if len(c.got) != 1 {
+		t.Fatalf("delivered %d msgs, want the forced poisoned delivery", len(c.got))
+	}
+	if !c.got[0].Poisoned {
+		t.Fatal("exhausted-retry message delivered without the poison flag")
+	}
+	st := &n.Injector().Stats
+	if st.Drops != 3 { // initial attempt + 2 retries, all dropped
+		t.Fatalf("Drops = %d, want 3", st.Drops)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	if st.Poisoned != 1 {
+		t.Fatalf("Poisoned = %d, want 1", st.Poisoned)
+	}
+	if !n.Injector().Poisoned(mem.LineAddr(0x1040)) {
+		t.Fatal("poisoned line not recorded in the injector")
+	}
+}
+
+// TestReliableStallWindowRecovers loses every message inside a stall
+// window shorter than the retry budget: the shim must deliver everything
+// after the window closes, unpoisoned.
+func TestReliableStallWindowRecovers(t *testing.T) {
+	plan := faults.Plan{Seed: 1, Rates: faults.Rates{Stalls: []faults.Window{{From: 0, To: 2000}}}}
+	k, n, c := faultyPair(t, plan)
+	const N = 10
+	for i := 0; i < N; i++ {
+		n.Send(&msg.Msg{Type: msg.CmpM, Src: 0, Dst: 1, VNet: msg.VRsp, Acks: i})
+	}
+	k.Run(nil)
+	if len(c.got) != N {
+		t.Fatalf("delivered %d msgs, want %d", len(c.got), N)
+	}
+	for i, m := range c.got {
+		if m.Acks != i || m.Poisoned {
+			t.Fatalf("msg %d: acks=%d poisoned=%v", i, m.Acks, m.Poisoned)
+		}
+		if c.times[i] < 2000 {
+			t.Fatalf("msg %d delivered at %d, inside the stall window", i, c.times[i])
+		}
+	}
+	if n.Injector().Stats.StallDrops == 0 {
+		t.Fatal("stall window never dropped anything")
+	}
+	if n.Injector().Stats.Poisoned != 0 {
+		t.Fatal("recoverable stall poisoned a line")
+	}
+}
+
+// TestReliableDeterministic pins the recovery schedule: identical seeds
+// give byte-identical delivery schedules even under heavy faults.
+func TestReliableDeterministic(t *testing.T) {
+	run := func() ([]int, []sim.Time) {
+		k, n, c := faultyPair(t, faults.Plan{Seed: 9,
+			Rates: faults.Rates{Drop: 0.3, Dup: 0.3, Delay: 0.3, DelayMax: 200}})
+		for i := 0; i < 100; i++ {
+			n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq, Acks: i})
+		}
+		k.Run(nil)
+		order := make([]int, len(c.got))
+		for i, m := range c.got {
+			order[i] = m.Acks
+		}
+		return order, c.times
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if len(o1) != len(o2) {
+		t.Fatalf("same plan delivered %d vs %d msgs", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] || t1[i] != t2[i] {
+			t.Fatalf("faulty run diverged at delivery %d", i)
+		}
+	}
+}
+
+// TestEnableFaultsNoopPlan: a zero plan must leave the fabric perfect —
+// no injector, no shim state, no sequence numbers.
+func TestEnableFaultsNoopPlan(t *testing.T) {
+	k, n, c := faultyPair(t, faults.Plan{Seed: 99}) // seed only: inactive
+	if n.Injector() != nil {
+		t.Fatal("inactive plan armed an injector")
+	}
+	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq})
+	k.Run(nil)
+	if len(c.got) != 1 || c.got[0].Seq != 0 {
+		t.Fatalf("perfect fabric stamped shim metadata: %+v", c.got)
+	}
+}
+
+// TestFaultsOnlyOnCrossLinks: the injector targets the CXL tier; an
+// intra-cluster link under the same network stays perfect.
+func TestFaultsOnlyOnCrossLinks(t *testing.T) {
+	k := &sim.Kernel{}
+	n := New(k, 1)
+	c := &collector{k: k}
+	n.Register(0, &collector{k: k})
+	n.Register(1, c)
+	n.Connect(0, 1, IntraCluster())
+	n.EnableFaults(faults.Plan{Seed: 1, Rates: faults.Rates{Drop: 1}})
+	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq})
+	k.Run(nil)
+	if len(c.got) != 1 {
+		t.Fatalf("intra-cluster link dropped under a cross-tier plan: got %d", len(c.got))
+	}
+	if c.got[0].Seq != 0 {
+		t.Fatal("intra-cluster link grew shim metadata")
+	}
+}
+
+// TestEnableFaultsAfterConnect: arming faults after wiring must attach
+// the shim to already-connected cross links.
+func TestEnableFaultsAfterConnect(t *testing.T) {
+	k, n, c := faultyPair(t, faults.Plan{Seed: 1, Rates: faults.Rates{Drop: 1}, MaxRetries: 1})
+	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq, Addr: 0x40})
+	k.Run(nil)
+	if len(c.got) != 1 || !c.got[0].Poisoned {
+		t.Fatal("shim not active on pre-connected cross link")
+	}
+}

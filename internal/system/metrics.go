@@ -86,5 +86,19 @@ func (s *System) Metrics() *trace.Registry {
 	r.Counter("net.msgs.total", ns.TotalMsgs)
 	r.Counter("net.bytes.total", ns.TotalBytes)
 
+	if inj := s.Net.Injector(); inj != nil {
+		fs := &inj.Stats
+		r.Counter("faults.decisions", func() uint64 { return fs.Decisions })
+		r.Counter("faults.drops", func() uint64 { return fs.Drops })
+		r.Counter("faults.dups", func() uint64 { return fs.Dups })
+		r.Counter("faults.delays", func() uint64 { return fs.Delays })
+		r.Counter("faults.stall_drops", func() uint64 { return fs.StallDrops })
+		r.Counter("faults.retries", func() uint64 { return fs.Retries })
+		r.Counter("faults.poisoned", func() uint64 { return fs.Poisoned })
+		r.Counter("faults.acks", func() uint64 { return fs.Acks })
+		r.Counter("faults.ack_drops", func() uint64 { return fs.AckDrops })
+		r.Counter("faults.poisoned_lines", func() uint64 { return uint64(len(inj.PoisonedLines())) })
+	}
+
 	return r
 }

@@ -10,6 +10,7 @@ import (
 
 	"c3/internal/core"
 	"c3/internal/cpu"
+	"c3/internal/faults"
 	"c3/internal/gen"
 	"c3/internal/mem"
 	"c3/internal/msg"
@@ -61,6 +62,11 @@ type Config struct {
 	// cycles triggers a diagnostic report. Use trace.DefaultHangAge for
 	// the 10x-cross-cluster-round-trip default.
 	WatchdogAge sim.Time
+	// Faults, when non-nil and enabled, makes the cross-cluster CXL
+	// links unreliable per the plan and arms the network's
+	// reliable-delivery shim (retry + dedup + poison). The intra-cluster
+	// tier stays perfect.
+	Faults *faults.Plan
 }
 
 // L1Port is the common face of the per-core private caches.
@@ -139,6 +145,9 @@ func New(cfg Config) (*System, error) {
 	}
 	k := &sim.Kernel{}
 	net := network.New(k, cfg.Seed)
+	if cfg.Faults != nil {
+		net.EnableFaults(*cfg.Faults)
+	}
 	if cfg.DRAM == (mem.DRAMConfig{}) {
 		cfg.DRAM = mem.DefaultDRAMConfig()
 	}
@@ -150,6 +159,21 @@ func New(cfg Config) (*System, error) {
 	if cfg.Tracer != nil && cfg.WatchdogAge != 0 {
 		dog = trace.NewWatchdog(k, cfg.WatchdogAge, 0)
 		cfg.Tracer.SetWatchdog(dog)
+		if net.Injector() != nil {
+			// With an unreliable fabric a silent line is not necessarily
+			// a protocol deadlock: classify recovery-in-progress and
+			// poisoned lines so reports (and the soak harness) can tell
+			// them apart.
+			dog.Classify = func(a mem.LineAddr) string {
+				switch {
+				case net.Injector().Poisoned(a):
+					return "poisoned-line"
+				case net.PendingRetries(a):
+					return "link-retry"
+				}
+				return "protocol-hang"
+			}
+		}
 	}
 
 	intra := cfg.Intra
@@ -160,6 +184,9 @@ func New(cfg Config) (*System, error) {
 	if cross == (network.LinkConfig{}) {
 		cross = network.CrossCluster()
 	}
+	// The cross tier is the CXL fabric by definition; mark it so the
+	// fault injector and reliable shim target it even under overrides.
+	cross.Cross = true
 
 	const dirID = msg.NodeID(1)
 	if gspec.Params.ConflictHandshake {
@@ -261,7 +288,21 @@ func New(cfg Config) (*System, error) {
 		}
 		s.Clusters = append(s.Clusters, cl)
 	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("system: %w", err)
+	}
 	return s, nil
+}
+
+// PoisonedLines reports the lines whose data was poisoned by retry
+// exhaustion on the faulty fabric (empty on a perfect fabric). A run
+// that touched any of these completed by graceful degradation, not by
+// coherent delivery.
+func (s *System) PoisonedLines() []mem.LineAddr {
+	if inj := s.Net.Injector(); inj != nil {
+		return inj.PoisonedLines()
+	}
+	return nil
 }
 
 // AttachSource binds an instruction source to core slot (cluster, idx),

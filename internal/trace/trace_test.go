@@ -329,6 +329,57 @@ func TestWatchdogNestedOpens(t *testing.T) {
 	}
 }
 
+// TestWatchdogStructuredReport pins the classify-and-report path the
+// soak harness depends on: OnHangReport receives the structured report
+// (taking precedence over OnHang and the panic default), and a Classify
+// hook refines the class from the "protocol-hang" fallback.
+func TestWatchdogStructuredReport(t *testing.T) {
+	k := &sim.Kernel{}
+	tr := trace.New()
+	w := trace.NewWatchdog(k, 100, 0)
+	tr.SetWatchdog(w)
+
+	var got trace.HangReport
+	w.OnHangReport = func(r trace.HangReport) { got = r }
+	w.OnHang = func(string) { t.Error("OnHang called despite OnHangReport being set") }
+	w.Classify = func(line mem.LineAddr) string {
+		if line == 0x80 {
+			return "link-retry"
+		}
+		return ""
+	}
+
+	tr.MsgSend(k.Now(), &msg.Msg{Type: msg.GetM, Addr: 0x80, Src: 3, Dst: 2, VNet: msg.VReq, Serial: 1})
+	k.Run(nil)
+
+	if !w.Fired() {
+		t.Fatal("watchdog did not fire")
+	}
+	if got.Line != 0x80 || got.Opens != 1 || got.Closes != 0 {
+		t.Fatalf("report bookkeeping wrong: %+v", got)
+	}
+	if got.Class != "link-retry" {
+		t.Fatalf("Class = %q, want link-retry from the Classify hook", got.Class)
+	}
+	if got.Text != w.Report() || !strings.Contains(got.Text, "[link-retry]") {
+		t.Fatalf("report text missing or unclassified:\n%s", got.Text)
+	}
+
+	// An empty Classify answer falls back to the default class.
+	k2 := &sim.Kernel{}
+	tr2 := trace.New()
+	w2 := trace.NewWatchdog(k2, 100, 0)
+	tr2.SetWatchdog(w2)
+	var got2 trace.HangReport
+	w2.OnHangReport = func(r trace.HangReport) { got2 = r }
+	w2.Classify = func(mem.LineAddr) string { return "" }
+	tr2.MsgSend(k2.Now(), &msg.Msg{Type: msg.GetM, Addr: 0x40, Src: 3, Dst: 2, VNet: msg.VReq, Serial: 1})
+	k2.Run(nil)
+	if got2.Class != "protocol-hang" {
+		t.Fatalf("Class = %q, want protocol-hang fallback", got2.Class)
+	}
+}
+
 // disabledTracer is package-level so the compiler cannot fold the nil
 // checks away: this is exactly the shape of every hook site.
 var disabledTracer *trace.Tracer

@@ -58,6 +58,16 @@ type Watchdog struct {
 	MaxAge sim.Time
 	// OnHang, when non-nil, receives the report instead of panicking.
 	OnHang func(report string)
+	// OnHangReport, when non-nil, receives the structured report and
+	// takes precedence over OnHang. The soak harness uses it to classify
+	// hangs (link stall vs. poisoned line vs. protocol deadlock) instead
+	// of crashing the campaign.
+	OnHangReport func(HangReport)
+	// Classify, when non-nil, labels the hung line for the report. The
+	// system wires it to the fault injector's view: a line with pending
+	// retransmissions classifies as "link-retry", a poisoned line as
+	// "poisoned-line"; everything else is a "protocol-hang".
+	Classify func(line mem.LineAddr) string
 
 	ring  *RingSink
 	open  map[mem.LineAddr]*atxn
@@ -183,13 +193,36 @@ func (w *Watchdog) check() {
 	w.armed = true
 }
 
+// HangReport is the structured form of a watchdog hang: what line stuck,
+// its transaction bookkeeping, a classification, and the rendered text
+// report (event history + controller dumps).
+type HangReport struct {
+	Line          mem.LineAddr
+	Opens, Closes int
+	OldestOpen    sim.Time
+	LastActivity  sim.Time
+	At            sim.Time
+	// Class is "protocol-hang" unless a Classify hook refines it (e.g.
+	// "link-retry", "poisoned-line").
+	Class string
+	// Text is the full human-readable report.
+	Text string
+}
+
 // fire builds and delivers the hang report.
 func (w *Watchdog) fire(addr mem.LineAddr, t *atxn) {
 	w.fired = true
 	w.disarm()
 
+	class := "protocol-hang"
+	if w.Classify != nil {
+		if c := w.Classify(addr); c != "" {
+			class = c
+		}
+	}
+
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace: watchdog: transaction hang on line %s at t=%d\n", addr, w.k.Now())
+	fmt.Fprintf(&b, "trace: watchdog: transaction hang on line %s at t=%d [%s]\n", addr, w.k.Now(), class)
 	fmt.Fprintf(&b, "  open=%d closed=%d oldest-open=%d last-activity=%d max-age=%d\n",
 		t.opens, t.closes, t.oldestOpen, t.last, w.MaxAge)
 
@@ -221,6 +254,14 @@ func (w *Watchdog) fire(addr mem.LineAddr, t *atxn) {
 	}
 
 	w.rep = b.String()
+	if w.OnHangReport != nil {
+		w.OnHangReport(HangReport{
+			Line: addr, Opens: t.opens, Closes: t.closes,
+			OldestOpen: t.oldestOpen, LastActivity: t.last, At: w.k.Now(),
+			Class: class, Text: w.rep,
+		})
+		return
+	}
 	if w.OnHang != nil {
 		w.OnHang(w.rep)
 		return

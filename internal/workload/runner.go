@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"c3/internal/cpu"
+	"c3/internal/faults"
 	"c3/internal/sim"
 	"c3/internal/stats"
 	"c3/internal/system"
@@ -39,6 +40,10 @@ type RunConfig struct {
 	WatchdogAge sim.Time
 	// MissHist, when non-nil, receives every miss latency sample.
 	MissHist *trace.LatencyHist
+	// Faults arms the cross-cluster fault injector (nil = perfect
+	// fabric). A run on a faulty fabric may complete with poisoned
+	// lines; they surface in the returned Run and the system metrics.
+	Faults *faults.Plan
 }
 
 // observer builds the per-core completion hook: the Fig. 11 breakdown
@@ -113,6 +118,7 @@ func RunOn(cfg RunConfig) (stats.Run, *system.System, error) {
 		Clusters:    clusters,
 		Tracer:      cfg.Tracer,
 		WatchdogAge: cfg.WatchdogAge,
+		Faults:      cfg.Faults,
 	})
 	if err != nil {
 		return stats.Run{}, nil, err

@@ -1,0 +1,81 @@
+package c3
+
+import (
+	"fmt"
+
+	"c3/internal/cpu"
+	"c3/internal/faults"
+	"c3/internal/litmus"
+)
+
+// FaultPlan describes a deterministic fault-injection plan for the
+// cross-cluster CXL links (drop/duplication/delay rates, stall windows,
+// retry budget). The zero value is a perfect fabric.
+type FaultPlan = faults.Plan
+
+// ParseFaultPlan resolves a fault-plan spec: a named preset ("light",
+// "noisy", "stall", "blackout" — see FaultPlans) or a key=value string
+// such as "drop=0.01,dup=0.01,delay=0.1,delaymax=200,stall=100:900,
+// retries=8,seed=7".
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	if p, ok := litmus.PlanByName(spec); ok {
+		return p.Plan, nil
+	}
+	return faults.ParsePlan(spec)
+}
+
+// FaultPlans lists the named fault-plan presets.
+func FaultPlans() []string {
+	var out []string
+	for _, p := range litmus.DefaultPlans() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// SoakConfig parameterizes a soak campaign: litmus tests x fault plans x
+// seeds, each run as a full campaign on the unreliable fabric with hang
+// watchdogs armed. Zero values select the Table IV tests, all named
+// presets, seed 1, 25 iterations.
+type SoakConfig struct {
+	Tests []string // litmus tests (default: Table IV set)
+	Plans []string // plan names or specs (default: all presets)
+	Seeds []int64  // campaign base seeds (default: {1})
+	Iters int      // iterations per campaign (default 25)
+
+	Locals  [2]string // cluster protocols (default mesi/mesi)
+	Global  string    // "cxl" (default) or "hmesi"
+	MCMs    [2]MCM
+	Workers int // campaign fan-out (0 = GOMAXPROCS); reports are identical
+}
+
+// SoakReport is the campaign result table: Render() is byte-identical
+// for every worker count, OK() is the robustness verdict (every run
+// passed coherence checks or reported detected degradation).
+type SoakReport = litmus.SoakReport
+
+// RunSoak executes the soak sweep.
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	var plans []litmus.NamedPlan
+	for _, spec := range cfg.Plans {
+		if p, ok := litmus.PlanByName(spec); ok {
+			plans = append(plans, p)
+			continue
+		}
+		plan, err := faults.ParsePlan(spec)
+		if err != nil {
+			return nil, fmt.Errorf("c3: fault plan %q: %w", spec, err)
+		}
+		plans = append(plans, litmus.NamedPlan{Name: spec, Plan: plan})
+	}
+	return litmus.RunSoak(litmus.SoakConfig{
+		Tests:   cfg.Tests,
+		Plans:   plans,
+		Seeds:   cfg.Seeds,
+		Iters:   cfg.Iters,
+		Locals:  cfg.Locals,
+		Global:  cfg.Global,
+		MCMs:    [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
+		Workers: cfg.Workers,
+	})
+}
