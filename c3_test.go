@@ -1,6 +1,7 @@
 package c3_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -99,6 +100,40 @@ func TestVerifyAPI(t *testing.T) {
 	}
 	if _, err := c3.Verify("nope", c3.VerifyConfig{}); err == nil {
 		t.Fatal("unknown test should fail")
+	}
+}
+
+// TestVerifyWitnessRoundTrip: a violation surfaces as a *VerifyError
+// whose witness ReplayWitness re-executes to the identical failure (the
+// programmatic form of c3check -witness / -replay).
+func TestVerifyWitnessRoundTrip(t *testing.T) {
+	cfg := c3.VerifyConfig{Unsynced: true, CheckForbidden: true}
+	_, err := c3.Verify("MP", cfg)
+	if err == nil {
+		t.Fatal("unsynced MP with the forbidden predicate armed must fail")
+	}
+	var ve *c3.VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is not a *VerifyError: %v", err)
+	}
+	if ve.Kind != "forbidden-outcome" || len(ve.Witness) == 0 || len(ve.Witness) > ve.OriginalLen {
+		t.Fatalf("bad witness: %+v", ve)
+	}
+	rr, err := c3.ReplayWitness("MP", cfg, ve.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Kind != ve.Kind || rr.Msg != ve.Msg || len(rr.Steps) != len(ve.Witness) {
+		t.Fatalf("replay reproduced %s %q in %d steps, want %s %q in %d",
+			rr.Kind, rr.Msg, len(rr.Steps), ve.Kind, ve.Msg, len(ve.Witness))
+	}
+	// Without CheckForbidden the relaxed run records the skip instead.
+	rep, err := c3.Verify("MP", c3.VerifyConfig{Unsynced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ForbiddenSkipped {
+		t.Fatal("ForbiddenSkipped not recorded")
 	}
 }
 

@@ -5,17 +5,29 @@
 // Murphi-based formal verification (Sec. VI-A), applied directly to the
 // runtime controllers.
 //
+// On a violation, c3check prints a minimized witness — the sequence of
+// delivery choices reproducing the failure — as a "witness:" line;
+// -witness additionally decodes each delivered message, and
+// -replay re-executes a witness step by step.
+//
 // Usage:
 //
 //	c3check                          # MP+SB+LB+S+R+2_2W on MESI-CXL-MESI
 //	c3check -test IRIW -local1 moesi -max 2000000
 //	c3check -tiny                    # force CXL-cache evictions (Fig. 7)
+//	c3check -test MP -unsynced -witness   # witness a relaxed outcome
+//	c3check -test MP -unsynced -replay 1,0,2
+//
+// Exit status: 0 no violation (or -replay reproduced one), 1 violation
+// found (or -replay failed to reproduce), 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"c3"
@@ -30,42 +42,160 @@ func main() {
 	mcm1 := flag.String("mcm1", "arm", "cluster 1 MCM")
 	tiny := flag.Bool("tiny", false, "tiny CXL cache: explore eviction flows")
 	maxStates := flag.Uint64("max", 500_000, "state budget")
+	maxDepth := flag.Int("max-depth", 0, "depth bound before declaring livelock (0 = default 400)")
 	workers := flag.Int("j", 0, "worker goroutines for successor expansion (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
+	unsynced := flag.Bool("unsynced", false,
+		"strip fences and check the forbidden predicate anyway (witness demo on relaxed outcomes)")
+	witness := flag.Bool("witness", false, "decode each witness step (delivered message) on violation")
+	replay := flag.String("replay", "",
+		"re-execute a comma-separated witness path against -test instead of exploring")
+	replayRoot := flag.Bool("replay-from-root", false,
+		"explore by prefix re-execution instead of snapshot cloning (cross-check mode)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "c3check: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	cfg := c3.VerifyConfig{
+		Locals:         [2]string{*local0, *local1},
+		Global:         *global,
+		MCMs:           [2]c3.MCM{mcm(*mcm0), mcm(*mcm1)},
+		TinyLLC:        *tiny,
+		MaxStates:      *maxStates,
+		MaxDepth:       *maxDepth,
+		Workers:        *workers,
+		Unsynced:       *unsynced,
+		CheckForbidden: *unsynced,
+		ReplayFromRoot: *replayRoot,
+	}
+
+	if *replay != "" {
+		if *test == "" {
+			fmt.Fprintln(os.Stderr, "c3check: -replay requires -test")
+			os.Exit(2)
+		}
+		path, err := parseWitness(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3check: bad -replay path: %v\n", err)
+			os.Exit(2)
+		}
+		rr, err := c3.ReplayWitness(*test, cfg, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3check: replay: %v\n", err)
+			os.Exit(1)
+		}
+		for i, s := range rr.Steps {
+			fmt.Printf("  step %3d  %s\n", i, s)
+		}
+		switch {
+		case rr.Kind != "none":
+			fmt.Printf("%-8s reproduced %s after %d steps: %s\n", rr.Test, rr.Kind, rr.FailedAt, rr.Msg)
+			return // exit 0: the witness reproduces a violation
+		case rr.Terminal:
+			fmt.Printf("%-8s no violation: terminal outcome %s\n", rr.Test, rr.Outcome)
+		default:
+			fmt.Printf("%-8s no violation: %d actions still enabled after %d steps\n",
+				rr.Test, rr.EnabledAtEnd, rr.FailedAt)
+		}
+		os.Exit(1)
+	}
 
 	tests := []string{"MP", "SB", "LB", "S", "R", "2_2W"}
 	if *test != "" {
 		tests = []string{*test}
 	}
-	mcms := [2]c3.MCM{mcm(*mcm0), mcm(*mcm1)}
 	ok := true
 	for _, name := range tests {
 		start := time.Now()
-		rep, err := c3.Verify(name, c3.VerifyConfig{
-			Locals:    [2]string{*local0, *local1},
-			Global:    *global,
-			MCMs:      mcms,
-			TinyLLC:   *tiny,
-			MaxStates: *maxStates,
-			Workers:   *workers,
-		})
+		rep, err := c3.Verify(name, cfg)
 		if err != nil {
-			fmt.Printf("%-8s FAIL: %v\n", name, err)
 			ok = false
+			fmt.Printf("%-8s FAIL: %v\n", name, err)
+			if ve, isVE := err.(*c3.VerifyError); isVE {
+				fmt.Printf("witness: %s\n", formatWitness(ve.Witness))
+				fmt.Printf("  (%s; %d steps, minimized from %d; replay with: c3check -test %s%s -replay %s)\n",
+					ve.Kind, len(ve.Witness), ve.OriginalLen, name, replayFlags(cfg), formatWitness(ve.Witness))
+				if *witness {
+					printSteps(name, cfg, ve.Witness)
+				}
+			}
 			continue
 		}
 		status := "verified"
 		if rep.Truncated {
 			status = "bounded"
 		}
-		fmt.Printf("%-8s %s: %d states, %d terminal, %d outcomes (%.1fs)\n",
-			name, status, rep.States, rep.Terminals, rep.Outcomes,
-			time.Since(start).Seconds())
+		note := ""
+		if rep.ForbiddenSkipped {
+			note = " [forbidden predicate skipped: unsynced]"
+		}
+		fmt.Printf("%-8s %s: %d states, %d terminal, %d outcomes, %d builds + %d clones (%.1fs)%s\n",
+			name, status, rep.States, rep.Terminals, rep.Outcomes, rep.Builds, rep.Clones,
+			time.Since(start).Seconds(), note)
 	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// printSteps decodes a witness by replaying it.
+func printSteps(test string, cfg c3.VerifyConfig, path []uint16) {
+	rr, err := c3.ReplayWitness(test, cfg, path)
+	if err != nil {
+		fmt.Printf("  witness decode failed: %v\n", err)
+		return
+	}
+	for i, s := range rr.Steps {
+		fmt.Printf("  step %3d  %s\n", i, s)
+	}
+}
+
+func formatWitness(path []uint16) string {
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = strconv.Itoa(int(p))
+	}
+	return strings.Join(parts, ",")
+}
+
+// replayFlags renders the non-default flags a -replay invocation needs
+// to rebuild the same model.
+func replayFlags(cfg c3.VerifyConfig) string {
+	var b strings.Builder
+	if cfg.Locals[0] != "mesi" {
+		fmt.Fprintf(&b, " -local0 %s", cfg.Locals[0])
+	}
+	if cfg.Locals[1] != "mesi" {
+		fmt.Fprintf(&b, " -local1 %s", cfg.Locals[1])
+	}
+	if cfg.Global != "cxl" {
+		fmt.Fprintf(&b, " -global %s", cfg.Global)
+	}
+	if cfg.TinyLLC {
+		b.WriteString(" -tiny")
+	}
+	if cfg.Unsynced {
+		b.WriteString(" -unsynced")
+	}
+	return b.String()
+}
+
+func parseWitness(s string) ([]uint16, error) {
+	var path []uint16
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, uint16(v))
+	}
+	return path, nil
 }
 
 func mcm(s string) c3.MCM {

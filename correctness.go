@@ -1,6 +1,7 @@
 package c3
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
@@ -132,9 +133,22 @@ type VerifyConfig struct {
 	// explored space.
 	TinyLLC   bool
 	MaxStates uint64
+	MaxDepth  int
 	// Workers parallelizes successor expansion (0 = GOMAXPROCS,
 	// 1 = serial); reports are identical for every worker count.
 	Workers int
+	// Unsynced strips all fences/annotations before checking, exploring
+	// the relaxed executions the paper's control runs exercise. Forbidden
+	// outcomes are then architecturally legal, so the predicate is skipped
+	// (VerifyReport.ForbiddenSkipped) unless CheckForbidden is set.
+	Unsynced bool
+	// CheckForbidden evaluates the shape's forbidden-outcome predicate
+	// even when Unsynced — the standard way to demonstrate witness
+	// extraction on an outcome that is reachable by design.
+	CheckForbidden bool
+	// ReplayFromRoot reconstructs every state by re-executing its delivery
+	// prefix instead of snapshot cloning (cross-check / low-memory mode).
+	ReplayFromRoot bool
 }
 
 // VerifyReport summarizes an exhaustive exploration.
@@ -144,15 +158,43 @@ type VerifyReport struct {
 	Terminals uint64
 	Outcomes  int
 	Truncated bool
+	// ForbiddenSkipped records that the shape declares a forbidden-outcome
+	// predicate but it was not evaluated (Unsynced without CheckForbidden).
+	ForbiddenSkipped bool
+	// Builds counts full model constructions; Clones counts snapshot deep
+	// copies (the snapshot checker's cost profile).
+	Builds uint64
+	Clones uint64
 }
 
-// Verify exhaustively model-checks the named litmus shape on a small C3
-// system, checking deadlock freedom, SWMR, Rule I's forbidden compound
-// states, and the absence of forbidden outcomes.
-func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
+// VerifyError is the structured violation Verify returns: the failure
+// classification plus a minimized delivery-choice witness that
+// ReplayWitness (or c3check -replay) re-executes deterministically.
+// Extract it with errors.As.
+type VerifyError struct {
+	Test string
+	// Kind is "invariant", "deadlock", "livelock", or "forbidden-outcome".
+	Kind string
+	// Msg is the underlying failure (invariant text, forbidden outcome).
+	Msg string
+	// Witness is the delivery path: at each quiescent state, the index
+	// into the checker's canonically ordered enabled-action list.
+	Witness []uint16
+	// OriginalLen is the witness length before delta-debugging; Minimized
+	// reports that minimization reproduced the failure.
+	OriginalLen int
+	Minimized   bool
+
+	cex *verif.Counterexample
+}
+
+func (e *VerifyError) Error() string { return e.cex.Error() }
+func (e *VerifyError) Unwrap() error { return e.cex }
+
+func modelConfig(test string, cfg *VerifyConfig) (verif.ModelConfig, error) {
 	tc, ok := litmus.ByName(test)
 	if !ok {
-		return nil, fmt.Errorf("c3: unknown litmus test %q", test)
+		return verif.ModelConfig{}, fmt.Errorf("c3: unknown litmus test %q", test)
 	}
 	if cfg.Locals[0] == "" {
 		cfg.Locals = [2]string{"mesi", "mesi"}
@@ -160,19 +202,96 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 	if cfg.Global == "" {
 		cfg.Global = "cxl"
 	}
-	rep, err := verif.Check(verif.ModelConfig{
+	sync := litmus.SyncFull
+	if cfg.Unsynced {
+		sync = litmus.SyncNone
+	}
+	return verif.ModelConfig{
 		Test:    tc,
 		Locals:  cfg.Locals,
 		Global:  cfg.Global,
 		MCMs:    [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
-		Sync:    litmus.SyncFull,
+		Sync:    sync,
 		TinyLLC: cfg.TinyLLC,
-	}, verif.CheckerConfig{MaxStates: cfg.MaxStates, Workers: cfg.Workers})
+	}, nil
+}
+
+// Verify exhaustively model-checks the named litmus shape on a small C3
+// system, checking deadlock freedom, SWMR, Rule I's forbidden compound
+// states, and the absence of forbidden outcomes. Violations come back as
+// a *VerifyError carrying a minimized, replayable witness.
+func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
+	mcfg, err := modelConfig(test, &cfg)
 	if err != nil {
+		return nil, err
+	}
+	rep, err := verif.Check(mcfg, verif.CheckerConfig{
+		MaxStates:      cfg.MaxStates,
+		MaxDepth:       cfg.MaxDepth,
+		Workers:        cfg.Workers,
+		ReplayFromRoot: cfg.ReplayFromRoot,
+		CheckForbidden: cfg.CheckForbidden,
+	})
+	if err != nil {
+		var cex *verif.Counterexample
+		if errors.As(err, &cex) {
+			return nil, &VerifyError{
+				Test: test, Kind: cex.Kind.String(), Msg: cex.Msg,
+				Witness: cex.Path, OriginalLen: cex.OriginalLen,
+				Minimized: cex.Minimized, cex: cex,
+			}
+		}
 		return nil, err
 	}
 	return &VerifyReport{
 		Test: test, States: rep.States, Terminals: rep.Terminals,
 		Outcomes: len(rep.Outcomes), Truncated: rep.Truncated,
+		ForbiddenSkipped: rep.ForbiddenSkipped,
+		Builds:           rep.Builds, Clones: rep.Clones,
 	}, nil
+}
+
+// ReplayReport describes what re-executing a witness did.
+type ReplayReport struct {
+	Test string
+	// Steps decodes each delivered coherence message in order.
+	Steps []string
+	// Kind is "none" when the replay completes without a violation;
+	// otherwise the reproduced failure ("invariant", "deadlock",
+	// "forbidden-outcome"), with Msg the detail.
+	Kind string
+	Msg  string
+	// FailedAt is the number of messages delivered when the violation
+	// fired (invariants can trip mid-path).
+	FailedAt int
+	// Terminal reports an all-retired, fabric-empty end state; Outcome is
+	// then its litmus outcome rendering.
+	Terminal bool
+	Outcome  string
+	// EnabledAtEnd counts still-deliverable messages at the end state.
+	EnabledAtEnd int
+}
+
+// ReplayWitness re-executes a violation witness from Verify (or the
+// c3check witness line) against a freshly built model and reports what
+// happens, step by step. Replay is deterministic: the same witness and
+// configuration always reproduce the same failure.
+func ReplayWitness(test string, cfg VerifyConfig, witness []uint16) (*ReplayReport, error) {
+	mcfg, err := modelConfig(test, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := verif.Replay(mcfg, witness)
+	if err != nil {
+		return nil, err
+	}
+	rr := &ReplayReport{
+		Test: test, Steps: res.Steps, Kind: res.Kind.String(), Msg: res.Msg,
+		FailedAt: res.FailedAt, Terminal: res.Terminal,
+		EnabledAtEnd: res.EnabledAtEnd,
+	}
+	if res.Terminal {
+		rr.Outcome = res.Outcome.String()
+	}
+	return rr, nil
 }

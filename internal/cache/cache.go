@@ -66,6 +66,20 @@ func New(sizeBytes, ways int) *Cache {
 	return c
 }
 
+// Clone returns a deep copy of the array, including LRU ordering and
+// hit/miss counters, for model-checker state snapshots. Entries are
+// values, so copying the sets copies everything.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{
+		sets: make([][]Entry, len(c.sets)), setMask: c.setMask, ways: c.ways,
+		tick: c.tick, Hits: c.Hits, Misses: c.Misses,
+	}
+	for i := range c.sets {
+		n.sets[i] = append([]Entry(nil), c.sets[i]...)
+	}
+	return n
+}
+
 // Sets and Ways report geometry.
 func (c *Cache) Sets() int { return len(c.sets) }
 

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// Clone returns a deep copy of the controller for model-checker
+// snapshots, attached to kernel k and the given fabrics. All C3 state is
+// plain data (directory entries, TBEs, queued messages) — in-flight
+// timing lives as kernel events and must have drained before cloning.
+// Hybrid-memory configurations are not cloneable: LocalMem would be
+// shared with the original. The tracer is not carried over.
+func (c *C3) Clone(k *sim.Kernel, local, global network.Fabric) *C3 {
+	if c.cfg.LocalMem != nil {
+		panic("core: Clone of C3 with hybrid local memory")
+	}
+	cfg := c.cfg
+	cfg.Kernel, cfg.LocalNet, cfg.GlobalNet = k, local, global
+	n := &C3{
+		cfg: cfg, k: k, table: c.table, llc: c.llc.Clone(),
+		dirs:  make(map[mem.LineAddr]*ldir, len(c.dirs)),
+		tbes:  make(map[mem.LineAddr]*tbe, len(c.tbes)),
+		Stats: c.Stats,
+	}
+	for a, d := range c.dirs {
+		nd := &ldir{class: d.class, owner: d.owner, fwd: d.fwd,
+			sharers: make(map[msg.NodeID]bool, len(d.sharers))}
+		for id, v := range d.sharers {
+			nd.sharers[id] = v
+		}
+		n.dirs[a] = nd
+	}
+	for a, t := range c.tbes {
+		nt := *t
+		nt.req = cloneMsg(t.req)
+		nt.snp = cloneMsg(t.snp)
+		nt.conflict = cloneMsg(t.conflict)
+		nt.heldCmp = cloneMsg(t.heldCmp)
+		nt.resume = cloneMsg(t.resume)
+		nt.stalled = nil
+		for _, m := range t.stalled {
+			nt.stalled = append(nt.stalled, m.Clone())
+		}
+		n.tbes[a] = &nt
+	}
+	return n
+}
+
+func cloneMsg(m *msg.Msg) *msg.Msg {
+	if m == nil {
+		return nil
+	}
+	return m.Clone()
+}

@@ -22,7 +22,7 @@ package cpu
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"c3/internal/mem"
 	"c3/internal/sim"
@@ -143,6 +143,12 @@ type Request struct {
 	// Acq/Rel annotate acquire loads and release stores, which
 	// self-invalidating (RCC) caches act on directly.
 	Acq, Rel bool
+	// Token identifies the in-flight operation to the issuing core, so a
+	// cache snapshot (model-checker Clone) can rebuild its pending
+	// completion callbacks: the clone hands the token back through
+	// Core.Resume instead of holding a closure over the original core.
+	// 0 means untracked (non-binding prefetches, which complete inline).
+	Token uint64
 }
 
 // Response reports a finished L1 access.
@@ -274,7 +280,7 @@ func New(id int, k *sim.Kernel, cfg Config, l1 MemPort, src Source, onFinish fun
 	}
 	c := &Core{ID: id, cfg: cfg, k: k, l1: l1, src: src, fetchOK: true, onFinish: onFinish}
 	if cfg.IssueJitter > 0 || cfg.DrainJitter > 0 {
-		c.rng = rand.New(rand.NewSource(cfg.Seed ^ int64(id)*0x9e3779b9 ^ 0x7f))
+		c.rng = rand.New(rand.NewPCG(uint64(cfg.Seed)^0x7f, uint64(id+1)*0x9e3779b97f4a7c15))
 	}
 	return c
 }
@@ -283,7 +289,7 @@ func (c *Core) jitter(n int) sim.Time {
 	if n <= 0 || c.rng == nil {
 		return 0
 	}
-	return sim.Time(c.rng.Intn(n))
+	return sim.Time(c.rng.IntN(n))
 }
 
 // Start begins execution.
@@ -521,14 +527,55 @@ func (c *Core) issueToL1(u *uop, req Request) {
 	c.accessL1(u, req)
 }
 
+// Tokens encode which structure an in-flight L1 access resumes into:
+// odd tokens resume a window uop, even tokens a draining store-buffer
+// entry. The two share a seq namespace (a store's uop and its SB entry
+// carry the same seq), so the low bit keeps them unambiguous.
+func windowToken(seq uint64) uint64 { return seq<<1 + 1 }
+func drainToken(seq uint64) uint64  { return seq<<1 + 2 }
+
 func (c *Core) accessL1(u *uop, req Request) {
-	c.l1.Access(req, func(r Response) {
-		c.outstanding--
-		if c.Observe != nil {
-			c.Observe(OpStats{Kind: u.in.Kind, Addr: u.in.Addr, Missed: r.Missed, Latency: r.MissLatency})
+	req.Token = windowToken(u.seq)
+	tok := req.Token
+	c.l1.Access(req, func(r Response) { c.Resume(tok, r) })
+}
+
+// Resume finishes the in-flight operation identified by tok with the L1's
+// response. It is the single completion path for every tracked access —
+// the L1's callback merely forwards the token here — which is what lets a
+// cloned cache rebind its pending completions to a cloned core: the token
+// is data, not a closure. A token that matches nothing is a protocol bug.
+func (c *Core) Resume(tok uint64, r Response) {
+	if tok == 0 {
+		return // untracked (prefetch)
+	}
+	if tok&1 == 1 { // window op (load/RMW/sync)
+		seq := tok >> 1
+		for _, u := range c.window {
+			if u.seq == seq {
+				c.outstanding--
+				if c.Observe != nil {
+					c.Observe(OpStats{Kind: u.in.Kind, Addr: u.in.Addr, Missed: r.Missed, Latency: r.MissLatency})
+				}
+				c.complete(u, r.Val)
+				return
+			}
 		}
-		c.complete(u, r.Val)
-	})
+		panic(fmt.Sprintf("cpu: core %d resume token %d: no window op with seq %d", c.ID, tok, seq))
+	}
+	seq := (tok - 2) >> 1
+	for _, s := range c.sb {
+		if s.seq == seq {
+			c.outstanding--
+			if c.Observe != nil {
+				c.Observe(OpStats{Kind: Store, Addr: s.addr, Missed: r.Missed, Latency: r.MissLatency})
+			}
+			c.removeSB(s)
+			c.pump()
+			return
+		}
+	}
+	panic(fmt.Sprintf("cpu: core %d resume token %d: no draining store with seq %d", c.ID, tok, seq))
 }
 
 // completeLocal finishes ops that never left the core (SB retire,
@@ -594,15 +641,10 @@ func (c *Core) drainSB() {
 		draining++
 		entry := s
 		c.outstanding++
+		tok := drainToken(entry.seq)
 		drain := func() {
-			c.l1.Access(Request{Kind: Store, Addr: entry.addr, Val: entry.val, Rel: entry.rel}, func(r Response) {
-				c.outstanding--
-				if c.Observe != nil {
-					c.Observe(OpStats{Kind: Store, Addr: entry.addr, Missed: r.Missed, Latency: r.MissLatency})
-				}
-				c.removeSB(entry)
-				c.pump()
-			})
+			c.l1.Access(Request{Kind: Store, Addr: entry.addr, Val: entry.val, Rel: entry.rel, Token: tok},
+				func(r Response) { c.Resume(tok, r) })
 		}
 		if j := c.jitter(c.cfg.DrainJitter); j > 0 {
 			c.k.After(j, drain)
@@ -635,6 +677,48 @@ func (c *Core) removeSB(e *sbEntry) {
 		}
 	}
 }
+
+// Clone returns a deep copy of the core for model-checker snapshots,
+// attached to kernel k and instruction source src (the caller clones the
+// source). The L1 port is left nil — call BindL1 once the matching cache
+// clone exists; the cache resumes this core's in-flight accesses by
+// token (see Resume). Cores with jitter enabled cannot be cloned (the
+// checker explores orderings exhaustively and never uses jitter), nor
+// can cores with a pending pump event (non-quiescent).
+func (c *Core) Clone(k *sim.Kernel, src Source) *Core {
+	if c.rng != nil {
+		panic("cpu: Clone of core with timing jitter enabled")
+	}
+	if c.pumpEvt {
+		panic("cpu: Clone of core with a pending pump event")
+	}
+	if c.onFinish != nil {
+		panic("cpu: Clone of core with an onFinish callback")
+	}
+	n := &Core{
+		ID: c.ID, cfg: c.cfg, k: k, src: src,
+		fetchOK: c.fetchOK, srcDone: c.srcDone, halted: c.halted,
+		nextSeq: c.nextSeq, Observe: c.Observe,
+		Retired: c.Retired, FinishedAt: c.FinishedAt, finished: c.finished,
+		outstanding: c.outstanding,
+	}
+	n.window = make([]*uop, len(c.window))
+	for i, u := range c.window {
+		cu := *u
+		n.window[i] = &cu
+	}
+	n.sb = make([]*sbEntry, len(c.sb))
+	for i, s := range c.sb {
+		cs := *s
+		n.sb[i] = &cs
+	}
+	return n
+}
+
+// BindL1 attaches the core's memory port; used when cloning, where the
+// core and its cache must be created before they can reference each
+// other.
+func (c *Core) BindL1(l1 MemPort) { c.l1 = l1 }
 
 func (c *Core) checkFinished() {
 	if c.finished || !c.srcDone {

@@ -30,6 +30,16 @@ func (s *SliceSource) Complete(in Instr, loaded uint64) {
 	}
 }
 
+// Clone returns a deep copy for model-checker snapshots. The program is
+// immutable and shared; the register file and position are copied.
+func (s *SliceSource) Clone() *SliceSource {
+	n := &SliceSource{Prog: s.Prog, Regs: make(map[int]uint64, len(s.Regs)), pos: s.pos}
+	for r, v := range s.Regs {
+		n.Regs[r] = v
+	}
+	return n
+}
+
 // FuncSource adapts closures to Source, for workload generators that
 // react to loaded values (spin loops, pointer chasing).
 type FuncSource struct {

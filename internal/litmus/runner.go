@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 
 	"c3/internal/cpu"
 	"c3/internal/faults"
@@ -122,10 +122,10 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 	// (the stream a serial campaign consumes), then indexed per
 	// iteration by the shards.
 	nt := len(t.Threads)
-	rng := rand.New(rand.NewSource(cfg.BaseSeed ^ 0x5eed))
+	rng := rand.New(rand.NewPCG(uint64(cfg.BaseSeed)^0x5eed, 0xc3c3))
 	offsets := make([]sim.Time, cfg.Iters*nt)
 	for i := range offsets {
-		offsets[i] = sim.Time(rng.Intn(800))
+		offsets[i] = sim.Time(rng.IntN(800))
 	}
 
 	workers := parallel.Workers(cfg.Workers)

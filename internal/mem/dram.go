@@ -46,6 +46,21 @@ func NewDRAM(k *sim.Kernel, cfg DRAMConfig) *DRAM {
 	return &DRAM{k: k, cfg: cfg, store: make(map[LineAddr]Data)}
 }
 
+// Clone returns a deep copy of the device attached to kernel k, for
+// model-checker state snapshots. In-flight accesses live as kernel
+// events and must have drained before cloning (the checker snapshots
+// only quiescent states).
+func (d *DRAM) Clone(k *sim.Kernel) *DRAM {
+	n := &DRAM{
+		k: k, cfg: d.cfg, store: make(map[LineAddr]Data, len(d.store)),
+		busyUntil: d.busyUntil, Reads: d.Reads, Writes: d.Writes,
+	}
+	for a, v := range d.store {
+		n.store[a] = v
+	}
+	return n
+}
+
 // occupancy is the channel time one line transfer occupies.
 func (d *DRAM) occupancy() sim.Time {
 	c := sim.Time(float64(LineBytes) / d.cfg.BytesPerCycle)

@@ -211,6 +211,18 @@ type Msg struct {
 // WithData returns a copy of d suitable for attaching to a message.
 func WithData(d mem.Data) *mem.Data { return &d }
 
+// Clone returns a deep copy of the message, including a private copy of
+// the data payload, for model-checker state snapshots (a queued message
+// must not share its payload with the snapshot it was cloned from).
+func (m *Msg) Clone() *Msg {
+	n := *m
+	if m.Data != nil {
+		d := *m.Data
+		n.Data = &d
+	}
+	return &n
+}
+
 // ControlBytes and header sizes approximate CXL flit accounting: a
 // data-bearing message is a header plus the 64 B line.
 const (

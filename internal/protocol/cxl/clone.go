@@ -1,0 +1,47 @@
+package cxl
+
+import (
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// Clone returns a deep copy of the DCOH for model-checker snapshots,
+// attached to kernel k, fabric net, and an already-cloned dram. All DCOH
+// state is plain data (line directory, open transactions, stalled
+// queues); DRAM read/write continuations live as kernel events and must
+// have drained before cloning. The tracer is not carried over.
+func (d *DCOH) Clone(k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
+	n := &DCOH{
+		id: d.id, k: k, net: net, dram: dram, Lat: d.Lat,
+		lines: make(map[mem.LineAddr]*dline, len(d.lines)),
+		Stats: d.Stats,
+	}
+	for a, l := range d.lines {
+		nl := &dline{state: l.state, owner: l.owner,
+			sharers: cloneSharers(l.sharers)}
+		if l.cur != nil {
+			nl.cur = &tx{
+				req: l.cur.req.Clone(), pending: cloneSharers(l.cur.pending),
+				data: l.cur.data, dirty: l.cur.dirty, keptS: cloneSharers(l.cur.keptS),
+			}
+		}
+		for _, m := range l.queue {
+			nl.queue = append(nl.queue, m.Clone())
+		}
+		n.lines[a] = nl
+	}
+	return n
+}
+
+func cloneSharers(s map[msg.NodeID]bool) map[msg.NodeID]bool {
+	if s == nil {
+		return nil
+	}
+	n := make(map[msg.NodeID]bool, len(s))
+	for id, v := range s {
+		n[id] = v
+	}
+	return n
+}

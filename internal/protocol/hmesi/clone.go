@@ -1,0 +1,36 @@
+package hmesi
+
+import (
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+)
+
+// Clone returns a deep copy of the directory for model-checker
+// snapshots, attached to kernel k, fabric net, and an already-cloned
+// dram. All directory state is plain data; memory-access continuations
+// live as kernel events and must have drained before cloning. The
+// tracer is not carried over.
+func (d *Dir) Clone(k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *Dir {
+	n := &Dir{
+		id: d.id, k: k, net: net, dram: dram, Lat: d.Lat,
+		lines: make(map[mem.LineAddr]*hline, len(d.lines)),
+		Stats: d.Stats,
+	}
+	for a, l := range d.lines {
+		nl := &hline{
+			state: l.state, owner: l.owner, busy: l.busy,
+			copyBackFrom: l.copyBackFrom, pendingReq: l.pendingReq,
+			sharers: make(map[msg.NodeID]bool, len(l.sharers)),
+		}
+		for id, v := range l.sharers {
+			nl.sharers[id] = v
+		}
+		for _, m := range l.queue {
+			nl.queue = append(nl.queue, m.Clone())
+		}
+		n.lines[a] = nl
+	}
+	return n
+}

@@ -149,6 +149,18 @@ type Kernel struct {
 // Now reports the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
+// Clone returns a new kernel at the same simulated time and schedule
+// sequence. Only a quiescent kernel (no pending events) can be cloned:
+// queued events hold closures over the original component graph and
+// cannot be rebound, so the model checker snapshots states only at
+// quiescent points where the queue has drained.
+func (k *Kernel) Clone() *Kernel {
+	if len(k.events) != 0 {
+		panic("sim: Clone of kernel with pending events")
+	}
+	return &Kernel{now: k.now, nextSq: k.nextSq, Stepped: k.Stepped}
+}
+
 // Pending reports how many events are queued.
 func (k *Kernel) Pending() int { return len(k.events) }
 

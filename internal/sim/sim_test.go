@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 	"testing"
 )
@@ -177,11 +177,11 @@ func TestRunLimit(t *testing.T) {
 }
 
 func TestRandomizedOrdering(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewPCG(42, 0))
 	var k Kernel
 	var got []Time
 	for i := 0; i < 1000; i++ {
-		t := Time(rng.Intn(500))
+		t := Time(rng.IntN(500))
 		k.Schedule(t, func() { got = append(got, t) })
 	}
 	k.Run(nil)

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"c3/internal/cache"
-	"c3/internal/cpu"
 	"c3/internal/msg"
 	"c3/internal/network"
 	"c3/internal/protocol/cxl"
@@ -19,14 +17,14 @@ type portDumper interface {
 	DumpState(io.Writer)
 }
 
-func newDCOH(id msg.NodeID, m *Model) portDumper {
+func newDCOH(id msg.NodeID, m *Model) *cxl.DCOH {
 	d := cxl.New(id, m.K, m.Fabric, m.dram)
 	d.Lat = 1
 	m.Fabric.Register(id, d)
 	return d
 }
 
-func newHDir(id msg.NodeID, m *Model) portDumper {
+func newHDir(id msg.NodeID, m *Model) *hmesi.Dir {
 	d := hmesi.New(id, m.K, m.Fabric, m.dram)
 	d.Lat = 1
 	m.Fabric.Register(id, d)
@@ -37,7 +35,7 @@ func newHDir(id msg.NodeID, m *Model) portDumper {
 // checker covers the invalidation-based (MESI-family) protocols; RCC's
 // intentionally stale copies make the SWMR invariant inapplicable and
 // are covered by the litmus runner instead.
-func newL1For(proto string, id, dir msg.NodeID, m *Model) (cpu.MemPort, network.Port) {
+func newL1For(proto string, id, dir msg.NodeID, m *Model) *hostproto.L1 {
 	var v hostproto.Variant
 	switch proto {
 	case "mesi", "MESI":
@@ -50,10 +48,5 @@ func newL1For(proto string, id, dir msg.NodeID, m *Model) (cpu.MemPort, network.
 		panic(fmt.Sprintf("verif: unsupported local protocol %q", proto))
 	}
 	cfg := hostproto.Config{Variant: v, SizeBytes: 4096, Ways: 4, HitLatency: 1}
-	l1 := hostproto.NewL1(id, dir, m.K, m.Fabric, cfg)
-	return l1, l1
-}
-
-func cacheOf(p cpu.MemPort) *cache.Cache {
-	return p.(interface{ Cache() *cache.Cache }).Cache()
+	return hostproto.NewL1(id, dir, m.K, m.Fabric, cfg)
 }

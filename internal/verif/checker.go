@@ -3,8 +3,9 @@ package verif
 import (
 	"context"
 	"fmt"
+	"math"
 
-	"c3/internal/mem"
+	"c3/internal/litmus"
 	"c3/internal/parallel"
 )
 
@@ -15,6 +16,19 @@ type Report struct {
 	Outcomes  map[string]bool
 	Truncated bool // MaxStates reached before exhaustion
 	MaxDepth  int
+	// ForbiddenSkipped records that the test declares a Forbidden
+	// predicate but the checker did not evaluate it because the model ran
+	// with relaxed synchronization (Sync != SyncFull) — relaxed outcomes
+	// the predicate names are then architecturally legal. Set
+	// CheckerConfig.CheckForbidden to evaluate it anyway.
+	ForbiddenSkipped bool
+	// Builds counts full model constructions (Build + Start + prefix
+	// re-execution); Clones counts snapshot deep copies. Together they
+	// expose the cost profile: snapshot exploration does O(states) cheap
+	// Clones and O(1) Builds, replay-from-root does O(states·depth) work
+	// through Builds.
+	Builds uint64
+	Clones uint64
 }
 
 // CheckerConfig bounds the exploration.
@@ -22,16 +36,37 @@ type CheckerConfig struct {
 	MaxStates uint64 // 0 -> 200k
 	MaxDepth  int    // 0 -> 400
 	// Workers parallelizes successor expansion (0 = GOMAXPROCS, 1 =
-	// serial). Each successor is reconstructed by replaying its delivery
-	// prefix on a private model, so branches are independent; hashes and
-	// invariant results merge in canonical action order, keeping the
+	// serial). Successor branches are independent by construction; hashes
+	// and invariant results merge in canonical action order, keeping the
 	// visit order — and therefore the Report — identical to a serial
 	// exploration.
 	Workers int
+	// ReplayFromRoot disables snapshotting: every state is reconstructed
+	// by re-executing its delivery prefix on a freshly built model, as the
+	// original checker did. Kept as a cross-check (snapshot and replay
+	// exploration must produce identical Reports) and as a low-memory
+	// fallback.
+	ReplayFromRoot bool
+	// SnapshotBudget caps live frontier snapshots (0 -> 4096). Frontier
+	// entries beyond the budget drop their model and are rebuilt by prefix
+	// replay when popped, bounding memory on wide state spaces.
+	SnapshotBudget int
+	// CheckForbidden evaluates the test's Forbidden predicate even under
+	// relaxed synchronization, where it is normally skipped (see
+	// Report.ForbiddenSkipped). Used to demonstrate witness extraction on
+	// outcomes that are reachable by design.
+	CheckForbidden bool
 }
 
-// Check exhaustively explores cfg's state space and verifies all
-// invariants; it returns the exploration report or the first violation.
+// Check exhaustively explores mcfg's state space and verifies all
+// invariants. On a violation the returned error is a *Counterexample
+// whose Path replays the failure via Replay (witnesses other than
+// livelocks are first minimized by delta-debugging).
+//
+// States are expanded by deep-copying the frontier snapshot
+// (Model.Clone) and delivering one message to each copy; the delivery
+// prefix is re-executed from the root only for entries whose snapshot
+// was dropped (SnapshotBudget) or when ReplayFromRoot is set.
 func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 	if ccfg.MaxStates == 0 {
 		ccfg.MaxStates = 200_000
@@ -39,16 +74,38 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 	if ccfg.MaxDepth == 0 {
 		ccfg.MaxDepth = 400
 	}
+	if ccfg.SnapshotBudget == 0 {
+		ccfg.SnapshotBudget = 4096
+	}
 	rep := &Report{Outcomes: map[string]bool{}}
 	visited := make(map[uint64]bool)
 
-	// replay reconstructs the state after a delivery prefix.
-	replay := func(path []uint16) (*Model, error) {
-		m, err := Build(mcfg)
+	checkForbidden := mcfg.Test.Forbidden != nil &&
+		(mcfg.Sync == litmus.SyncFull || ccfg.CheckForbidden)
+	if mcfg.Test.Forbidden != nil && !checkForbidden {
+		rep.ForbiddenSkipped = true
+	}
+
+	// fail wraps a violation into a replayable, minimized witness.
+	fail := func(kind ViolationKind, msgStr string, path []uint16) error {
+		cex := &Counterexample{
+			Kind: kind, Msg: msgStr,
+			Path:        append([]uint16(nil), path...),
+			OriginalLen: len(path),
+		}
+		if kind != VLivelock { // a livelock's path length is the failure
+			minimizeWitness(mcfg, cex, rep)
+		}
+		return cex
+	}
+
+	// replayPath reconstructs the state after a delivery prefix. Callers
+	// account rep.Builds serially (this also runs inside parallel.Map).
+	replayPath := func(path []uint16) (*Model, error) {
+		m, err := newModel(mcfg)
 		if err != nil {
 			return nil, err
 		}
-		m.Start()
 		for _, ai := range path {
 			acts := m.Fabric.Enabled()
 			if int(ai) >= len(acts) {
@@ -59,68 +116,111 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		return m, nil
 	}
 
-	var frontier [][]uint16
-	m0, err := replay(nil)
+	// The frontier carries each state's path always and its snapshot when
+	// the budget allows; live tracks retained snapshots.
+	type frontierEntry struct {
+		path []uint16
+		m    *Model
+	}
+	var frontier []frontierEntry
+	live := 0
+
+	m0, err := replayPath(nil)
 	if err != nil {
 		return nil, err
 	}
+	rep.Builds++
 	visited[m0.Hash()] = true
 	rep.States++
 	if err := m0.checkInvariants(); err != nil {
-		return rep, err
+		return rep, fail(VInvariant, err.Error(), nil)
 	}
-	frontier = append(frontier, nil)
+	if ccfg.ReplayFromRoot {
+		frontier = append(frontier, frontierEntry{})
+	} else {
+		frontier = append(frontier, frontierEntry{m: m0})
+		live++
+	}
 
 	for len(frontier) > 0 {
-		path := frontier[0]
+		ent := frontier[0]
+		frontier[0] = frontierEntry{}
 		frontier = frontier[1:]
+		path := ent.path
 		if len(path) > rep.MaxDepth {
 			rep.MaxDepth = len(path)
 		}
-		base, err := replay(path)
-		if err != nil {
-			return rep, err
+		base := ent.m
+		if base != nil {
+			live--
+		} else {
+			base, err = replayPath(path)
+			if err != nil {
+				return rep, err
+			}
+			rep.Builds++
 		}
 		acts := base.Fabric.Enabled()
 		if len(acts) == 0 {
 			if !base.AllFinished() {
-				return rep, fmt.Errorf("verif: deadlock at depth %d: cores stuck with empty fabric", len(path))
+				return rep, fail(VDeadlock, "cores stuck with empty fabric", path)
 			}
 			rep.Terminals++
 			o := base.Outcome()
 			rep.Outcomes[o.String()] = true
-			if mcfg.Test.Forbidden != nil && mcfg.Sync == 0 /* SyncFull */ && mcfg.Test.Forbidden(o) {
-				return rep, fmt.Errorf("verif: forbidden outcome reachable: %s", o)
+			if checkForbidden && mcfg.Test.Forbidden(o) {
+				return rep, fail(VForbidden, o.String(), path)
 			}
 			continue
 		}
 		if len(path) >= ccfg.MaxDepth {
-			return rep, fmt.Errorf("verif: depth bound %d exceeded (livelock?)", ccfg.MaxDepth)
+			return rep, fail(VLivelock, fmt.Sprintf("depth bound %d exceeded", ccfg.MaxDepth), path)
 		}
-		// Expand all successors in parallel: each branch replays the
-		// prefix on its own model (independent by construction), then
-		// hashes and invariant-checks the resulting state. The merge
+		if len(acts) > math.MaxUint16+1 {
+			return rep, fmt.Errorf("verif: %d enabled actions at depth %d exceed the %d-entry path encoding",
+				len(acts), len(path), math.MaxUint16+1)
+		}
+		// Expand all successors in parallel: each branch deep-copies the
+		// frontier snapshot (or, under ReplayFromRoot, re-executes the
+		// prefix on a fresh model) and delivers one message. Clone is
+		// read-only on the parent, so branches are independent. The merge
 		// below runs serially in canonical action order, so visited-set
 		// updates, state counts, truncation, and the frontier are
-		// byte-identical to a serial exploration. Invariants are pure
-		// functions of the state, so checking them eagerly here (even
-		// for states the merge will skip as already visited) changes
-		// nothing observable.
+		// byte-identical to a serial exploration — and identical between
+		// the snapshot and replay strategies, which reach the same states.
+		// Invariants are pure functions of the state, so checking them
+		// eagerly here (even for states the merge will skip as already
+		// visited) changes nothing observable.
 		type successor struct {
 			hash   uint64
 			invErr error
+			m      *Model
 		}
 		kids, err := parallel.Map(context.Background(), ccfg.Workers, len(acts),
 			func(ai int) (successor, error) {
-				m, err := replay(path)
-				if err != nil {
-					return successor{}, err
+				var m *Model
+				if ccfg.ReplayFromRoot {
+					var err error
+					if m, err = replayPath(path); err != nil {
+						return successor{}, err
+					}
+				} else {
+					m = base.Clone()
 				}
 				m.Step(m.Fabric.Enabled()[ai])
-				return successor{hash: m.Hash(), invErr: m.checkInvariants()}, nil
+				s := successor{hash: m.Hash(), invErr: m.checkInvariants()}
+				if !ccfg.ReplayFromRoot {
+					s.m = m
+				}
+				return s, nil
 			})
 		if err != nil {
 			return rep, err
+		}
+		if ccfg.ReplayFromRoot {
+			rep.Builds += uint64(len(acts))
+		} else {
+			rep.Clones += uint64(len(acts))
 		}
 		for ai, kid := range kids {
 			if visited[kid.hash] {
@@ -128,17 +228,22 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 			}
 			visited[kid.hash] = true
 			rep.States++
+			np := make([]uint16, len(path)+1)
+			copy(np, path)
+			np[len(path)] = uint16(ai)
 			if kid.invErr != nil {
-				return rep, fmt.Errorf("%w (depth %d)", kid.invErr, len(path)+1)
+				return rep, fail(VInvariant, kid.invErr.Error(), np)
 			}
 			if rep.States >= ccfg.MaxStates {
 				rep.Truncated = true
 				return rep, nil
 			}
-			np := make([]uint16, len(path)+1)
-			copy(np, path)
-			np[len(path)] = uint16(ai)
-			frontier = append(frontier, np)
+			ent := frontierEntry{path: np}
+			if kid.m != nil && live < ccfg.SnapshotBudget {
+				ent.m = kid.m
+				live++
+			}
+			frontier = append(frontier, ent)
 		}
 	}
 	return rep, nil
@@ -205,5 +310,3 @@ func (m *Model) checkCompound() error {
 	}
 	return nil
 }
-
-var _ = mem.LineAddr(0)

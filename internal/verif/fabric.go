@@ -23,6 +23,7 @@ package verif
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"c3/internal/msg"
 	"c3/internal/network"
@@ -76,6 +77,32 @@ func NewChoiceFabric(unordered func(m *msg.Msg) bool) *ChoiceFabric {
 // Register attaches a receiver.
 func (f *ChoiceFabric) Register(id msg.NodeID, p network.Port) { f.ports[id] = p }
 
+// Clone returns a deep copy of the fabric's in-flight messages for
+// model-checker snapshots. Ports are NOT carried over — they reference
+// the original component graph; the caller re-Registers the cloned
+// components. The Unordered/CrossFabric classifiers are stateless pure
+// functions of the message and are shared.
+func (f *ChoiceFabric) Clone() *ChoiceFabric {
+	n := &ChoiceFabric{
+		ports:       make(map[msg.NodeID]network.Port, len(f.ports)),
+		ordered:     make(map[chKey][]*msg.Msg, len(f.ordered)),
+		Unordered:   f.Unordered,
+		CrossFabric: f.CrossFabric,
+		Delivered:   f.Delivered,
+	}
+	for k, q := range f.ordered {
+		nq := make([]*msg.Msg, len(q))
+		for i, m := range q {
+			nq[i] = m.Clone()
+		}
+		n.ordered[k] = nq
+	}
+	for _, m := range f.bag {
+		n.bag = append(n.bag, m.Clone())
+	}
+	return n
+}
+
 // CrossPair, when non-nil, identifies directed pairs whose ordered
 // vnets share one FIFO is the *inverse*: intra-cluster pairs (not
 // cross-fabric) are point-to-point ordered across vnets, mirroring the
@@ -127,6 +154,31 @@ func (f *ChoiceFabric) Enabled() []Action {
 		acts = append(acts, Action{FromBag: true, Index: i})
 	}
 	return acts
+}
+
+// Peek returns the message action a would deliver, without delivering
+// it (witness decoding and minimization).
+func (f *ChoiceFabric) Peek(a Action) *msg.Msg {
+	if a.FromBag {
+		return f.bag[a.Index]
+	}
+	return f.ordered[a.Channel][0]
+}
+
+// ActionKey renders the protocol-visible identity of the message action
+// a would deliver. Witness minimization matches delivery choices across
+// different prefixes by this key (indices shift when steps are dropped;
+// the message identity does not).
+func (f *ChoiceFabric) ActionKey(a Action) string {
+	m := f.Peek(a)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %x %d>%d n%d r%d k%d v%d w%d m%x %v%v",
+		m.Type, uint64(m.Addr), m.Src, m.Dst, m.VNet, m.Req, m.Acks, m.Val,
+		m.Word, m.Mask, m.Acq, m.Rel)
+	if m.Data != nil {
+		fmt.Fprintf(&b, " %v %v", *m.Data, m.Dirty)
+	}
+	return b.String()
 }
 
 // Deliver executes one action.

@@ -13,6 +13,9 @@ import (
 	"c3/internal/litmus"
 	"c3/internal/mem"
 	"c3/internal/msg"
+	"c3/internal/protocol/cxl"
+	"c3/internal/protocol/hmesi"
+	"c3/internal/protocol/hostproto"
 	"c3/internal/sim"
 	"c3/internal/ssp"
 )
@@ -40,14 +43,14 @@ type Model struct {
 	c3s   []*core.C3
 	dram  *mem.DRAM
 	// one of:
-	dcoh portDumper
-	hdir portDumper
+	dcoh *cxl.DCOH
+	hdir *hmesi.Dir
 
 	dumpers []interface{ DumpState(io.Writer) }
 }
 
 type hostL1 struct {
-	port    interface{ DumpState(io.Writer) }
+	l1      *hostproto.L1
 	cache   *cache.Cache
 	cluster int
 }
@@ -114,8 +117,8 @@ func Build(cfg ModelConfig) (*Model, error) {
 	// Threads round-robin across clusters, one L1 + core each.
 	for ti, th := range cfg.Test.Threads {
 		ci := ti % 2
-		l1, port := newL1For(cfg.Locals[ci], next, msg.NodeID(2+ci), m)
-		m.Fabric.Register(next, port)
+		l1 := newL1For(cfg.Locals[ci], next, msg.NodeID(2+ci), m)
+		m.Fabric.Register(next, l1)
 		next++
 		eff := th
 		switch cfg.Sync {
@@ -129,15 +132,14 @@ func Build(cfg ModelConfig) (*Model, error) {
 		c := cpu.New(ti, m.K, ccfg, l1, src, nil)
 		m.cores = append(m.cores, c)
 		m.srcs = append(m.srcs, src)
-		m.l1s = append(m.l1s, &hostL1{port: port.(interface{ DumpState(io.Writer) }),
-			cache: cacheOf(l1), cluster: ci})
+		m.l1s = append(m.l1s, &hostL1{l1: l1, cache: l1.Cache(), cluster: ci})
 	}
 
 	for _, c := range m.cores {
 		m.dumpers = append(m.dumpers, c)
 	}
 	for _, l := range m.l1s {
-		m.dumpers = append(m.dumpers, l.port)
+		m.dumpers = append(m.dumpers, l.l1)
 	}
 	for _, c3 := range m.c3s {
 		m.dumpers = append(m.dumpers, c3)

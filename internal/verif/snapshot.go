@@ -1,0 +1,64 @@
+package verif
+
+// Clone returns a deep copy of a quiescent model: an independent system
+// whose every component — kernel clock, cores, store buffers, host
+// caches, C3 controllers, global directory, DRAM, and in-flight fabric
+// messages — is copied, so delivering a message to the clone leaves the
+// original untouched. The checker uses it to expand a frontier state's
+// successors without re-executing the delivery prefix from the root.
+//
+// Cloning is only defined at quiescent points (the only states the
+// checker visits): the kernel queue must be empty, which guarantees no
+// event closures reference the old graph. The one cross-component link
+// that outlives quiescence — an L1's pending core completions — is
+// rebuilt from request tokens (see cpu.Request.Token and cpu.Core.Resume).
+//
+// Clone is read-only on the receiver, so several successors of the same
+// parent may be cloned concurrently.
+func (m *Model) Clone() *Model {
+	n := &Model{cfg: m.cfg, K: m.K.Clone()}
+	n.Fabric = m.Fabric.Clone()
+	n.dram = m.dram.Clone(n.K)
+	if m.dcoh != nil {
+		n.dcoh = m.dcoh.Clone(n.K, n.Fabric, n.dram)
+		n.Fabric.Register(n.dcoh.ID(), n.dcoh)
+	}
+	if m.hdir != nil {
+		n.hdir = m.hdir.Clone(n.K, n.Fabric, n.dram)
+		n.Fabric.Register(n.hdir.ID(), n.hdir)
+	}
+	for _, c3 := range m.c3s {
+		nc := c3.Clone(n.K, n.Fabric, n.Fabric)
+		n.Fabric.Register(nc.ID(), nc)
+		n.c3s = append(n.c3s, nc)
+	}
+	for i, c := range m.cores {
+		src := m.srcs[i].Clone()
+		nc := c.Clone(n.K, src)
+		l1 := m.l1s[i].l1.Clone(n.K, n.Fabric, nc.Resume)
+		nc.BindL1(l1)
+		n.Fabric.Register(l1.ID(), l1)
+		n.cores = append(n.cores, nc)
+		n.srcs = append(n.srcs, src)
+		n.l1s = append(n.l1s, &hostL1{l1: l1, cache: l1.Cache(), cluster: m.l1s[i].cluster})
+	}
+	// Dumpers in Build's order, so Hash sees states identically whether a
+	// model was built or cloned.
+	for _, c := range n.cores {
+		n.dumpers = append(n.dumpers, c)
+	}
+	for _, l := range n.l1s {
+		n.dumpers = append(n.dumpers, l.l1)
+	}
+	for _, c3 := range n.c3s {
+		n.dumpers = append(n.dumpers, c3)
+	}
+	if n.dcoh != nil {
+		n.dumpers = append(n.dumpers, n.dcoh)
+	}
+	if n.hdir != nil {
+		n.dumpers = append(n.dumpers, n.hdir)
+	}
+	n.dumpers = append(n.dumpers, n.dram)
+	return n
+}

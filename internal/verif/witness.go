@@ -1,0 +1,280 @@
+package verif
+
+import (
+	"fmt"
+	"math"
+
+	"c3/internal/litmus"
+)
+
+// ViolationKind classifies what a counterexample demonstrates.
+type ViolationKind uint8
+
+const (
+	VNone      ViolationKind = iota
+	VInvariant               // SWMR / Rule-I compound-state violation
+	VDeadlock                // cores stuck with an empty fabric
+	VLivelock                // depth bound exceeded with actions enabled
+	VForbidden               // litmus-forbidden terminal outcome
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case VNone:
+		return "none"
+	case VInvariant:
+		return "invariant"
+	case VDeadlock:
+		return "deadlock"
+	case VLivelock:
+		return "livelock"
+	case VForbidden:
+		return "forbidden-outcome"
+	}
+	return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+}
+
+// Counterexample is a reproducible violation witness: the sequence of
+// delivery choices (indices into Enabled(), in order) that drives a
+// fresh model from the initial state to the failure. Check returns one
+// as its error on every violation path; extract it with errors.As and
+// re-execute it with Replay. Except for livelock witnesses — where the
+// path's length IS the failure — the path has been shrunk by
+// delta-debugging and is never longer than the original.
+type Counterexample struct {
+	Kind ViolationKind
+	// Msg is the underlying failure: the invariant error text, the
+	// forbidden outcome rendering, or the deadlock description.
+	Msg string
+	// Path replays the violation: at each step deliver Enabled()[i].
+	Path []uint16
+	// OriginalLen is the path length before minimization.
+	OriginalLen int
+	// Minimized reports that delta-debugging ran (and reproduced the
+	// violation at least once).
+	Minimized bool
+}
+
+func (c *Counterexample) Error() string {
+	d := len(c.Path)
+	switch c.Kind {
+	case VInvariant:
+		return fmt.Sprintf("%s (depth %d)", c.Msg, d)
+	case VDeadlock:
+		return fmt.Sprintf("verif: deadlock at depth %d: %s", d, c.Msg)
+	case VLivelock:
+		return fmt.Sprintf("verif: depth bound %d exceeded (livelock?)", d)
+	case VForbidden:
+		return fmt.Sprintf("verif: forbidden outcome reachable: %s", c.Msg)
+	}
+	return c.Msg
+}
+
+// newModel builds and starts a fresh model. testRootMutate, when
+// non-nil, perturbs every freshly built model after Start — a test seam
+// for forcing failure branches (deadlock, action-count overflow) that
+// well-formed configurations cannot reach. It must be deterministic:
+// exploration, minimization, and replay all rebuild through here and
+// must see the same root.
+func newModel(mcfg ModelConfig) (*Model, error) {
+	m, err := Build(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Start()
+	if testRootMutate != nil {
+		testRootMutate(m)
+	}
+	return m, nil
+}
+
+var testRootMutate func(*Model)
+
+// minimizeBudget caps model re-executions per minimization, keeping the
+// delta-debugging cost bounded on deep witnesses.
+const minimizeBudget = 600
+
+// minimizeWitness shrinks cex.Path by delta debugging: greedily drop
+// chunks of delivery steps while the same violation still reproduces.
+// Because dropping a step renumbers every later Enabled() index, steps
+// are matched by message identity (ActionKey) rather than by index, and
+// the surviving subsequence is converted back to an index path at the
+// end. Guarantees: the result reproduces the identical failure (same
+// Kind and Msg — for invariants it may fire at a shallower depth along
+// the way, which truncates the tail for free), and is never longer than
+// the original. On any budget exhaustion or non-reproduction the
+// original path is kept.
+func minimizeWitness(mcfg ModelConfig, cex *Counterexample, rep *Report) {
+	if len(cex.Path) == 0 {
+		return
+	}
+	budget := minimizeBudget
+	keys, err := pathKeys(mcfg, cex.Path, rep)
+	if err != nil {
+		return
+	}
+	// Sanity: replaying the full key sequence must reproduce the failure
+	// (it re-executes the original path by identity).
+	best, ok := reproduces(mcfg, keys, cex, rep, &budget)
+	if !ok {
+		return
+	}
+	cex.Minimized = true
+	sz := len(keys) / 2
+	if sz < 1 {
+		sz = 1
+	}
+	for budget > 0 {
+		removed := false
+		for start := 0; start+sz <= len(keys) && budget > 0; {
+			cand := make([]string, 0, len(keys)-sz)
+			cand = append(cand, keys[:start]...)
+			cand = append(cand, keys[start+sz:]...)
+			if p, ok := reproduces(mcfg, cand, cex, rep, &budget); ok {
+				keys, best, removed = cand, p, true
+			} else {
+				start += sz
+			}
+		}
+		if !removed {
+			if sz == 1 {
+				break
+			}
+			sz /= 2
+		}
+	}
+	if len(best) <= len(cex.Path) {
+		cex.Path = best
+	}
+}
+
+// pathKeys renders the message identity of each step of path.
+func pathKeys(mcfg ModelConfig, path []uint16, rep *Report) ([]string, error) {
+	m, err := newModel(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Builds++
+	keys := make([]string, 0, len(path))
+	for i, ai := range path {
+		acts := m.Fabric.Enabled()
+		if int(ai) >= len(acts) {
+			return nil, fmt.Errorf("verif: witness diverged at step %d", i)
+		}
+		keys = append(keys, m.Fabric.ActionKey(acts[ai]))
+		m.Step(acts[ai])
+	}
+	return keys, nil
+}
+
+// reproduces replays the delivery steps identified by keys (matched by
+// message identity, first match in canonical order) and reports whether
+// the same violation fires, returning the corresponding index path.
+// Invariant violations may fire before all keys are consumed; the
+// shorter prefix is returned.
+func reproduces(mcfg ModelConfig, keys []string, cex *Counterexample, rep *Report, budget *int) ([]uint16, bool) {
+	if *budget <= 0 {
+		return nil, false
+	}
+	*budget--
+	m, err := newModel(mcfg)
+	if err != nil {
+		return nil, false
+	}
+	rep.Builds++
+	path := make([]uint16, 0, len(keys))
+	for _, key := range keys {
+		acts := m.Fabric.Enabled()
+		ai := -1
+		for i, a := range acts {
+			if m.Fabric.ActionKey(a) == key {
+				ai = i
+				break
+			}
+		}
+		if ai < 0 || ai > math.MaxUint16 {
+			return nil, false
+		}
+		m.Step(acts[ai])
+		path = append(path, uint16(ai))
+		if cex.Kind == VInvariant {
+			if err := m.checkInvariants(); err != nil && err.Error() == cex.Msg {
+				return path, true
+			}
+		}
+	}
+	switch cex.Kind {
+	case VDeadlock:
+		return path, len(m.Fabric.Enabled()) == 0 && !m.AllFinished()
+	case VForbidden:
+		if len(m.Fabric.Enabled()) != 0 || !m.AllFinished() {
+			return nil, false
+		}
+		return path, m.Outcome().String() == cex.Msg
+	}
+	return nil, false
+}
+
+// ReplayResult reports what replaying a delivery path does to a fresh
+// model.
+type ReplayResult struct {
+	// Steps decodes each delivered message in order.
+	Steps []string
+	// Kind/Msg describe the violation the path reproduces; VNone if the
+	// replay completes without one.
+	Kind ViolationKind
+	Msg  string
+	// FailedAt is the number of steps delivered when the violation fired
+	// (== len(Steps) unless an invariant tripped mid-path).
+	FailedAt int
+	// Terminal reports an all-retired, fabric-empty final state; Outcome
+	// is then valid.
+	Terminal bool
+	Outcome  litmus.Outcome
+	// EnabledAtEnd counts deliverable actions at the final state (>0 with
+	// !Terminal on a livelock witness: the bound was hit, not a dead end).
+	EnabledAtEnd int
+}
+
+// Replay deterministically re-executes a counterexample path against a
+// fresh model, checking invariants after every delivery. It is the
+// c3check -replay backend and the reproduction guarantee behind every
+// witness Check returns.
+func Replay(mcfg ModelConfig, path []uint16) (*ReplayResult, error) {
+	m, err := newModel(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplayResult{}
+	if err := m.checkInvariants(); err != nil {
+		res.Kind, res.Msg = VInvariant, err.Error()
+		return res, nil
+	}
+	for _, ai := range path {
+		acts := m.Fabric.Enabled()
+		if int(ai) >= len(acts) {
+			return nil, fmt.Errorf("verif: replay diverged: action %d of %d enabled after step %d",
+				ai, len(acts), len(res.Steps))
+		}
+		res.Steps = append(res.Steps, m.Fabric.Peek(acts[ai]).String())
+		m.Step(acts[ai])
+		if err := m.checkInvariants(); err != nil {
+			res.Kind, res.Msg, res.FailedAt = VInvariant, err.Error(), len(res.Steps)
+			return res, nil
+		}
+	}
+	res.FailedAt = len(res.Steps)
+	res.EnabledAtEnd = len(m.Fabric.Enabled())
+	if res.EnabledAtEnd == 0 {
+		if !m.AllFinished() {
+			res.Kind, res.Msg = VDeadlock, "cores stuck with empty fabric"
+			return res, nil
+		}
+		res.Terminal = true
+		res.Outcome = m.Outcome()
+		if mcfg.Test.Forbidden != nil && mcfg.Test.Forbidden(res.Outcome) {
+			res.Kind, res.Msg = VForbidden, res.Outcome.String()
+		}
+	}
+	return res, nil
+}

@@ -20,7 +20,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"c3/internal/cpu"
 	"c3/internal/mem"
@@ -176,7 +176,7 @@ func NewSource(spec *Spec, core, total int, seed int64) *Source {
 		spec:      spec,
 		core:      core,
 		total:     total,
-		rng:       rand.New(rand.NewSource(seed ^ int64(core+1)*0x9e37_79b9)),
+		rng:       rand.New(rand.NewPCG(uint64(seed), uint64(core+1)*0x9e37_79b9_7f4a_7c15)),
 		dynamic:   spec.BarrierEvery == 0,
 		poolTotal: spec.Ops * total,
 		chunkSize: maxInt(256, spec.Ops/2),
@@ -205,7 +205,7 @@ func (s *Source) Next() (cpu.Instr, bool) {
 		if s.critLeft <= 0 {
 			s.mode = mUnlock
 		}
-		h := s.rng.Intn(maxInt(s.spec.HotLines, 1))
+		h := s.rng.IntN(maxInt(s.spec.HotLines, 1))
 		return cpu.Instr{Kind: cpu.Store, Addr: hotAddr(h), Val: uint64(s.core + 1)}, true
 	case mUnlock:
 		s.mode = mRun
@@ -236,7 +236,7 @@ func (s *Source) Next() (cpu.Instr, bool) {
 	}
 	if s.spec.LockEvery > 0 && s.emitted%s.spec.LockEvery == 0 && s.spec.HotLines > 0 {
 		s.mode = mLockTry
-		s.lockID = s.rng.Intn(4)
+		s.lockID = s.rng.IntN(4)
 		s.critLeft = 2
 		return s.Next()
 	}
@@ -245,18 +245,18 @@ func (s *Source) Next() (cpu.Instr, bool) {
 	sp := s.spec
 	switch {
 	case r < sp.HotRMW && sp.HotLines > 0:
-		h := s.rng.Intn(sp.HotLines)
+		h := s.rng.IntN(sp.HotLines)
 		return cpu.Instr{Kind: cpu.RMWAdd, Addr: hotAddr(h), Val: 1, Reg: 5}, true
 	case r < sp.HotRMW+sp.HotWrite && sp.HotLines > 0:
-		h := s.rng.Intn(sp.HotLines)
+		h := s.rng.IntN(sp.HotLines)
 		// Distinct words per core within the hot line: false sharing.
 		a := hotAddr(h) + mem.Addr(s.core%mem.LineWords)*8
 		return cpu.Instr{Kind: cpu.Store, Addr: a, Val: uint64(s.emitted)}, true
 	case r < sp.HotRMW+sp.HotWrite+sp.HotRead && sp.HotLines > 0:
-		h := s.rng.Intn(sp.HotLines)
+		h := s.rng.IntN(sp.HotLines)
 		return cpu.Instr{Kind: cpu.Load, Addr: hotAddr(h), Reg: 6}, true
 	case r < sp.HotRMW+sp.HotWrite+sp.HotRead+sp.SharedRead && sp.SharedLines > 0:
-		l := s.rng.Intn(sp.SharedLines)
+		l := s.rng.IntN(sp.SharedLines)
 		return cpu.Instr{Kind: cpu.Load, Addr: sharedAddr(l), Reg: 7}, true
 	case r < sp.HotRMW+sp.HotWrite+sp.HotRead+sp.SharedRead+sp.Stream:
 		// Compulsory miss: advance into untouched private space beyond
