@@ -7,15 +7,27 @@
 //	c3litmus -test MP -iters 5000          # one test
 //	c3litmus -test SB -unsynced            # the paper's control runs
 //	c3litmus -test IRIW -mcm0 tso -mcm1 arm -local1 moesi
+//	c3litmus -test MP -crash 1@2500         # host 1 dies mid-run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"c3"
 )
+
+// sortedKeys renders map output deterministically.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 func main() {
 	test := flag.String("test", "", "litmus test name (see -list)")
@@ -33,7 +45,8 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write the first iteration's protocol trace to this file (Chrome/Perfetto JSON)")
 	workers := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
-	faults := flag.String("faults", "", "fault plan: preset name (light|noisy|stall|blackout) or drop=..,dup=.. spec")
+	faults := flag.String("faults", "", "fault plan: preset name (light|noisy|stall|blackout|crash|crash-rejoin|crash-noisy) or drop=..,dup=.. spec")
+	crash := flag.String("crash", "", "host crash: host@tick or host@tick:rejoin (';'-separated, layered over -faults)")
 	flag.Parse()
 
 	if *list {
@@ -80,12 +93,16 @@ func main() {
 		TraceJSON: *traceJSON,
 		Workers:   *workers,
 		Faults:    *faults,
+		Crash:     *crash,
 	})
 	fail(err)
 	fmt.Printf("%s: %d iterations, %d distinct outcomes, %d forbidden\n",
 		res.Test, res.Iters, res.Distinct, res.Forbidden)
-	if *faults != "" {
-		fmt.Printf("faults: %d poisoned, %d hangs\n", res.Poisoned, res.Hangs)
+	if *faults != "" || *crash != "" {
+		fmt.Printf("faults: %d poisoned, %d crashed, %d hangs\n", res.Poisoned, res.Crashed, res.Hangs)
+		for _, v := range sortedKeys(res.PoisonedVars) {
+			fmt.Printf("poisoned var %s: %d iterations\n", v, res.PoisonedVars[v])
+		}
 	}
 	if res.Forbidden > 0 {
 		fmt.Printf("example forbidden outcome: %s\n", res.ForbiddenExample)

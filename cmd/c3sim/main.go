@@ -46,7 +46,8 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "hang watchdog age in ns (0 = off, -1 = default)")
 	workers := flag.Int("j", 0, "worker goroutines in multi-workload mode (0 = GOMAXPROCS)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
-	faultSpec := flag.String("faults", "", "fault plan: preset name (light|noisy|stall|blackout) or drop=..,dup=.. spec")
+	faultSpec := flag.String("faults", "", "fault plan: preset name (light|noisy|stall|blackout|crash|crash-rejoin|crash-noisy) or drop=..,dup=.. spec")
+	crash := flag.String("crash", "", "host crash: host@tick or host@tick:rejoin (';'-separated, layered over -faults)")
 	flag.Parse()
 
 	if *list {
@@ -93,6 +94,19 @@ func main() {
 			os.Exit(2)
 		}
 		plan = &p
+	}
+	if *crash != "" {
+		if plan == nil {
+			plan = &c3.FaultPlan{}
+		}
+		for _, spec := range strings.Split(*crash, ";") {
+			cp, err := c3.ParseFaultPlan("crash=" + strings.TrimSpace(spec))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "c3sim: -crash: %v\n", err)
+				os.Exit(2)
+			}
+			plan.Crashes = append(plan.Crashes, cp.Crashes...)
+		}
 	}
 
 	names := strings.Split(*w, ",")
@@ -226,6 +240,9 @@ func main() {
 	if plan != nil {
 		if lines := sys.PoisonedLines(); len(lines) > 0 {
 			fmt.Printf("\nWARNING: %d line(s) completed poisoned under fault injection\n", len(lines))
+		}
+		if down := sys.CrashedClusters(); len(down) > 0 {
+			fmt.Printf("\nWARNING: cluster(s) %v crashed and did not rejoin\n", down)
 		}
 	}
 	fmt.Println("\nmetrics:")

@@ -7,9 +7,10 @@
 //
 // Usage:
 //
-//	c3soak                                     # Table IV x all presets x seed 1
+//	c3soak                                     # Table IV x default presets x seed 1
 //	c3soak -tests MP,SB -plans "light;blackout" -iters 50
 //	c3soak -plans drop=0.02,dup=0.02 -seeds 1,2,3 -j 4
+//	c3soak -plans "crash;crash-rejoin" -timeout 5m  # host-crash sweep
 //	c3soak -list-plans
 //
 // -plans entries are separated by ';' (a plan spec itself uses commas).
@@ -40,15 +41,21 @@ func main() {
 	mcm1 := flag.String("mcm1", "arm", "cluster 1 MCM")
 	workers := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS; reports are identical for any count)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole sweep, e.g. 5m (0 = none)")
 	listPlans := flag.Bool("list-plans", false, "list the named fault-plan presets")
 	flag.Parse()
 
 	if *listPlans {
 		for _, n := range c3.FaultPlans() {
 			p, _ := c3.ParseFaultPlan(n)
-			fmt.Printf("%-10s %s\n", n, p.String())
+			fmt.Printf("%-12s %s\n", n, p.String())
 		}
 		return
+	}
+
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "c3soak: -timeout must be non-negative (got %v)\n", *timeout)
+		os.Exit(2)
 	}
 
 	if !c3.ValidGlobalProtocol(*global) {
@@ -74,6 +81,7 @@ func main() {
 		Global:  *global,
 		MCMs:    [2]c3.MCM{m0, m1},
 		Workers: *workers,
+		Timeout: *timeout,
 	}
 	for _, s := range csv(*seeds) {
 		v, err := strconv.ParseInt(s, 10, 64)

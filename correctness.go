@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"c3/internal/cpu"
+	"c3/internal/faults"
 	"c3/internal/litmus"
 	"c3/internal/trace"
 	"c3/internal/verif"
@@ -40,6 +42,11 @@ type LitmusConfig struct {
 	// "drop=0.01,dup=0.01,stall=100:200,retries=8" string (see
 	// ParseFaultPlan). Empty = perfect fabric.
 	Faults string
+	// Crash injects a host crash on top of the fault plan: a
+	// "host@tick" or "host@tick:rejoin" spec (repeatable via ';').
+	// Host 0 carries the collector and must survive. Equivalent to a
+	// "crash=..." key inside Faults.
+	Crash string
 }
 
 // LitmusResult summarizes a campaign.
@@ -56,6 +63,13 @@ type LitmusResult struct {
 	// Hangs counts watchdog firings under fault injection, by class.
 	Hangs       int
 	HangClasses map[string]int
+	// Crashed counts iterations that lost a host to a crash plan; they
+	// are excluded from forbidden-outcome checks (a dead thread's
+	// registers are unconstrained) but still must converge.
+	Crashed int
+	// PoisonedVars histograms, per litmus variable, how often the
+	// collector read it back poisoned (its only copy died with a host).
+	PoisonedVars map[string]int
 	// Outcomes histograms every observed outcome.
 	Outcomes map[string]int
 }
@@ -89,11 +103,26 @@ func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
 		Locals: cfg.Locals, Global: cfg.Global, MCMs: [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
 		Iters: cfg.Iters, Sync: mode, BaseSeed: cfg.Seed, Workers: cfg.Workers,
 	}
+	var plan FaultPlan
+	havePlan := false
 	if cfg.Faults != "" {
-		plan, err := ParseFaultPlan(cfg.Faults)
+		p, err := ParseFaultPlan(cfg.Faults)
 		if err != nil {
 			return nil, err
 		}
+		plan, havePlan = p, true
+	}
+	if cfg.Crash != "" {
+		for _, spec := range strings.Split(cfg.Crash, ";") {
+			cp, err := faults.ParsePlan("crash=" + strings.TrimSpace(spec))
+			if err != nil {
+				return nil, err
+			}
+			plan.Crashes = append(plan.Crashes, cp.Crashes...)
+		}
+		havePlan = true
+	}
+	if havePlan {
 		rcfg.Faults = &plan
 		rcfg.HangWatch = true
 	}
@@ -120,6 +149,7 @@ func RunLitmus(test string, cfg LitmusConfig) (*LitmusResult, error) {
 		Test: res.Test, Iters: res.Iters, Distinct: res.Distinct(),
 		Forbidden: res.Forbidden, ForbiddenExample: res.ForbiddenExample,
 		Poisoned: res.Poisoned, Hangs: res.Hangs, HangClasses: res.HangClasses,
+		Crashed: res.Crashed, PoisonedVars: res.PoisonedVars,
 		Outcomes: res.Outcomes,
 	}, nil
 }

@@ -26,6 +26,11 @@ type Entry struct {
 	// tracked for state only (e.g. C3 lines whose dirty data lives in an
 	// L1 owner).
 	DataValid bool
+	// Poisoned marks a payload delivered with msg.Poisoned set (retry
+	// exhaustion or a host crash that lost the only copy): the frame is
+	// usable for coherence but its data is untrustworthy, and loads that
+	// consume it surface the flag in their results.
+	Poisoned bool
 
 	lru uint64
 	set int

@@ -28,6 +28,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"c3/internal/cache"
 	"c3/internal/gen"
@@ -432,7 +433,7 @@ func (c *C3) grant(t *tbe) {
 			panic("core: grantless data request")
 		}
 		c.sendLocal(&msg.Msg{Type: ty, Addr: t.addr, Dst: m.Src, VNet: msg.VRsp,
-			Data: msg.WithData(e.Data)})
+			Data: msg.WithData(e.Data), Poisoned: e.Poisoned})
 	case msg.WrThrough:
 		// Merge the host's dirty words into the CXL cache (word masks
 		// keep concurrent writers to distinct words intact).
@@ -454,7 +455,7 @@ func (c *C3) grant(t *tbe) {
 			e.Data.SetWord(m.Word, m.Val)
 		}
 		c.sendLocal(&msg.Msg{Type: msg.AtomicResp, Addr: t.addr, Dst: m.Src,
-			VNet: msg.VRsp, Val: old})
+			VNet: msg.VRsp, Val: old, Poisoned: e.Poisoned})
 	default:
 		panic(fmt.Sprintf("core: grant for %v", m))
 	}
@@ -597,4 +598,51 @@ func (c *C3) localPut(m *msg.Msg) {
 		c.traceCommit(m.Addr, preState, "put "+m.Type.String())
 	}
 	c.sendLocal(&msg.Msg{Type: msg.PutAck, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
+}
+
+// PeerDead reacts to a peer cluster's C3 being declared dead (host
+// crash). Under hierarchical MESI the directory hands invalidations to
+// peers on our behalf and we count their GInvAcks; an ack owed by the
+// dead peer will never arrive, so forgive it and complete the wait. The
+// directory's own reclamation walk scrubbed the dead peer from its
+// sharer vectors, so the forgiven ack cannot be resurrected. With two
+// clusters this is exact (the only possible acker is the dead peer);
+// with more it is a documented approximation — each surviving C3
+// forgives at most one ack per waiting line. CXL C3s wait only on the
+// surviving DCOH and need no repair. Returns the number of waits
+// repaired (counted as NAKed transactions in recovery stats).
+func (c *C3) PeerDead(dead msg.NodeID) int {
+	if c.isCXL() {
+		return 0
+	}
+	// Sorted walk: completing a wait sends grants, whose order must not
+	// depend on map iteration (determinism across -j shards).
+	addrs := make([]mem.LineAddr, 0, len(c.tbes))
+	for a := range c.tbes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	n := 0
+	for _, a := range addrs {
+		t := c.tbes[a]
+		if t == nil || t.kind != tLocal || t.ph != phGlobal {
+			continue
+		}
+		if t.acksKnown && t.haveAcks < t.needAcks {
+			t.needAcks--
+			n++
+			c.maybeCompleteHmesi(t)
+		}
+	}
+	return n
+}
+
+// Reset cold-starts the controller for a host rejoin: every TBE, local
+// directory record and CXL-cache line is dropped. Safe only when the
+// cluster's caches restart empty too (the crash already discarded their
+// contents) and the global side has reclaimed this node.
+func (c *C3) Reset() {
+	c.tbes = make(map[mem.LineAddr]*tbe)
+	c.dirs = make(map[mem.LineAddr]*ldir)
+	c.llc = cache.New(c.cfg.LLCSize, c.cfg.LLCWays)
 }

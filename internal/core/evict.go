@@ -74,7 +74,7 @@ func (c *C3) evictReclaimed(t *tbe) {
 		}
 		c.Stats.Writebacks++
 		c.sendGlobal(&msg.Msg{Type: c.table.WBDirtyOp, Addr: t.addr, VNet: msg.VReq,
-			Data: msg.WithData(e.Data), Dirty: true})
+			Data: msg.WithData(e.Data), Dirty: true, Poisoned: e.Poisoned})
 		c.removeLine(e)
 		t.ph = phWB
 	case gen.GWBClean:

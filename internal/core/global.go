@@ -103,7 +103,7 @@ func (c *C3) cxlSnoopRespond(t *tbe) {
 		}
 		c.Stats.Writebacks++
 		c.sendGlobal(&msg.Msg{Type: wb, Addr: t.addr, VNet: msg.VReq,
-			Data: msg.WithData(e.Data), Dirty: true})
+			Data: msg.WithData(e.Data), Dirty: true, Poisoned: e.Poisoned})
 		t.ph = phWB
 		return
 	}
@@ -158,16 +158,16 @@ func (c *C3) hmesiSnoopRespond(t *tbe) {
 			panic("core: GFwdGetM without data")
 		}
 		c.sendGlobal(&msg.Msg{Type: msg.GDataM, Addr: t.addr, Dst: t.snp.Req,
-			VNet: msg.VRsp, Data: msg.WithData(e.Data)})
+			VNet: msg.VRsp, Data: msg.WithData(e.Data), Poisoned: e.Poisoned})
 		c.removeLine(e)
 	case msg.GFwdGetS:
 		if e == nil || !e.DataValid {
 			panic("core: GFwdGetS without data")
 		}
 		c.sendGlobal(&msg.Msg{Type: msg.GDataS, Addr: t.addr, Dst: t.snp.Req,
-			VNet: msg.VRsp, Data: msg.WithData(e.Data)})
+			VNet: msg.VRsp, Data: msg.WithData(e.Data), Poisoned: e.Poisoned})
 		c.sendGlobal(&msg.Msg{Type: msg.GCopyBack, Addr: t.addr, VNet: msg.VReq,
-			Data: msg.WithData(e.Data)})
+			Data: msg.WithData(e.Data), Poisoned: e.Poisoned})
 		e.State = gS
 	case msg.GInv:
 		c.sendGlobal(&msg.Msg{Type: msg.GInvAck, Addr: t.addr, Dst: t.snp.Req,
@@ -326,6 +326,11 @@ func (c *C3) completeAcquire(t *tbe, m *msg.Msg) {
 		e.DataValid = true
 	} else if !e.DataValid {
 		panic("core: permission-only completion without cached data")
+	}
+	if m.Poisoned {
+		// Sticky, line-granular: a poisoned completion (retry exhaustion
+		// or crash-lost copy) taints the frame until the line is dropped.
+		e.Poisoned = true
 	}
 	t.ph = phLocal
 	if c.startLocalFlow(t, t.entry.Plan, t.req.Src) {

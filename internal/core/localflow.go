@@ -73,6 +73,9 @@ func (c *C3) localRsp(m *msg.Msg) {
 			if e := c.llc.Probe(t.addr); e != nil {
 				e.Data = *m.Data
 				e.DataValid = true
+				if m.Poisoned {
+					e.Poisoned = true
+				}
 			}
 			if m.Dirty {
 				t.absorbDirty = true

@@ -158,6 +158,9 @@ type Response struct {
 	Missed bool
 	// MissLatency is the L1 occupancy time of the access when Missed.
 	MissLatency sim.Time
+	// Poisoned marks a load whose data came from a poisoned line (link
+	// retry exhaustion, or the only copy was lost with a crashed host).
+	Poisoned bool
 }
 
 // MemPort is the core's view of its private cache. Implementations must
@@ -205,10 +208,11 @@ func DefaultConfig(m MCM) Config {
 // OpStats records completed-operation telemetry the stats package
 // aggregates into the Fig. 11 breakdowns.
 type OpStats struct {
-	Kind    Kind
-	Addr    mem.Addr
-	Missed  bool
-	Latency sim.Time // miss latency when Missed
+	Kind     Kind
+	Addr     mem.Addr
+	Missed   bool
+	Latency  sim.Time // miss latency when Missed
+	Poisoned bool     // data consumed from a poisoned line
 }
 
 // Core is one simulated hardware thread.
@@ -549,13 +553,19 @@ func (c *Core) Resume(tok uint64, r Response) {
 	if tok == 0 {
 		return // untracked (prefetch)
 	}
+	if c.halted {
+		// A killed core's window and store buffer are gone; completions
+		// from accesses still in flight at the kill are dropped rather
+		// than treated as protocol bugs.
+		return
+	}
 	if tok&1 == 1 { // window op (load/RMW/sync)
 		seq := tok >> 1
 		for _, u := range c.window {
 			if u.seq == seq {
 				c.outstanding--
 				if c.Observe != nil {
-					c.Observe(OpStats{Kind: u.in.Kind, Addr: u.in.Addr, Missed: r.Missed, Latency: r.MissLatency})
+					c.Observe(OpStats{Kind: u.in.Kind, Addr: u.in.Addr, Missed: r.Missed, Latency: r.MissLatency, Poisoned: r.Poisoned})
 				}
 				c.complete(u, r.Val)
 				return
@@ -719,6 +729,32 @@ func (c *Core) Clone(k *sim.Kernel, src Source) *Core {
 // core and its cache must be created before they can reference each
 // other.
 func (c *Core) BindL1(l1 MemPort) { c.l1 = l1 }
+
+// Kill halts the core immediately, modelling a host crash: all in-flight
+// and unfetched work is abandoned (never observed, never retired). The
+// core counts as finished so run loops waiting on completion unblock;
+// L1 completions still in flight are dropped by Resume's halted guard.
+func (c *Core) Kill() {
+	if c.halted {
+		return
+	}
+	c.halted = true
+	c.srcDone = true
+	c.fetchOK = false
+	c.window = nil
+	c.sb = nil
+	c.outstanding = 0
+	if !c.finished {
+		c.finished = true
+		c.FinishedAt = c.k.Now()
+		if c.onFinish != nil {
+			c.onFinish()
+		}
+	}
+}
+
+// Halted reports whether the core was killed by a crash.
+func (c *Core) Halted() bool { return c.halted }
 
 func (c *Core) checkFinished() {
 	if c.finished || !c.srcDone {

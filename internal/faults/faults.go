@@ -69,6 +69,23 @@ type LinkRates struct {
 	Rates
 }
 
+// Crash kills one host cluster at a fixed tick: its cores halt, every
+// network port it owns goes permanently down, and — after the declare
+// delay — the surviving side runs coherence-state reclamation (the CXL
+// host-isolation / surprise-link-down analogue). Rejoin, when non-zero,
+// is the absolute tick the cluster's links come back up (controllers
+// restart cold; the crashed cores stay dead — a rejoin restores the
+// fabric, not the workload).
+type Crash struct {
+	// Host is the cluster index to kill (cluster 0 is never crashable in
+	// litmus campaigns: it homes the outcome collector).
+	Host int
+	// At is the crash tick.
+	At sim.Time
+	// Rejoin, when > At, brings the cluster's links back up at that tick.
+	Rejoin sim.Time
+}
+
 // Plan is one deterministic fault schedule.
 type Plan struct {
 	// Seed roots every per-link PCG stream.
@@ -81,6 +98,16 @@ type Plan struct {
 	// MaxRetries caps the reliable shim's retransmissions before a
 	// message poisons its line (0 -> DefaultMaxRetries).
 	MaxRetries int
+	// Crashes lists host-cluster crash events (deterministic: the ticks
+	// are plan constants, never drawn from the fault streams).
+	Crashes []Crash
+}
+
+// CrashHost appends a permanent crash of host h at tick at and returns
+// the plan for chaining.
+func (p *Plan) CrashHost(h int, at sim.Time) *Plan {
+	p.Crashes = append(p.Crashes, Crash{Host: h, At: at})
+	return p
 }
 
 // DefaultMaxRetries is the retry cap before poison (8 retransmissions
@@ -96,7 +123,7 @@ func (p *Plan) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	if p.Rates.active() {
+	if p.Rates.active() || len(p.Crashes) > 0 {
 		return true
 	}
 	for _, l := range p.PerLink {
@@ -136,6 +163,13 @@ func (p *Plan) String() string {
 	for _, w := range p.Stalls {
 		parts = append(parts, fmt.Sprintf("stall=%d:%d", w.From, w.To))
 	}
+	for _, c := range p.Crashes {
+		if c.Rejoin > 0 {
+			parts = append(parts, fmt.Sprintf("crash=%d@%d:%d", c.Host, c.At, c.Rejoin))
+		} else {
+			parts = append(parts, fmt.Sprintf("crash=%d@%d", c.Host, c.At))
+		}
+	}
 	if p.MaxRetries > 0 {
 		parts = append(parts, fmt.Sprintf("retries=%d", p.MaxRetries))
 	}
@@ -150,8 +184,9 @@ func (p *Plan) String() string {
 
 // ParsePlan parses the command-line plan syntax: comma-separated k=v
 // pairs among drop, dup, delay (probabilities in [0,1]), delaymax
-// (cycles), stall=from:to (repeatable), retries, seed. "none" or ""
-// yields a zero plan (Enabled() == false).
+// (cycles), stall=from:to (repeatable), crash=host@at or
+// crash=host@at:rejoin (repeatable), retries, seed. "none" or "" yields
+// a zero plan (Enabled() == false).
 func ParsePlan(s string) (Plan, error) {
 	var p Plan
 	s = strings.TrimSpace(s)
@@ -194,6 +229,29 @@ func ParsePlan(s string) (Plan, error) {
 				return p, fmt.Errorf("faults: stall=%q: want from:to with to > from", v)
 			}
 			p.Stalls = append(p.Stalls, Window{sim.Time(f), sim.Time(t)})
+		case "crash":
+			host, when, ok := strings.Cut(v, "@")
+			if !ok {
+				return p, fmt.Errorf("faults: crash=%q: want host@at or host@at:rejoin", v)
+			}
+			h, err := strconv.Atoi(host)
+			if err != nil || h < 0 {
+				return p, fmt.Errorf("faults: crash=%q: want non-negative host index", v)
+			}
+			at, rejoin, hasRejoin := strings.Cut(when, ":")
+			a, err := strconv.ParseUint(at, 10, 64)
+			if err != nil || a == 0 {
+				return p, fmt.Errorf("faults: crash=%q: want positive crash tick", v)
+			}
+			c := Crash{Host: h, At: sim.Time(a)}
+			if hasRejoin {
+				r, err := strconv.ParseUint(rejoin, 10, 64)
+				if err != nil || sim.Time(r) <= c.At {
+					return p, fmt.Errorf("faults: crash=%q: want rejoin tick > crash tick", v)
+				}
+				c.Rejoin = sim.Time(r)
+			}
+			p.Crashes = append(p.Crashes, c)
 		case "retries":
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 {
@@ -207,7 +265,7 @@ func ParsePlan(s string) (Plan, error) {
 			}
 			p.Seed = n
 		default:
-			return p, fmt.Errorf("faults: unknown key %q (want drop|dup|delay|delaymax|stall|retries|seed)", k)
+			return p, fmt.Errorf("faults: unknown key %q (want drop|dup|delay|delaymax|stall|crash|retries|seed)", k)
 		}
 	}
 	return p, nil

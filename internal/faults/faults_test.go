@@ -22,6 +22,7 @@ func TestPlanEnabled(t *testing.T) {
 		{Rates: Rates{Delay: 1}},
 		{Rates: Rates{Stalls: []Window{{From: 0, To: 10}}}},
 		{PerLink: []LinkRates{{Src: 1, Dst: 2, Rates: Rates{Drop: 1}}}},
+		{Crashes: []Crash{{Host: 1, At: 2500}}},
 	}
 	for i, p := range cases {
 		if !p.Enabled() {
@@ -32,6 +33,23 @@ func TestPlanEnabled(t *testing.T) {
 	idle := Plan{Seed: 7, MaxRetries: 3}
 	if idle.Enabled() {
 		t.Fatal("seed/retries-only plan must be disabled")
+	}
+}
+
+func TestCrashHostChaining(t *testing.T) {
+	var p Plan
+	p.CrashHost(1, 2500).CrashHost(2, 3000)
+	if len(p.Crashes) != 2 {
+		t.Fatalf("Crashes = %v, want 2 entries", p.Crashes)
+	}
+	if p.Crashes[0] != (Crash{Host: 1, At: 2500}) || p.Crashes[1] != (Crash{Host: 2, At: 3000}) {
+		t.Fatalf("Crashes = %+v", p.Crashes)
+	}
+	if !p.Enabled() {
+		t.Fatal("crash-only plan must be enabled")
+	}
+	if got := p.String(); got != "crash=1@2500,crash=2@3000" {
+		t.Fatalf("String() = %q", got)
 	}
 }
 
@@ -52,6 +70,9 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		"drop=0.05,dup=0.05,delay=0.1,delaymax=200",
 		"drop=1,stall=0:60000",
 		"drop=0.02,stall=2000:12000,retries=4,seed=9",
+		"crash=1@2500",
+		"crash=1@2500:40000",
+		"drop=0.02,crash=1@2500,crash=2@3000:9000",
 		"none",
 		"",
 	}
@@ -85,6 +106,12 @@ func TestParsePlanErrors(t *testing.T) {
 		"retries=-1",      // negative
 		"warp=0.5",        // unknown key
 		"delaymax=-3",     // negative cycles
+		"crash=1",         // no @tick
+		"crash=x@100",     // bad host
+		"crash=-1@100",    // negative host
+		"crash=1@0",       // crash tick must be positive
+		"crash=1@100:100", // rejoin must follow crash
+		"crash=1@100:50",  // rejoin before crash
 	}
 	for _, s := range bad {
 		if _, err := ParsePlan(s); err == nil {

@@ -8,6 +8,7 @@ import (
 
 	"c3/internal/cpu"
 	"c3/internal/faults"
+	"c3/internal/mem"
 	"c3/internal/msg"
 	"c3/internal/parallel"
 	"c3/internal/sim"
@@ -69,8 +70,18 @@ type Result struct {
 	// ForbiddenExample is one offending outcome, for diagnostics.
 	ForbiddenExample string
 	// Poisoned counts iterations that completed with at least one
-	// poisoned line (retry exhaustion on the faulty fabric).
+	// poisoned line (retry exhaustion on the faulty fabric, or a host
+	// crash that lost the line's only copy).
 	Poisoned int
+	// Crashed counts iterations in which a crash plan took a host down.
+	// Crashed iterations are excluded from Forbidden evaluation: the dead
+	// threads' truncated programs produce register states no consistency
+	// model constrains. Convergence and poison detection still apply.
+	Crashed int
+	// PoisonedVars histograms, per variable, the iterations whose
+	// collector read of that variable consumed poisoned data (the
+	// deterministic "line lost with the crash" signal).
+	PoisonedVars map[string]int
 	// Hangs counts watchdog firings across iterations (HangWatch mode);
 	// HangClasses histograms their classifications.
 	Hangs       int
@@ -115,7 +126,7 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 		cfg.Iters = 100
 	}
 	res := &Result{Test: t.Name, Iters: cfg.Iters, Outcomes: make(map[string]int),
-		HangClasses: make(map[string]int)}
+		PoisonedVars: make(map[string]int), HangClasses: make(map[string]int)}
 
 	// Staggered start offsets widen the interleaving space. They are
 	// drawn from a single BaseSeed-derived stream in iteration order
@@ -133,12 +144,14 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 		workers = cfg.Iters
 	}
 	type shard struct {
-		outcomes    map[string]int
-		forbidden   int
-		example     string
-		poisoned    int
-		hangs       int
-		hangClasses map[string]int
+		outcomes     map[string]int
+		forbidden    int
+		example      string
+		poisoned     int
+		crashed      int
+		poisonedVars map[string]int
+		hangs        int
+		hangClasses  map[string]int
 	}
 	// Contiguous shards: shard s owns [s*Iters/w, (s+1)*Iters/w), so
 	// iteration 0 — the only one that traces — always lands in shard 0,
@@ -146,7 +159,8 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 	// forbidden iteration overall.
 	shards, err := parallel.Map(context.Background(), workers, workers, func(s int) (shard, error) {
 		lo, hi := s*cfg.Iters/workers, (s+1)*cfg.Iters/workers
-		sr := shard{outcomes: make(map[string]int), hangClasses: make(map[string]int)}
+		sr := shard{outcomes: make(map[string]int), poisonedVars: make(map[string]int),
+			hangClasses: make(map[string]int)}
 		for it := lo; it < hi; it++ {
 			o, info, err := runIteration(t, &cfg, it, offsets[it*nt:(it+1)*nt])
 			if err != nil {
@@ -157,11 +171,17 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 			if info.poisoned {
 				sr.poisoned++
 			}
+			if info.crashed {
+				sr.crashed++
+			}
+			for _, v := range info.poisonedVars {
+				sr.poisonedVars[v]++
+			}
 			if info.hangClass != "" {
 				sr.hangs++
 				sr.hangClasses[info.hangClass]++
 			}
-			if t.Forbidden(o) && !info.poisoned {
+			if t.Forbidden(o) && !info.poisoned && !info.crashed {
 				sr.forbidden++
 				if sr.example == "" {
 					sr.example = key
@@ -182,6 +202,10 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 			res.ForbiddenExample = sr.example
 		}
 		res.Poisoned += sr.poisoned
+		res.Crashed += sr.crashed
+		for k, v := range sr.poisonedVars {
+			res.PoisonedVars[k] += v
+		}
 		res.Hangs += sr.hangs
 		for k, v := range sr.hangClasses {
 			res.HangClasses[k] += v
@@ -195,6 +219,11 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 type iterInfo struct {
 	// poisoned: the iteration completed with >= 1 poisoned line.
 	poisoned bool
+	// crashed: a crash plan took a host down during the iteration.
+	crashed bool
+	// poisonedVars lists the test variables whose collector read consumed
+	// poisoned data.
+	poisonedVars []string
 	// hangClass is the watchdog's classification if it fired ("" if not).
 	hangClass string
 }
@@ -313,6 +342,19 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 	}
 	col := cpu.NewSliceSource(colProg)
 	cc := sys.AttachSource(0, perCluster[0]-1, col)
+	// The collector's loads carry the poison flag end to end: record
+	// which variables came back flagged (line lost with a crashed host).
+	varByAddr := make(map[mem.Addr]string, len(t.Vars))
+	for _, v := range t.Vars {
+		varByAddr[varAddr(t.Vars, v)] = string(v)
+	}
+	cc.Observe = func(st cpu.OpStats) {
+		if st.Kind == cpu.Load && st.Poisoned {
+			if v, ok := varByAddr[st.Addr]; ok {
+				info.poisonedVars = append(info.poisonedVars, v)
+			}
+		}
+	}
 	cc.Start()
 	limit = sys.K.Stepped + 1_000_000
 	for !cc.Finished() {
@@ -331,6 +373,15 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 		o[string(v)] = col.Regs[vi]
 	}
 	info.poisoned = len(sys.PoisonedLines()) > 0
+	info.crashed = sys.Recovery.HostsCrashed > 0
+	if info.crashed {
+		// Post-reclamation isolation invariant: nothing at the home may
+		// still name the dead host.
+		if v := sys.DeadHostIsolationViolations(); len(v) > 0 {
+			return nil, info, fmt.Errorf("litmus %s: iteration %d: dead-host isolation violated: %v",
+				t.Name, it, v)
+		}
+	}
 	return o, info, nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"c3/internal/cpu"
 	"c3/internal/faults"
 	"c3/internal/parallel"
+	"c3/internal/sim"
 )
 
 // NamedPlan pairs a fault plan with a stable display name for reports.
@@ -31,9 +33,37 @@ func DefaultPlans() []NamedPlan {
 	}
 }
 
-// PlanByName finds one of the default plans.
+// CrashPlans is the host-crash sweep: a clean fabric with a mid-run
+// host-1 crash, the same crash with a later rejoin window, and a crash
+// layered over line noise (reclamation must still converge when the
+// peer-dead declaration itself rides a lossy fabric). Crash ticks are
+// plan constants, so the sweep stays deterministic.
+func CrashPlans() []NamedPlan {
+	crash := func(at, rejoin int64) faults.Plan {
+		var p faults.Plan
+		p.CrashHost(1, sim.Time(at))
+		if rejoin != 0 {
+			p.Crashes[0].Rejoin = sim.Time(rejoin)
+		}
+		return p
+	}
+	noisyCrash := crash(2500, 0)
+	noisyCrash.Rates = faults.Rates{Drop: 0.02, Dup: 0.02}
+	return []NamedPlan{
+		{Name: "crash", Plan: crash(2500, 0)},
+		{Name: "crash-rejoin", Plan: crash(2500, 40_000)},
+		{Name: "crash-noisy", Plan: noisyCrash},
+	}
+}
+
+// PlanByName finds one of the default or crash plans.
 func PlanByName(name string) (NamedPlan, bool) {
 	for _, p := range DefaultPlans() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range CrashPlans() {
 		if p.Name == name {
 			return p, true
 		}
@@ -62,6 +92,12 @@ type SoakConfig struct {
 	// Workers fans campaigns across goroutines (0 = GOMAXPROCS,
 	// 1 = serial). Reports are byte-identical for every worker count.
 	Workers int
+	// Timeout bounds the sweep's wall clock (0 = none). Campaigns that
+	// have not started when it expires become "timeout" error rows; the
+	// cut point depends on the host machine, so reports are only
+	// byte-identical across worker counts when the sweep finishes in
+	// time — the timeout is a failure path, not a schedule.
+	Timeout time.Duration
 }
 
 // SoakRun is one campaign's row in the report.
@@ -74,6 +110,7 @@ type SoakRun struct {
 	Distinct  int
 	Forbidden int // silent coherence violations among clean iterations
 	Poisoned  int // iterations degraded to a detected poisoned line
+	Crashed   int // iterations that lost a host to a crash plan
 	Hangs     int // watchdog firings (classified, not fatal)
 	Classes   string
 	Err       string // campaign abort (wedge or captured panic)
@@ -102,8 +139,8 @@ func (r *SoakReport) OK() bool {
 // Render produces the deterministic report table.
 func (r *SoakReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-10s %6s %7s %9s %9s %9s %6s  %s\n",
-		"test", "plan", "seed", "iters", "distinct", "forbidden", "poisoned", "hangs", "status")
+	fmt.Fprintf(&b, "%-8s %-12s %6s %7s %9s %9s %9s %8s %6s  %s\n",
+		"test", "plan", "seed", "iters", "distinct", "forbidden", "poisoned", "crashed", "hangs", "status")
 	for i := range r.Runs {
 		run := &r.Runs[i]
 		status := "ok"
@@ -114,13 +151,15 @@ func (r *SoakReport) Render() string {
 			status = "FORBIDDEN"
 		case run.Poisoned > 0:
 			status = "degraded"
+		case run.Crashed > 0:
+			status = "survived"
 		}
 		if run.Classes != "" {
 			status += " [" + run.Classes + "]"
 		}
-		fmt.Fprintf(&b, "%-8s %-10s %6d %7d %9d %9d %9d %6d  %s\n",
+		fmt.Fprintf(&b, "%-8s %-12s %6d %7d %9d %9d %9d %8d %6d  %s\n",
 			run.Test, run.Plan, run.Seed, run.Iters, run.Distinct,
-			run.Forbidden, run.Poisoned, run.Hangs, status)
+			run.Forbidden, run.Poisoned, run.Crashed, run.Hangs, status)
 	}
 	if r.OK() {
 		b.WriteString("SOAK PASS: every run passed coherence checks or reported detected degradation\n")
@@ -189,6 +228,11 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 	}
 
+	var deadline time.Time
+	if cfg.Timeout > 0 {
+		deadline = time.Now().Add(cfg.Timeout)
+	}
+
 	// Parallelism lives at the campaign level; each campaign runs its
 	// iterations serially (Workers: 1) so the worker budget is not
 	// oversubscribed and every row is independent of scheduling.
@@ -196,6 +240,10 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		func(i int) (SoakRun, error) {
 			job := jobs[i]
 			row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				row.Err = fmt.Sprintf("timeout: sweep exceeded %v before campaign started", cfg.Timeout)
+				return row, nil
+			}
 			plan := job.plan.Plan
 			res, err := runSoakCampaign(job.test, RunnerConfig{
 				Locals:    cfg.Locals,
@@ -216,6 +264,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			row.Distinct = res.Distinct()
 			row.Forbidden = res.Forbidden
 			row.Poisoned = res.Poisoned
+			row.Crashed = res.Crashed
 			row.Hangs = res.Hangs
 			row.Classes = classesString(res.HangClasses)
 			return row, nil

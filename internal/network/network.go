@@ -97,6 +97,10 @@ type link struct {
 	lastDeparture sim.Time
 	lastArrival   sim.Time
 	ordered       bool
+	// down marks a link whose endpoint node crashed: nothing departs,
+	// nothing in flight arrives (the surprise-link-down model — flits on
+	// the wire are lost, not parked).
+	down bool
 	// jitter, when non-nil, is this link's private reordering stream
 	// (unordered links only). Per-link streams keep one link's traffic
 	// from perturbing another's schedule and survive link additions.
@@ -127,6 +131,20 @@ type Network struct {
 	// Every fault-path branch guards on it, so a perfect fabric pays one
 	// predictable nil check per send and per delivery.
 	inj *faults.Injector
+
+	// downNodes and declared track crashed endpoints. downNodes is set by
+	// MarkNodeDown the moment a host dies; declared is set once per node
+	// when the death escalates to a structured peer-dead declaration
+	// (retry escalation or the declare-delay backstop, whichever first).
+	// Both are nil until the first crash, so the healthy fabric pays the
+	// usual nil checks.
+	downNodes map[msg.NodeID]bool
+	declared  map[msg.NodeID]bool
+
+	// OnPeerDead, when non-nil, receives each peer-dead declaration
+	// exactly once. The system layer wires it to the coherence-state
+	// reclamation walk (DCOH / H-MESI directory host isolation).
+	OnPeerDead func(id msg.NodeID)
 
 	// Trace, when non-nil, observes every message at send (false) and
 	// delivery (true). Retained for lightweight ad-hoc hooks (the litmus
@@ -264,6 +282,12 @@ func (n *Network) route(m *msg.Msg) *link {
 // here on the hot path.
 func (n *Network) Send(m *msg.Msg) {
 	l := n.route(m)
+	if l.down {
+		// A crashed endpoint: the send is lost without shim bookkeeping
+		// or trace events (a traced send on a dead link would open a
+		// watchdog transaction that can never close).
+		return
+	}
 	n.serial++
 	m.Serial = n.serial
 	n.Stats.Msgs[m.VNet]++
@@ -342,6 +366,11 @@ func (n *Network) transmit(l *link, m *msg.Msg) {
 // On shim-protected links the arrival first passes dedup/reorder/ack.
 func (n *Network) deliver(a any) {
 	m := a.(*msg.Msg)
+	if n.downNodes != nil && (n.downNodes[m.Src] || n.downNodes[m.Dst]) {
+		// The link went down while this message was in flight: the flit
+		// dies on the wire (surprise link-down loses, it does not park).
+		return
+	}
 	if n.inj != nil {
 		if l := n.routes[routeKey{m.Src, m.Dst, m.VNet}]; l != nil && l.rel != nil {
 			n.relArrive(l, m)
@@ -361,6 +390,121 @@ func (n *Network) deliverNow(m *msg.Msg) {
 		n.Tracer.MsgDeliver(n.k.Now(), m)
 	}
 	n.ports[m.Dst].Recv(m)
+}
+
+// DefaultDeclareDelay is the backstop between a node going down and its
+// peer-dead declaration when no in-flight retry escalates it first:
+// roughly two cross-link round trips — long enough that a message sent
+// at the instant of the crash has demonstrably died, short enough to
+// stay far inside the watchdog's silence threshold.
+const DefaultDeclareDelay = sim.Time(600)
+
+// MarkNodeDown takes every link touching id permanently down: messages
+// in flight are lost, the dead node's own retransmission window is
+// discarded, and receivers drop reorder-buffer entries that can never
+// have their gaps filled. If id is a cross-fabric endpoint, a peer-dead
+// declaration is scheduled after DefaultDeclareDelay as a backstop; a
+// surviving sender's retry usually escalates sooner.
+func (n *Network) MarkNodeDown(id msg.NodeID) {
+	if n.downNodes == nil {
+		n.downNodes = make(map[msg.NodeID]bool)
+		n.declared = make(map[msg.NodeID]bool)
+	}
+	if n.downNodes[id] {
+		return
+	}
+	n.downNodes[id] = true
+	cross := false
+	for _, l := range n.routes {
+		if l.key.src != id && l.key.dst != id {
+			continue
+		}
+		l.down = true
+		if l.cfg.Cross {
+			cross = true
+		}
+		if l.rel != nil && l.key.src == id {
+			// The dead node will never retransmit: cancel its timers so
+			// the event queue drains, and drop parked arrivals whose
+			// sequence gaps can now never fill.
+			for seq, p := range l.rel.pending {
+				n.k.Cancel(p.timer)
+				delete(l.rel.pending, seq)
+			}
+			for seq := range l.rel.buf {
+				delete(l.rel.buf, seq)
+			}
+		}
+	}
+	if cross {
+		n.k.After(DefaultDeclareDelay, func() { n.declarePeerDead(id) })
+	}
+}
+
+// MarkNodeUp brings a previously downed node's links back up (a crash
+// rejoin window). Shim state restarts from scratch on both directions —
+// the rejoined endpoint is a cold link partner, not a resumed one.
+func (n *Network) MarkNodeUp(id msg.NodeID) {
+	if n.downNodes == nil || !n.downNodes[id] {
+		return
+	}
+	delete(n.downNodes, id)
+	delete(n.declared, id)
+	for _, l := range n.routes {
+		if l.key.src != id && l.key.dst != id {
+			continue
+		}
+		if n.downNodes[l.key.src] || n.downNodes[l.key.dst] {
+			continue // the other endpoint is still dead
+		}
+		l.down = false
+		if n.inj != nil && l.cfg.Cross {
+			l.rel = newRelState()
+		}
+	}
+}
+
+// declarePeerDead escalates a downed node to a structured peer-dead
+// declaration: all retransmission state addressed to it is retired
+// without per-message poison, and OnPeerDead runs the protocol-level
+// reclamation. Idempotent — retry escalation and the backstop timer
+// race benignly.
+func (n *Network) declarePeerDead(id msg.NodeID) {
+	if n.declared[id] {
+		return
+	}
+	n.declared[id] = true
+	for _, l := range n.routes {
+		if l.rel == nil || l.key.dst != id {
+			continue
+		}
+		for seq, p := range l.rel.pending {
+			n.k.Cancel(p.timer)
+			delete(l.rel.pending, seq)
+		}
+	}
+	if n.OnPeerDead != nil {
+		n.OnPeerDead(id)
+	}
+}
+
+// NodeDown reports whether id has been marked down.
+func (n *Network) NodeDown(id msg.NodeID) bool {
+	return n.downNodes != nil && n.downNodes[id]
+}
+
+// DeadPeers returns the nodes declared dead, sorted — the watchdog's
+// "dead-host" classification input.
+func (n *Network) DeadPeers() []msg.NodeID {
+	if len(n.declared) == 0 {
+		return nil
+	}
+	out := make([]msg.NodeID, 0, len(n.declared))
+	for id := range n.declared {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // TotalMsgs reports messages sent across all virtual networks.

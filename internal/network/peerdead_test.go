@@ -1,0 +1,116 @@
+package network
+
+import (
+	"testing"
+
+	"c3/internal/faults"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// crashOnlyPlan arms the shim with perfect link rates: Enabled() via the
+// crash entry, so sequence numbers, acks and retries are live but nothing
+// is randomly lost. (The network never schedules the crash itself — that
+// is the system coordinator's job — so the entry is inert here.)
+func crashOnlyPlan() faults.Plan {
+	return faults.Plan{Seed: 1, Crashes: []faults.Crash{{Host: 99, At: 1}}}
+}
+
+func TestMarkNodeDownDropsTraffic(t *testing.T) {
+	k, n, c := pair(t, CrossCluster())
+	n.MarkNodeDown(1)
+	if !n.NodeDown(1) || n.NodeDown(0) {
+		t.Fatal("NodeDown bookkeeping wrong")
+	}
+	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq})
+	n.Send(&msg.Msg{Type: msg.CmpM, Src: 1, Dst: 0, VNet: msg.VRsp})
+	k.Run(nil)
+	if len(c.got) != 0 {
+		t.Fatalf("down link delivered %d msgs, want 0", len(c.got))
+	}
+	// Idempotent.
+	n.MarkNodeDown(1)
+	if !n.NodeDown(1) {
+		t.Fatal("second MarkNodeDown cleared the state")
+	}
+}
+
+// TestPeerDeadBackstopDeclare: with no traffic in flight to escalate, the
+// backstop timer alone must declare the peer dead, exactly once, at
+// MarkNodeDown time + DefaultDeclareDelay.
+func TestPeerDeadBackstopDeclare(t *testing.T) {
+	k, n, _ := pair(t, CrossCluster())
+	var declaredAt []sim.Time
+	n.OnPeerDead = func(id msg.NodeID) {
+		if id != 1 {
+			t.Fatalf("declared node %d dead, want 1", id)
+		}
+		declaredAt = append(declaredAt, k.Now())
+	}
+	k.Schedule(100, func() { n.MarkNodeDown(1) })
+	k.Run(nil)
+	if len(declaredAt) != 1 {
+		t.Fatalf("OnPeerDead fired %d times, want 1", len(declaredAt))
+	}
+	if declaredAt[0] != 100+DefaultDeclareDelay {
+		t.Fatalf("declared at %d, want %d", declaredAt[0], 100+DefaultDeclareDelay)
+	}
+	peers := n.DeadPeers()
+	if len(peers) != 1 || peers[0] != 1 {
+		t.Fatalf("DeadPeers = %v, want [1]", peers)
+	}
+}
+
+// TestPeerDeadRetryEscalation: a surviving sender with an unacked message
+// to the dead node must escalate at its first retry — well before the
+// backstop — instead of burning the whole per-message retry budget.
+func TestPeerDeadRetryEscalation(t *testing.T) {
+	k, n, c := faultyPair(t, crashOnlyPlan())
+	var declaredAt []sim.Time
+	n.OnPeerDead = func(id msg.NodeID) { declaredAt = append(declaredAt, k.Now()) }
+	// The message departs at t=0; the node dies while it (or its ack) is
+	// in flight, so the sender's pending entry can never be acked.
+	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq, Addr: 0x40})
+	downAt := sim.Time(100)
+	k.Schedule(downAt, func() { n.MarkNodeDown(1) })
+	k.Run(nil)
+	if len(c.got) != 0 {
+		t.Fatalf("dead node received %d msgs", len(c.got))
+	}
+	if len(declaredAt) != 1 {
+		t.Fatalf("OnPeerDead fired %d times, want 1", len(declaredAt))
+	}
+	if declaredAt[0] >= downAt+DefaultDeclareDelay {
+		t.Fatalf("declared at %d: retry did not escalate before the %d backstop",
+			declaredAt[0], downAt+DefaultDeclareDelay)
+	}
+	if n.Injector().Stats.Poisoned != 0 {
+		t.Fatal("peer-dead escalation must not per-message poison")
+	}
+}
+
+// TestMarkNodeUpRestoresDelivery: a rejoin clears the dead-peer
+// declaration and restarts the shim cold; traffic flows again.
+func TestMarkNodeUpRestoresDelivery(t *testing.T) {
+	k, n, c := faultyPair(t, crashOnlyPlan())
+	fired := 0
+	n.OnPeerDead = func(msg.NodeID) { fired++ }
+	n.MarkNodeDown(1)
+	k.Run(nil) // backstop declares
+	if fired != 1 || len(n.DeadPeers()) != 1 {
+		t.Fatalf("declare did not happen: fired=%d peers=%v", fired, n.DeadPeers())
+	}
+	n.MarkNodeUp(1)
+	if n.NodeDown(1) || len(n.DeadPeers()) != 0 {
+		t.Fatalf("rejoin left state: down=%v peers=%v", n.NodeDown(1), n.DeadPeers())
+	}
+	n.Send(&msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq, Acks: 7})
+	k.Run(nil)
+	if len(c.got) != 1 || c.got[0].Acks != 7 || c.got[0].Poisoned {
+		t.Fatalf("post-rejoin delivery wrong: %+v", c.got)
+	}
+	// The rejoined partner is cold: sequence numbering restarted.
+	if c.got[0].Seq != 1 {
+		t.Fatalf("post-rejoin Seq = %d, want a fresh stream", c.got[0].Seq)
+	}
+}

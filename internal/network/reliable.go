@@ -119,6 +119,17 @@ func (n *Network) retry(l *link, p *pendingTx) {
 	if r.pending[p.m.Seq] != p {
 		return // acked while this event was already queued
 	}
+	if l.down {
+		// The peer's port is permanently down: retrying out the remaining
+		// budget would only delay recovery (and starve the watchdog).
+		// Hardware aborts link-layer replay on surprise link-down and
+		// raises the isolation event; model that by escalating straight
+		// to the structured peer-dead declaration, which retires every
+		// pending message to this peer without per-message poison.
+		delete(r.pending, p.m.Seq)
+		n.declarePeerDead(l.key.dst)
+		return
+	}
 	p.attempts++
 	if p.attempts > n.inj.MaxRetries() {
 		delete(r.pending, p.m.Seq)

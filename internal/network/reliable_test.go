@@ -164,6 +164,47 @@ func TestReliableStallWindowRecovers(t *testing.T) {
 	}
 }
 
+// TestReliableAckLostInStallWindow exercises the ack-loss x stall-window
+// interaction: the payload is delivered just before a link-down window
+// opens, its ack rolls inside the window and is lost, and every retry
+// lands inside the window too. The receiver must dedup the post-window
+// retry and re-ack it — exactly-once delivery, no poison, and the books
+// must show both the lost ack and the stall-dropped retries.
+func TestReliableAckLostInStallWindow(t *testing.T) {
+	// Delivery takes ~170 cycles on a Table III cross link and the first
+	// retry fires ~340 cycles after the send, so a [100, 5000) window
+	// catches the ack (~170) and the first few retries (~340, ~1020,
+	// ~2380) while the original send (t=0) escapes it.
+	plan := faults.Plan{Seed: 1, Rates: faults.Rates{Stalls: []faults.Window{{From: 100, To: 5000}}}}
+	k, n, c := faultyPair(t, plan)
+	n.Send(&msg.Msg{Type: msg.CmpM, Src: 0, Dst: 1, VNet: msg.VRsp, Acks: 42})
+	k.Run(nil)
+	if len(c.got) != 1 {
+		t.Fatalf("delivered %d msgs, want exactly 1 (dedup after the window)", len(c.got))
+	}
+	if c.got[0].Acks != 42 || c.got[0].Poisoned {
+		t.Fatalf("delivery corrupted: %+v", c.got[0])
+	}
+	// The fate rolls at departure (t=0, pre-window), so the delivery is
+	// the original attempt — not a post-window retry.
+	if c.times[0] >= 5000 {
+		t.Fatalf("payload delivered at %d: original attempt was stall-dropped", c.times[0])
+	}
+	st := &n.Injector().Stats
+	if st.AckDrops == 0 {
+		t.Fatal("the scenario never lost an ack inside the window")
+	}
+	if st.StallDrops == 0 {
+		t.Fatal("no retry landed inside the stall window")
+	}
+	if st.Retries == 0 {
+		t.Fatal("the lost ack never forced a retransmission")
+	}
+	if st.Poisoned != 0 {
+		t.Fatal("a recoverable ack loss poisoned a line")
+	}
+}
+
 // TestReliableDeterministic pins the recovery schedule: identical seeds
 // give byte-identical delivery schedules even under heavy faults.
 func TestReliableDeterministic(t *testing.T) {

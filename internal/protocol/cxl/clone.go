@@ -15,8 +15,13 @@ import (
 func (d *DCOH) Clone(k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
 	n := &DCOH{
 		id: d.id, k: k, net: net, dram: dram, Lat: d.Lat,
-		lines: make(map[mem.LineAddr]*dline, len(d.lines)),
-		Stats: d.Stats,
+		lines:    make(map[mem.LineAddr]*dline, len(d.lines)),
+		dead:     cloneSharers(d.dead),
+		poisoned: make(map[mem.LineAddr]bool, len(d.poisoned)),
+		Stats:    d.Stats,
+	}
+	for a, v := range d.poisoned {
+		n.poisoned[a] = v
 	}
 	for a, l := range d.lines {
 		nl := &dline{state: l.state, owner: l.owner,
@@ -25,6 +30,7 @@ func (d *DCOH) Clone(k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
 			nl.cur = &tx{
 				req: l.cur.req.Clone(), pending: cloneSharers(l.cur.pending),
 				data: l.cur.data, dirty: l.cur.dirty, keptS: cloneSharers(l.cur.keptS),
+				aborted: l.cur.aborted,
 			}
 		}
 		for _, m := range l.queue {

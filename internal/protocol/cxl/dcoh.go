@@ -21,6 +21,7 @@ package cxl
 
 import (
 	"fmt"
+	"sort"
 
 	"c3/internal/mem"
 	"c3/internal/msg"
@@ -45,6 +46,10 @@ type tx struct {
 	data    mem.Data            // dirty data collected from responses
 	dirty   bool
 	keptS   map[msg.NodeID]bool // snooped hosts that retained a shared copy
+	// aborted marks a transaction whose requestor died: outstanding snoop
+	// responses are still collected (and dirty data committed), but no
+	// completion is granted — the NAK half of host isolation.
+	aborted bool
 }
 
 type dline struct {
@@ -74,6 +79,14 @@ type DCOH struct {
 
 	lines map[mem.LineAddr]*dline
 
+	// dead is the set of isolated (crashed) hosts; late messages from
+	// them are dropped instead of panicking the FSM. poisoned marks lines
+	// whose only copy died with a host — grants carry msg.Poisoned from
+	// then on (sticky: a lost line stays flagged, the CXL data-poison
+	// contract).
+	dead     map[msg.NodeID]bool
+	poisoned map[mem.LineAddr]bool
+
 	// Tracer, when non-nil, observes directory state transitions.
 	Tracer *trace.Tracer
 
@@ -93,7 +106,9 @@ func (d *DCOH) traceState(a mem.LineAddr, old int, note string) {
 // New builds a DCOH with its backing device memory.
 func New(id msg.NodeID, k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
 	return &DCOH{id: id, k: k, net: net, dram: dram, Lat: 4,
-		lines: make(map[mem.LineAddr]*dline)}
+		lines:    make(map[mem.LineAddr]*dline),
+		dead:     make(map[msg.NodeID]bool),
+		poisoned: make(map[mem.LineAddr]bool)}
 }
 
 // ID returns the DCOH's network id.
@@ -118,6 +133,12 @@ func (d *DCOH) send(m *msg.Msg) {
 
 // Recv implements network.Port.
 func (d *DCOH) Recv(m *msg.Msg) {
+	if d.dead[m.Src] {
+		// A message from an isolated host (delivered in the same tick the
+		// crash landed): host isolation already reclaimed its state, so
+		// the message is stale by definition.
+		return
+	}
 	switch m.Type {
 	case msg.BIConflict:
 		// Answered immediately, even for busy lines: the FIFO response
@@ -185,6 +206,9 @@ func (d *DCOH) handleSnpRsp(m *msg.Msg) {
 	if m.Data != nil && m.Dirty {
 		l.cur.data = *m.Data
 		l.cur.dirty = true
+		if m.Poisoned {
+			d.poisoned[m.Addr] = true
+		}
 	}
 	if m.Type == msg.BISnpRspS {
 		l.cur.keptS[m.Src] = true
@@ -208,6 +232,11 @@ func (d *DCOH) handleWrite(m *msg.Msg) {
 	snoopedWB := l.cur != nil && l.cur.pending[m.Src]
 	if l.owner == m.Src || snoopedWB {
 		d.dram.Write(m.Addr, *m.Data, nil)
+		if m.Poisoned {
+			// Poison follows the data home: the device memory copy is now
+			// the poisoned one.
+			d.poisoned[m.Addr] = true
+		}
 		if !snoopedWB {
 			// Standalone eviction: update directory state now.
 			old := l.state
@@ -237,14 +266,47 @@ func (d *DCOH) settle(l *dline) {
 	d.finishRead(l)
 }
 
+// abortRead retires a transaction whose requestor died: snoop results
+// are already committed (settle), so record what the snoops left behind
+// and move on without granting.
+func (d *DCOH) abortRead(l *dline, cur *tx) {
+	oldState := l.state
+	l.owner = msg.None
+	l.sharers = make(map[msg.NodeID]bool)
+	for s := range cur.keptS {
+		if !d.dead[s] {
+			l.sharers[s] = true
+		}
+	}
+	if len(l.sharers) > 0 {
+		l.state = dS
+	} else {
+		l.state = dI
+	}
+	l.cur = nil
+	if d.Tracer != nil {
+		d.traceState(cur.req.Addr, oldState, "aborted "+cur.req.Type.String())
+	}
+	d.drain(l)
+}
+
 // finishRead reads device memory and grants.
 func (d *DCOH) finishRead(l *dline) {
 	cur := l.cur
+	if cur.aborted {
+		d.abortRead(l, cur)
+		return
+	}
 	d.dram.Read(cur.req.Addr, func(data mem.Data) {
 		h := cur.req.Src
+		if cur.aborted || d.dead[h] {
+			// The requestor crashed while the memory read was in flight.
+			d.abortRead(l, cur)
+			return
+		}
 		oldState := l.state
 		rsp := &msg.Msg{Addr: cur.req.Addr, Dst: h, VNet: msg.VRsp,
-			Data: msg.WithData(data)}
+			Data: msg.WithData(data), Poisoned: d.poisoned[cur.req.Addr]}
 		if cur.req.Type == msg.MemRdA {
 			rsp.Type = msg.CmpM
 			l.state = dM
@@ -315,3 +377,122 @@ func (d *DCOH) Busy(a mem.LineAddr) bool {
 	l := d.lines[a]
 	return l != nil && l.cur != nil
 }
+
+// Reclaim summarizes one host-isolation walk.
+type Reclaim struct {
+	// Reclaimed counts directory entries (owner or sharer slots) that
+	// named the dead host and were scrubbed.
+	Reclaimed int
+	// Poisoned counts lines whose only up-to-date copy died with the
+	// host; PoisonedLines lists them (sorted).
+	Poisoned      int
+	PoisonedLines []mem.LineAddr
+	// NAKed counts in-flight transactions from the dead host that were
+	// aborted instead of granted.
+	NAKed int
+}
+
+// ReclaimHost runs the CXL host-isolation walk for a crashed host: scrub
+// h from every sharer vector, poison lines h held exclusively (dE is
+// silently dirtiable, so it is treated like dM — data lost), release
+// in-flight transactions so surviving waiters unblock, and drop h's
+// queued requests. Lines are walked in address order so any messages the
+// walk releases are scheduled deterministically.
+func (d *DCOH) ReclaimHost(h msg.NodeID) Reclaim {
+	d.dead[h] = true
+	var r Reclaim
+	poison := func(a mem.LineAddr) {
+		if d.poisoned[a] {
+			return
+		}
+		d.poisoned[a] = true
+		r.Poisoned++
+		r.PoisonedLines = append(r.PoisonedLines, a)
+	}
+	addrs := make([]mem.LineAddr, 0, len(d.lines))
+	for a := range d.lines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		l := d.lines[a]
+		if l.cur != nil {
+			if l.cur.req.Src == h {
+				// The requestor died. Keep the transaction open until the
+				// surviving snoop responses land (their data still needs
+				// committing), but never grant it.
+				l.cur.aborted = true
+				r.NAKed++
+			}
+			if l.cur.pending[h] {
+				// A snoop to the dead host will never be answered. If it
+				// held the exclusive copy and no dirty data arrived, the
+				// only current copy died with it.
+				delete(l.cur.pending, h)
+				if (l.state == dE || l.state == dM) && l.owner == h && !l.cur.dirty {
+					poison(a)
+				}
+				if len(l.cur.pending) == 0 {
+					d.settle(l)
+				}
+			}
+		}
+		if l.sharers[h] {
+			delete(l.sharers, h)
+			r.Reclaimed++
+			if len(l.sharers) == 0 && l.state == dS && l.cur == nil {
+				l.state = dI
+			}
+		}
+		if l.owner == h {
+			r.Reclaimed++
+			if l.state == dE || l.state == dM {
+				poison(a)
+			}
+			l.owner = msg.None
+			if l.cur == nil && (l.state == dE || l.state == dM) {
+				l.state = dI
+			}
+		}
+		if len(l.queue) > 0 {
+			kept := l.queue[:0]
+			for _, m := range l.queue {
+				if m.Src == h {
+					r.NAKed++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			l.queue = kept
+		}
+	}
+	sort.Slice(r.PoisonedLines, func(i, j int) bool { return r.PoisonedLines[i] < r.PoisonedLines[j] })
+	return r
+}
+
+// ReferencesHost reports whether any directory state still names h —
+// the post-reclamation isolation invariant must find none.
+func (d *DCOH) ReferencesHost(h msg.NodeID) bool {
+	for _, l := range d.lines {
+		if l.owner == h || l.sharers[h] {
+			return true
+		}
+		if l.cur != nil && (l.cur.pending[h] || l.cur.req.Src == h) {
+			return true
+		}
+		for _, m := range l.queue {
+			if m.Src == h {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PoisonedLine reports whether a's data has been lost to a crash.
+func (d *DCOH) PoisonedLine(a mem.LineAddr) bool { return d.poisoned[a] }
+
+// ReviveHost re-admits a previously reclaimed host (crash rejoin): its
+// messages are accepted again. The host must come back cold — its state
+// was reclaimed at crash time and is not restored. Poison is sticky.
+func (d *DCOH) ReviveHost(h msg.NodeID) { delete(d.dead, h) }

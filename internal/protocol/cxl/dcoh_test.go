@@ -274,3 +274,153 @@ func peekWord(d *DCOH, a mem.LineAddr, w int) uint64 {
 	v := d.DRAM().Peek(a)
 	return v.Word(w)
 }
+
+// --- host-crash reclamation ---
+
+func TestReclaimExclusiveOwnerPoisons(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.CmpM)
+
+	rec := d.ReclaimHost(1)
+	k.Run(nil)
+	if rec.Reclaimed == 0 {
+		t.Fatalf("Reclaim = %+v: the M owner was not scrubbed", rec)
+	}
+	if rec.Poisoned != 1 || len(rec.PoisonedLines) != 1 || rec.PoisonedLines[0] != lineA {
+		t.Fatalf("Reclaim = %+v: the dead owner's M line must poison", rec)
+	}
+	if !d.PoisonedLine(lineA) {
+		t.Fatal("PoisonedLine lost the record")
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant: directory still names the dead host")
+	}
+	st, owner, _ := d.StateOf(lineA)
+	if st != "I" || owner != msg.None {
+		t.Fatalf("post-reclaim state %s/%d, want I/none", st, owner)
+	}
+
+	// A surviving reader still gets a grant — flagged poisoned, with
+	// whatever stale bytes device memory holds.
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if m := h2.last(t, msg.CmpE); !m.Poisoned {
+		t.Fatal("grant of a crash-lost line must carry the poison flag")
+	}
+}
+
+func TestReclaimSharerScrubbedNoPoison(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	var v mem.Data
+	v.SetWord(0, 7)
+	d.DRAM().Poke(lineA, v)
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	// h1 holds E-clean; it answers h2's snoop by downgrading to sharer.
+	h1.autoRsp = func(h *scriptHost, m *msg.Msg) {
+		h.send(&msg.Msg{Type: msg.BISnpRspS, Addr: m.Addr, Dst: 100, VNet: msg.VRsp})
+	}
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.last(t, msg.CmpS)
+
+	rec := d.ReclaimHost(1)
+	k.Run(nil)
+	if rec.Reclaimed == 0 || rec.Poisoned != 0 {
+		t.Fatalf("Reclaim = %+v: want sharer scrub, no poison (h2 still holds a copy)", rec)
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant: dead sharer still recorded")
+	}
+	// The surviving copy stays readable and clean.
+	if d.PoisonedLine(lineA) {
+		t.Fatal("a shared-clean line must not poison when one sharer dies")
+	}
+}
+
+func TestReclaimUnblocksWaiterOnDeadOwner(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.CmpM)
+
+	// h1 never answers snoops (it is about to be declared dead); h2's
+	// read wedges with a pending snoop to h1.
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if !d.Busy(lineA) {
+		t.Fatal("scenario broken: h2's read should be blocked on h1's snoop")
+	}
+
+	rec := d.ReclaimHost(1)
+	k.Run(nil)
+	if rec.Poisoned != 1 {
+		t.Fatalf("Reclaim = %+v: owner died with the only copy", rec)
+	}
+	// The waiter must complete rather than hang — with the poison flag.
+	if m := h2.last(t, msg.CmpE); !m.Poisoned {
+		t.Fatal("unblocked waiter's grant must be poisoned")
+	}
+	if d.Busy(lineA) {
+		t.Fatal("transaction still open after reclamation")
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant violated after unblock")
+	}
+}
+
+func TestReclaimAbortsDeadRequestor(t *testing.T) {
+	k, _, d, h1, h2 := setup(t)
+	var v mem.Data
+	v.SetWord(0, 3)
+	d.DRAM().Poke(lineA, v)
+	h2.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h2.last(t, msg.CmpE)
+
+	// h1 requests the line h2 owns; h2 stays silent so the transaction is
+	// in flight when h1 dies.
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	rec := d.ReclaimHost(1)
+	// h2's snoop response arrives after the declaration.
+	h2.send(&msg.Msg{Type: msg.BISnpRspS, Addr: lineA, Dst: 100, VNet: msg.VRsp})
+	k.Run(nil)
+	if rec.NAKed != 1 {
+		t.Fatalf("Reclaim = %+v: the dead requestor's transaction must be NAKed", rec)
+	}
+	if d.Busy(lineA) {
+		t.Fatal("aborted transaction still open")
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant: aborted requestor still recorded")
+	}
+	// Nothing was lost: h2 kept its copy, no poison.
+	if d.PoisonedLine(lineA) {
+		t.Fatal("aborting a dead requestor must not poison the line")
+	}
+}
+
+func TestReviveHostReadmitsCold(t *testing.T) {
+	k, _, d, h1, _ := setup(t)
+	h1.send(&msg.Msg{Type: msg.MemRdA, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	d.ReclaimHost(1)
+	k.Run(nil)
+	// Dead host's messages are dropped...
+	h1.got = nil
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if len(h1.got) != 0 {
+		t.Fatalf("dead host got %v", h1.got)
+	}
+	// ...until revived; then it reads again (poison is sticky).
+	d.ReviveHost(1)
+	h1.send(&msg.Msg{Type: msg.MemRdS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if m := h1.last(t, msg.CmpE); !m.Poisoned {
+		t.Fatal("revived host must still see sticky poison")
+	}
+}

@@ -15,14 +15,23 @@ import (
 func (d *Dir) Clone(k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *Dir {
 	n := &Dir{
 		id: d.id, k: k, net: net, dram: dram, Lat: d.Lat,
-		lines: make(map[mem.LineAddr]*hline, len(d.lines)),
-		Stats: d.Stats,
+		lines:    make(map[mem.LineAddr]*hline, len(d.lines)),
+		dead:     make(map[msg.NodeID]bool, len(d.dead)),
+		poisoned: make(map[mem.LineAddr]bool, len(d.poisoned)),
+		Stats:    d.Stats,
+	}
+	for id, v := range d.dead {
+		n.dead[id] = v
+	}
+	for a, v := range d.poisoned {
+		n.poisoned[a] = v
 	}
 	for a, l := range d.lines {
 		nl := &hline{
 			state: l.state, owner: l.owner, busy: l.busy,
 			copyBackFrom: l.copyBackFrom, pendingReq: l.pendingReq,
-			sharers: make(map[msg.NodeID]bool, len(l.sharers)),
+			lastFwdFrom: l.lastFwdFrom,
+			sharers:     make(map[msg.NodeID]bool, len(l.sharers)),
 		}
 		for id, v := range l.sharers {
 			nl.sharers[id] = v

@@ -12,6 +12,7 @@ package hmesi
 
 import (
 	"fmt"
+	"sort"
 
 	"c3/internal/mem"
 	"c3/internal/msg"
@@ -38,7 +39,15 @@ type hline struct {
 	// copyBackFrom/pendingReq track the in-flight owner downgrade.
 	copyBackFrom msg.NodeID
 	pendingReq   msg.NodeID
-	queue        []*msg.Msg
+	// lastFwdFrom remembers the source of the most recent pipelined
+	// GFwdGetM hand-off. The directory normally never learns whether the
+	// peer-to-peer GDataM arrived; this breadcrumb is what lets host
+	// isolation synthesize a poisoned grant when the hand-off source
+	// crashes with the transfer possibly in flight. Cleared when the
+	// directory sees proof the target received data (its GPutM or
+	// GCopyBack).
+	lastFwdFrom msg.NodeID
+	queue       []*msg.Msg
 }
 
 // Stats aggregates directory telemetry.
@@ -56,6 +65,12 @@ type Dir struct {
 	Lat sim.Time
 
 	lines map[mem.LineAddr]*hline
+
+	// dead is the set of isolated (crashed) hosts; poisoned marks lines
+	// whose only current copy died with one (sticky — see the DCOH's
+	// equivalent).
+	dead     map[msg.NodeID]bool
+	poisoned map[mem.LineAddr]bool
 
 	// Tracer, when non-nil, observes directory state transitions.
 	Tracer *trace.Tracer
@@ -76,7 +91,9 @@ func (d *Dir) traceState(a mem.LineAddr, old int, note string) {
 // New builds the directory with its backing memory.
 func New(id msg.NodeID, k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *Dir {
 	return &Dir{id: id, k: k, net: net, dram: dram, Lat: 4,
-		lines: make(map[mem.LineAddr]*hline)}
+		lines:    make(map[mem.LineAddr]*hline),
+		dead:     make(map[msg.NodeID]bool),
+		poisoned: make(map[mem.LineAddr]bool)}
 }
 
 // ID returns the directory's network id.
@@ -89,7 +106,7 @@ func (d *Dir) line(a mem.LineAddr) *hline {
 	l := d.lines[a]
 	if l == nil {
 		l = &hline{owner: msg.None, copyBackFrom: msg.None, pendingReq: msg.None,
-			sharers: make(map[msg.NodeID]bool)}
+			lastFwdFrom: msg.None, sharers: make(map[msg.NodeID]bool)}
 		d.lines[a] = l
 	}
 	return l
@@ -102,6 +119,10 @@ func (d *Dir) send(m *msg.Msg) {
 
 // Recv implements network.Port.
 func (d *Dir) Recv(m *msg.Msg) {
+	if d.dead[m.Src] {
+		// Stale message from an isolated host; its state was reclaimed.
+		return
+	}
 	switch m.Type {
 	case msg.GGetS:
 		d.getS(m)
@@ -130,24 +151,34 @@ func (d *Dir) getS(m *msg.Msg) {
 	case hI:
 		l.busy = true
 		d.dram.Read(m.Addr, func(data mem.Data) {
+			l.busy = false
+			if d.dead[m.Src] {
+				// The requestor crashed while memory was read: do not
+				// install it as owner.
+				d.drain(m.Addr, l)
+				return
+			}
 			// Sole reader: grant exclusive-clean, MESI style.
 			l.state = hE
 			l.owner = m.Src
-			l.busy = false
 			if d.Tracer != nil {
 				d.traceState(m.Addr, hI, "GGetS")
 			}
 			d.send(&msg.Msg{Type: msg.GDataE, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
-				Data: msg.WithData(data)})
+				Data: msg.WithData(data), Poisoned: d.poisoned[m.Addr]})
 			d.drain(m.Addr, l)
 		})
 	case hS:
 		l.busy = true
 		d.dram.Read(m.Addr, func(data mem.Data) {
-			l.sharers[m.Src] = true
 			l.busy = false
+			if d.dead[m.Src] {
+				d.drain(m.Addr, l)
+				return
+			}
+			l.sharers[m.Src] = true
 			d.send(&msg.Msg{Type: msg.GData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
-				Data: msg.WithData(data)})
+				Data: msg.WithData(data), Poisoned: d.poisoned[m.Addr]})
 			d.drain(m.Addr, l)
 		})
 	case hE, hM:
@@ -177,14 +208,18 @@ func (d *Dir) getM(m *msg.Msg) {
 	case hI:
 		l.busy = true
 		d.dram.Read(m.Addr, func(data mem.Data) {
+			l.busy = false
+			if d.dead[m.Src] {
+				d.drain(m.Addr, l)
+				return
+			}
 			l.state = hM
 			l.owner = m.Src
-			l.busy = false
 			if d.Tracer != nil {
 				d.traceState(m.Addr, hI, "GGetM")
 			}
 			d.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
-				Data: msg.WithData(data)})
+				Data: msg.WithData(data), Poisoned: d.poisoned[m.Addr]})
 			d.drain(m.Addr, l)
 		})
 	case hS:
@@ -217,7 +252,7 @@ func (d *Dir) getM(m *msg.Msg) {
 		d.dram.Read(m.Addr, func(data mem.Data) {
 			l.busy = false
 			d.send(&msg.Msg{Type: msg.GDataM, Addr: m.Addr, Dst: m.Src, Acks: acks,
-				VNet: msg.VRsp, Data: msg.WithData(data)})
+				VNet: msg.VRsp, Data: msg.WithData(data), Poisoned: d.poisoned[m.Addr]})
 			d.drain(m.Addr, l)
 		})
 	case hE, hM:
@@ -231,6 +266,7 @@ func (d *Dir) getM(m *msg.Msg) {
 		d.send(&msg.Msg{Type: msg.GFwdGetM, Addr: m.Addr, Dst: l.owner, Req: m.Src,
 			VNet: msg.VSnp})
 		old := l.state
+		l.lastFwdFrom = l.owner
 		l.state = hM
 		l.owner = m.Src
 		if d.Tracer != nil {
@@ -243,15 +279,28 @@ func (d *Dir) getM(m *msg.Msg) {
 func (d *Dir) putM(m *msg.Msg) {
 	l := d.line(m.Addr)
 	d.Stats.Writes++
+	if m.Poisoned && m.Data != nil {
+		// Poison follows the writeback home: memory's copy is now the
+		// poisoned one.
+		d.poisoned[m.Addr] = true
+	}
+	if l.owner == m.Src {
+		// An eviction from the current owner proves it holds data: the
+		// hand-off that delivered to it completed.
+		l.lastFwdFrom = msg.None
+	}
 	if l.busy && l.copyBackFrom == m.Src {
 		// The owner's eviction crossed our GFwdGetS: its PutM doubles as
 		// the copy-back; the evicting owner has answered the requestor
 		// peer-to-peer and drops its copy.
 		d.dram.Write(m.Addr, *m.Data, nil)
 		old := l.state
-		l.state = hS
 		l.owner = msg.None
-		l.sharers = map[msg.NodeID]bool{l.pendingReq: true}
+		l.sharers = d.liveSharers(l.pendingReq)
+		l.state = hS
+		if len(l.sharers) == 0 {
+			l.state = hI
+		}
 		l.copyBackFrom, l.pendingReq = msg.None, msg.None
 		l.busy = false
 		if d.Tracer != nil {
@@ -282,9 +331,12 @@ func (d *Dir) putS(m *msg.Msg) {
 		// Clean owner eviction crossing a GFwdGetS: memory is already
 		// current (the owner was E); complete the pending read.
 		old := l.state
-		l.state = hS
 		l.owner = msg.None
-		l.sharers = map[msg.NodeID]bool{l.pendingReq: true}
+		l.sharers = d.liveSharers(l.pendingReq)
+		l.state = hS
+		if len(l.sharers) == 0 {
+			l.state = hI
+		}
 		l.copyBackFrom, l.pendingReq = msg.None, msg.None
 		l.busy = false
 		if d.Tracer != nil {
@@ -314,6 +366,13 @@ func (d *Dir) putS(m *msg.Msg) {
 
 func (d *Dir) copyBack(m *msg.Msg) {
 	l := d.line(m.Addr)
+	if m.Poisoned && m.Data != nil {
+		d.poisoned[m.Addr] = true
+	}
+	if l.lastFwdFrom != msg.None && (l.owner == m.Src || l.copyBackFrom == m.Src) {
+		// The downgrading owner demonstrably holds data.
+		l.lastFwdFrom = msg.None
+	}
 	if !l.busy || l.copyBackFrom != m.Src {
 		// The matching eviction already satisfied the downgrade; the
 		// duplicate copy carries identical bytes.
@@ -324,8 +383,11 @@ func (d *Dir) copyBack(m *msg.Msg) {
 	}
 	d.dram.Write(m.Addr, *m.Data, nil)
 	old := l.state
+	l.sharers = d.liveSharers(l.copyBackFrom, l.pendingReq)
 	l.state = hS
-	l.sharers = map[msg.NodeID]bool{l.copyBackFrom: true, l.pendingReq: true}
+	if len(l.sharers) == 0 {
+		l.state = hI
+	}
 	l.owner = msg.None
 	l.copyBackFrom, l.pendingReq = msg.None, msg.None
 	l.busy = false
@@ -343,6 +405,175 @@ func (d *Dir) drain(a mem.LineAddr, l *hline) {
 	l.queue = l.queue[1:]
 	d.k.After(1, func() { d.Recv(next) })
 }
+
+// liveSharers builds a sharer map from ids, skipping unset or dead ones
+// (a crashed host must never be re-registered by a crossed flow that was
+// in flight when it died).
+func (d *Dir) liveSharers(ids ...msg.NodeID) map[msg.NodeID]bool {
+	m := make(map[msg.NodeID]bool)
+	for _, id := range ids {
+		if id != msg.None && !d.dead[id] {
+			m[id] = true
+		}
+	}
+	return m
+}
+
+// Reclaim summarizes one host-isolation walk (same shape as the DCOH's).
+type Reclaim struct {
+	Reclaimed     int
+	Poisoned      int
+	PoisonedLines []mem.LineAddr
+	NAKed         int
+}
+
+// ReclaimHost runs the host-isolation walk for a crashed host h: scrub h
+// from every sharer vector and owner pointer (poisoning lines whose only
+// copy died with it), complete in-flight flows that waited on h with
+// synthesized poisoned grants so surviving requestors unblock, and drop
+// h's queued requests. Lines are walked in address order so synthesized
+// messages are scheduled deterministically.
+//
+// Known limitation, documented in DESIGN.md §10: the directory tracks
+// only the most recent pipelined GFwdGetM hand-off per line, so a chain
+// of two in-flight hand-offs where the *earlier* source crashes can
+// leave the middle host waiting (the watchdog's dead-host class catches
+// it). Real back-invalidation has the same window; CXL closes it with
+// timeouts at the requestor, which the C3 layer's PeerDead pass models.
+func (d *Dir) ReclaimHost(h msg.NodeID) Reclaim {
+	d.dead[h] = true
+	var r Reclaim
+	poison := func(a mem.LineAddr) {
+		if d.poisoned[a] {
+			return
+		}
+		d.poisoned[a] = true
+		r.Poisoned++
+		r.PoisonedLines = append(r.PoisonedLines, a)
+	}
+	addrs := make([]mem.LineAddr, 0, len(d.lines))
+	for a := range d.lines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		l := d.lines[a]
+		if l.busy && l.copyBackFrom == h {
+			// The downgrading owner died owing GDataS to the requestor and
+			// GCopyBack to us: data lost. Synthesize a poisoned grant from
+			// memory so the requestor's acquire completes.
+			r.Reclaimed++
+			req := l.pendingReq
+			old := l.state
+			l.owner = msg.None
+			l.copyBackFrom, l.pendingReq = msg.None, msg.None
+			l.busy = false
+			l.sharers = d.liveSharers(req)
+			l.state = hS
+			if len(l.sharers) == 0 {
+				l.state = hI
+			}
+			poison(a)
+			if req != msg.None && !d.dead[req] {
+				r.NAKed++
+				d.synthGrant(msg.GData, a, req)
+			}
+			if d.Tracer != nil {
+				d.traceState(a, old, "reclaim (copy-back owner died)")
+			}
+			d.drain(a, l)
+		} else if l.busy && l.pendingReq == h {
+			// The requestor of an owner downgrade died; the surviving
+			// owner's GCopyBack still completes the flow, it just must not
+			// re-register the dead host (liveSharers handles that).
+			l.pendingReq = msg.None
+			r.NAKed++
+		}
+		if l.lastFwdFrom == h {
+			// A pipelined M hand-off from the dead host may still be in
+			// flight (or lost on the downed link). Synthesize a poisoned
+			// ownership grant to the recorded target; if the real GDataM
+			// already arrived, the target has no open transaction and
+			// drops the duplicate.
+			l.lastFwdFrom = msg.None
+			if l.owner != msg.None && l.owner != h && !d.dead[l.owner] {
+				poison(a)
+				r.NAKed++
+				d.synthGrant(msg.GDataM, a, l.owner)
+			}
+		}
+		if l.sharers[h] {
+			delete(l.sharers, h)
+			r.Reclaimed++
+			if len(l.sharers) == 0 && l.state == hS && !l.busy {
+				old := l.state
+				l.state = hI
+				if d.Tracer != nil {
+					d.traceState(a, old, "reclaim (last sharer died)")
+				}
+			}
+		}
+		if l.owner == h {
+			r.Reclaimed++
+			old := l.state
+			if l.state == hE || l.state == hM {
+				poison(a)
+			}
+			l.owner = msg.None
+			l.state = hI
+			if d.Tracer != nil {
+				d.traceState(a, old, "reclaim (owner died)")
+			}
+		}
+		if len(l.queue) > 0 {
+			kept := l.queue[:0]
+			for _, m := range l.queue {
+				if m.Src == h {
+					r.NAKed++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			l.queue = kept
+		}
+	}
+	sort.Slice(r.PoisonedLines, func(i, j int) bool { return r.PoisonedLines[i] < r.PoisonedLines[j] })
+	return r
+}
+
+// synthGrant reads memory and delivers a poisoned grant on the response
+// channel — the NAK/poison completion that unblocks a surviving waiter
+// after its data source died.
+func (d *Dir) synthGrant(t msg.Type, a mem.LineAddr, dst msg.NodeID) {
+	d.dram.Read(a, func(data mem.Data) {
+		d.send(&msg.Msg{Type: t, Addr: a, Dst: dst, VNet: msg.VRsp,
+			Data: msg.WithData(data), Poisoned: true})
+	})
+}
+
+// ReferencesHost reports whether any directory state still names h.
+func (d *Dir) ReferencesHost(h msg.NodeID) bool {
+	for _, l := range d.lines {
+		if l.owner == h || l.sharers[h] || l.copyBackFrom == h ||
+			l.pendingReq == h || l.lastFwdFrom == h {
+			return true
+		}
+		for _, m := range l.queue {
+			if m.Src == h {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PoisonedLine reports whether a's data has been lost to a crash.
+func (d *Dir) PoisonedLine(a mem.LineAddr) bool { return d.poisoned[a] }
+
+// ReviveHost re-admits a previously reclaimed host (crash rejoin): its
+// messages are accepted again. The host must come back cold — its state
+// was reclaimed at crash time and is not restored. Poison is sticky.
+func (d *Dir) ReviveHost(h msg.NodeID) { delete(d.dead, h) }
 
 // StateOf reports the directory view for tests and invariants.
 func (d *Dir) StateOf(a mem.LineAddr) (state string, owner msg.NodeID, sharers []msg.NodeID) {

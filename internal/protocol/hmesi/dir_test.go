@@ -290,3 +290,105 @@ func TestEvictionCrossingForward(t *testing.T) {
 		t.Fatal("crossing put data lost")
 	}
 }
+
+// --- host-crash reclamation ---
+
+func TestReclaimDeadOwnerPoisons(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.GDataM)
+
+	rec := d.ReclaimHost(1)
+	k.Run(nil)
+	if rec.Reclaimed == 0 || rec.Poisoned != 1 || rec.PoisonedLines[0] != lineA {
+		t.Fatalf("Reclaim = %+v", rec)
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant: dead owner still recorded")
+	}
+	st, owner, _ := d.StateOf(lineA)
+	if st != "I" || owner != msg.None {
+		t.Fatalf("post-reclaim state %s/%d", st, owner)
+	}
+	// A survivor's read completes, flagged poisoned.
+	h2.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if m := h2.last(t, msg.GDataE); !m.Poisoned {
+		t.Fatal("grant of a crash-lost line must carry the poison flag")
+	}
+}
+
+func TestReclaimUnblocksCopyBackWaiter(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.GDataM)
+
+	// h1 never answers the GFwdGetS, so h2's read blocks in the
+	// copy-back flow — exactly the wedge a crashed owner causes.
+	h2.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+
+	rec := d.ReclaimHost(1)
+	k.Run(nil)
+	if rec.Poisoned != 1 || rec.NAKed == 0 {
+		t.Fatalf("Reclaim = %+v: want poison + synthesized grant", rec)
+	}
+	if m := h2.last(t, msg.GData); !m.Poisoned {
+		t.Fatal("synthesized completion must be poisoned")
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant violated after unblock")
+	}
+}
+
+func TestReclaimCoversPipelinedHandoff(t *testing.T) {
+	k, d, h1, h2 := setup(t)
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	h1.last(t, msg.GDataM)
+
+	// Pipelined hand-off: the directory re-points ownership to h2 the
+	// moment it forwards, trusting h1 to send GDataM peer-to-peer. h1
+	// dies without sending it.
+	h2.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+
+	rec := d.ReclaimHost(1)
+	k.Run(nil)
+	if rec.NAKed == 0 || rec.Poisoned != 1 {
+		t.Fatalf("Reclaim = %+v: lost hand-off must synthesize a poisoned GDataM", rec)
+	}
+	if m := h2.last(t, msg.GDataM); !m.Poisoned {
+		t.Fatal("synthesized ownership grant must be poisoned")
+	}
+	if d.ReferencesHost(1) {
+		t.Fatal("isolation invariant: lastFwdFrom still names the dead host")
+	}
+	// h2 really owns the line now.
+	st, owner, _ := d.StateOf(lineA)
+	if st != "M" || owner != 2 {
+		t.Fatalf("post-handoff state %s/%d, want M/2", st, owner)
+	}
+}
+
+func TestDirReviveHostReadmitsCold(t *testing.T) {
+	k, d, h1, _ := setup(t)
+	h1.send(&msg.Msg{Type: msg.GGetM, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	d.ReclaimHost(1)
+	k.Run(nil)
+	h1.got = nil
+	h1.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if len(h1.got) != 0 {
+		t.Fatalf("dead host got %v", h1.got)
+	}
+	d.ReviveHost(1)
+	h1.send(&msg.Msg{Type: msg.GGetS, Addr: lineA, Dst: 100, VNet: msg.VReq})
+	k.Run(nil)
+	if m := h1.last(t, msg.GDataE); !m.Poisoned {
+		t.Fatal("revived host must still see sticky poison")
+	}
+}

@@ -97,9 +97,10 @@ const (
 )
 
 type evictTBE struct {
-	addr  mem.LineAddr
-	state int
-	data  mem.Data
+	addr     mem.LineAddr
+	state    int
+	data     mem.Data
+	poisoned bool
 }
 
 // Config for an L1 instance.
@@ -286,7 +287,7 @@ func (l *L1) start(op pendingOp) {
 func (l *L1) tryHit(e *cache.Entry, op pendingOp) bool {
 	switch op.req.Kind {
 	case cpu.Load:
-		l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), false)
+		l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), false, e.Poisoned)
 		l.c.Touch(e)
 		return true
 	case cpu.Store:
@@ -298,7 +299,7 @@ func (l *L1) tryHit(e *cache.Entry, op pendingOp) bool {
 			e.State = stM // silent E->M upgrade
 			e.Data.SetWord(op.req.Addr.WordIndex(), op.req.Val)
 			l.c.Touch(e)
-			l.reply(op, 0, false)
+			l.reply(op, 0, false, false)
 			return true
 		}
 		return false
@@ -313,7 +314,7 @@ func (l *L1) tryHit(e *cache.Entry, op pendingOp) bool {
 				e.Data.SetWord(w, op.req.Val)
 			}
 			l.c.Touch(e)
-			l.reply(op, old, false)
+			l.reply(op, old, false, e.Poisoned)
 			return true
 		}
 		return false
@@ -321,9 +322,9 @@ func (l *L1) tryHit(e *cache.Entry, op pendingOp) bool {
 	panic(fmt.Sprintf("hostproto: unexpected core op %v", op.req.Kind))
 }
 
-func (l *L1) reply(op pendingOp, val uint64, missed bool) {
+func (l *L1) reply(op pendingOp, val uint64, missed, poisoned bool) {
 	lat := l.cfg.HitLatency
-	r := cpu.Response{Val: val, Missed: missed}
+	r := cpu.Response{Val: val, Missed: missed, Poisoned: poisoned}
 	if missed {
 		r.MissLatency = l.k.Now() - op.start
 	}
@@ -337,7 +338,7 @@ func (l *L1) evictable(e *cache.Entry) bool {
 }
 
 func (l *L1) evictEntry(e *cache.Entry) {
-	t := &evictTBE{addr: e.Addr, data: e.Data}
+	t := &evictTBE{addr: e.Addr, data: e.Data, poisoned: e.Poisoned}
 	var ty msg.Type
 	withData := false
 	switch e.State {
@@ -366,6 +367,7 @@ func (l *L1) evictEntry(e *cache.Entry) {
 	if withData {
 		m.Data = msg.WithData(t.data)
 		m.Dirty = true
+		m.Poisoned = t.poisoned
 	}
 	l.send(m)
 }
@@ -421,6 +423,7 @@ func (l *L1) fill(m *msg.Msg) {
 		e = l.c.Install(m.Addr)
 	}
 	e.Data = *m.Data
+	e.Poisoned = m.Poisoned
 	old := e.State
 	switch m.Type {
 	case msg.DataS:
@@ -463,7 +466,7 @@ func (l *L1) fillUseOnce(m *msg.Msg, t *reqTBE) {
 			rest = t.ops[i:]
 			break
 		}
-		l.replyMiss(op, m.Data.Word(op.req.Addr.WordIndex()))
+		l.replyMiss(op, m.Data.Word(op.req.Addr.WordIndex()), m.Poisoned)
 	}
 	for _, op := range rest {
 		l.start(op)
@@ -479,12 +482,12 @@ func (l *L1) replay(t *reqTBE, e *cache.Entry) {
 	for i, op := range t.ops {
 		switch op.req.Kind {
 		case cpu.Load:
-			l.replyMiss(op, e.Data.Word(op.req.Addr.WordIndex()))
+			l.replyMiss(op, e.Data.Word(op.req.Addr.WordIndex()), e.Poisoned)
 		case cpu.Store:
 			if e.State == stM || e.State == stE {
 				e.State = stM
 				e.Data.SetWord(op.req.Addr.WordIndex(), op.req.Val)
-				l.replyMiss(op, 0)
+				l.replyMiss(op, 0, false)
 				continue
 			}
 			l.upgrade(t, e, t.ops[i:])
@@ -499,7 +502,7 @@ func (l *L1) replay(t *reqTBE, e *cache.Entry) {
 				} else {
 					e.Data.SetWord(w, op.req.Val)
 				}
-				l.replyMiss(op, old)
+				l.replyMiss(op, old, e.Poisoned)
 				continue
 			}
 			l.upgrade(t, e, t.ops[i:])
@@ -508,8 +511,8 @@ func (l *L1) replay(t *reqTBE, e *cache.Entry) {
 	}
 }
 
-func (l *L1) replyMiss(op pendingOp, val uint64) {
-	l.reply(op, val, true)
+func (l *L1) replyMiss(op pendingOp, val uint64, poisoned bool) {
+	l.reply(op, val, true, poisoned)
 }
 
 // upgrade issues a GetM for remaining ops after a shared fill.
@@ -557,7 +560,7 @@ func (l *L1) snoopData(m *msg.Msg) {
 	if t := l.evs[m.Addr]; t != nil {
 		dirty := t.state == evMIA || t.state == evOIA
 		rsp := &msg.Msg{Type: msg.SnpRspData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
-			Data: msg.WithData(t.data), Dirty: dirty}
+			Data: msg.WithData(t.data), Dirty: dirty, Poisoned: t.poisoned}
 		t.state = evSIA // now just a shared evictor
 		l.send(rsp)
 		return
@@ -594,7 +597,7 @@ func (l *L1) snoopData(m *msg.Msg) {
 		l.traceState(m.Addr, old, e.State, "SnpData")
 	}
 	l.send(&msg.Msg{Type: msg.SnpRspData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
-		Data: msg.WithData(e.Data), Dirty: dirty})
+		Data: msg.WithData(e.Data), Dirty: dirty, Poisoned: e.Poisoned})
 }
 
 // stallOwnerSnoop parks an owner snoop that reached us before the data
@@ -624,6 +627,7 @@ func (l *L1) snoopInv(m *msg.Msg) {
 		if dirty {
 			rsp.Data = msg.WithData(t.data)
 			rsp.Dirty = true
+			rsp.Poisoned = t.poisoned
 		}
 		t.state = evIIA
 		l.send(rsp)
@@ -635,7 +639,7 @@ func (l *L1) snoopInv(m *msg.Msg) {
 		l.send(&msg.Msg{Type: msg.SnpRspInv, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp})
 		return
 	}
-	rsp := &msg.Msg{Type: msg.SnpRspInv, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp}
+	rsp := &msg.Msg{Type: msg.SnpRspInv, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp, Poisoned: e.Poisoned}
 	switch e.State {
 	case stM, stO:
 		rsp.Data = msg.WithData(e.Data)

@@ -97,8 +97,8 @@ func (l *RCCL1) send(m *msg.Msg) {
 	l.net.Send(m)
 }
 
-func (l *RCCL1) reply(op pendingOp, val uint64, missed bool) {
-	r := cpu.Response{Val: val, Missed: missed}
+func (l *RCCL1) reply(op pendingOp, val uint64, missed, poisoned bool) {
+	r := cpu.Response{Val: val, Missed: missed, Poisoned: poisoned}
 	if missed {
 		r.MissLatency = l.k.Now() - op.start
 	}
@@ -141,7 +141,7 @@ func (l *RCCL1) load(op pendingOp) {
 	}
 	if e := l.c.Lookup(line); e != nil {
 		l.c.Touch(e)
-		l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), false)
+		l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), false, e.Poisoned)
 		return
 	}
 	l.Misses++
@@ -157,7 +157,7 @@ func (l *RCCL1) store(op pendingOp) {
 	if e := l.c.Lookup(line); e != nil {
 		l.writeLocal(e, op.req)
 		l.c.Touch(e)
-		l.reply(op, 0, false)
+		l.reply(op, 0, false, false)
 		return
 	}
 	// Write-allocate: fetch then write.
@@ -316,10 +316,10 @@ func (l *RCCL1) seqFlushed() {
 	}
 }
 
-func (l *RCCL1) seqDone(val uint64) {
+func (l *RCCL1) seqDone(val uint64, poisoned bool) {
 	s := l.cur
 	l.cur = nil
-	l.reply(s.op, val, true)
+	l.reply(s.op, val, true, poisoned)
 	if len(l.seqQueue) > 0 {
 		l.cur = l.seqQueue[0]
 		l.seqQueue = l.seqQueue[1:]
@@ -344,6 +344,7 @@ func (l *RCCL1) Recv(m *msg.Msg) {
 		// have written into the in-flight frame).
 		old := e.Data
 		e.Data = *m.Data
+		e.Poisoned = m.Poisoned
 		if dm := l.mask[m.Addr]; dm != 0 {
 			for w := 0; w < mem.LineWords; w++ {
 				if dm&(1<<w) != 0 {
@@ -357,10 +358,10 @@ func (l *RCCL1) Recv(m *msg.Msg) {
 		for _, op := range t.ops {
 			switch op.req.Kind {
 			case cpu.Load:
-				l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), true)
+				l.reply(op, e.Data.Word(op.req.Addr.WordIndex()), true, e.Poisoned)
 			case cpu.Store:
 				l.writeLocal(e, op.req)
-				l.reply(op, 0, true)
+				l.reply(op, 0, true, false)
 			default:
 				panic("hostproto: odd queued RCC op")
 			}
@@ -387,7 +388,7 @@ func (l *RCCL1) Recv(m *msg.Msg) {
 			return
 		}
 		if s.kind == seqRelStore && s.stage == 2 {
-			l.seqDone(0)
+			l.seqDone(0, false)
 			return
 		}
 		panic("hostproto: PutAck in odd sync stage")
@@ -395,12 +396,12 @@ func (l *RCCL1) Recv(m *msg.Msg) {
 		if l.cur == nil || l.cur.stage != 2 {
 			panic("hostproto: stray SyncAck")
 		}
-		l.seqDone(0)
+		l.seqDone(0, false)
 	case msg.AtomicResp:
 		if l.cur == nil || l.cur.kind != seqAtomic {
 			panic("hostproto: stray AtomicResp")
 		}
-		l.seqDone(m.Val)
+		l.seqDone(m.Val, m.Poisoned)
 	default:
 		panic(fmt.Sprintf("hostproto: RCC L1 %d got unexpected %v", l.id, m))
 	}

@@ -1,0 +1,210 @@
+package system
+
+import (
+	"fmt"
+
+	"c3/internal/faults"
+	"c3/internal/mem"
+	"c3/internal/msg"
+	"c3/internal/sim"
+)
+
+// RecoveryStats aggregates the host-crash recovery telemetry
+// (recovery.* metrics).
+type RecoveryStats struct {
+	// HostsCrashed counts clusters taken down by a crash plan.
+	HostsCrashed uint64
+	// PeersDeclaredDead counts peer-dead declarations processed (one per
+	// crashed cluster once the fabric escalates).
+	PeersDeclaredDead uint64
+	// LinesReclaimed counts directory/snoop-filter entries scrubbed of
+	// the dead host.
+	LinesReclaimed uint64
+	// LinesPoisoned counts lines whose only copy died with the host.
+	LinesPoisoned uint64
+	// TxNAKed counts in-flight transactions terminated with a synthesized
+	// NAK/poison completion (dead-host requests dropped at the home plus
+	// surviving waits repaired).
+	TxNAKed uint64
+	// TimeToQuiesce is the cycles from the (latest) crash to the
+	// completion of its reclamation walk.
+	TimeToQuiesce uint64
+	// HostsRejoined counts clusters brought back by a rejoin window.
+	HostsRejoined uint64
+}
+
+// validateCrashes checks a crash plan against the machine shape. Cluster
+// 0 is the anchor (litmus collector home and the convergence reference)
+// and must survive.
+func validateCrashes(crashes []faults.Crash, clusters int) error {
+	for _, cr := range crashes {
+		if cr.Host < 1 || cr.Host >= clusters {
+			return fmt.Errorf("system: crash host %d out of range (want 1..%d; cluster 0 must survive)",
+				cr.Host, clusters-1)
+		}
+		if cr.At <= 0 {
+			return fmt.Errorf("system: crash tick %d must be positive", cr.At)
+		}
+		if cr.Rejoin != 0 && cr.Rejoin <= cr.At {
+			return fmt.Errorf("system: rejoin tick %d must follow crash tick %d", cr.Rejoin, cr.At)
+		}
+	}
+	return nil
+}
+
+// armCrashes schedules the plan's host crashes (and rejoins) and wires
+// the fabric's peer-dead escalation into the reclamation walk. Called
+// from New once the machine is assembled.
+func (s *System) armCrashes(crashes []faults.Crash) {
+	s.crashAt = make(map[msg.NodeID]sim.Time)
+	s.Net.OnPeerDead = s.handlePeerDead
+	for _, cr := range crashes {
+		cr := cr
+		s.K.Schedule(cr.At, func() { s.crashCluster(cr.Host) })
+		if cr.Rejoin != 0 {
+			s.K.Schedule(cr.Rejoin, func() { s.rejoinCluster(cr.Host) })
+		}
+	}
+}
+
+// clusterNodes returns the network endpoints of cluster ci (C3 first).
+func (s *System) clusterNodes(ci int) []msg.NodeID {
+	cl := s.Clusters[ci]
+	ids := []msg.NodeID{cl.C3.ID()}
+	for _, l1 := range cl.L1s {
+		ids = append(ids, l1.ID())
+	}
+	return ids
+}
+
+// crashCluster models a surprise host failure: the cluster's cores halt
+// mid-stream, every fabric link touching the cluster goes down, and the
+// watchdog stops waiting for the dead host's open transactions. The
+// coherence-state reclamation runs later, when the fabric escalates the
+// silence to a peer-dead declaration (handlePeerDead).
+func (s *System) crashCluster(ci int) {
+	cl := s.Clusters[ci]
+	if cl.crashed {
+		return
+	}
+	cl.crashed = true
+	s.Recovery.HostsCrashed++
+	for _, c := range cl.Cores {
+		if c != nil {
+			c.Kill()
+		}
+	}
+	ids := s.clusterNodes(ci)
+	for _, id := range ids {
+		s.Net.MarkNodeDown(id)
+	}
+	s.crashAt[cl.C3.ID()] = s.K.Now()
+	if s.dog != nil {
+		s.dog.DropNodes(ids...)
+	}
+	if s.Tracer != nil {
+		s.Tracer.State(s.K.Now(), cl.C3.ID(), 0, "up", "down", fmt.Sprintf("host %d crashed", ci))
+	}
+}
+
+// handlePeerDead runs the coherence-state reclamation walk once the
+// fabric declares a crashed cluster's C3 dead: the home controller
+// scrubs the dead host from every sharer vector, poisons lines whose
+// only copy died with it, and synthesizes completions for surviving
+// waiters; surviving C3s forgive invalidation acks the dead peer owed.
+func (s *System) handlePeerDead(id msg.NodeID) {
+	s.Recovery.PeersDeclaredDead++
+	naked := 0
+	if s.DCOH != nil {
+		rec := s.DCOH.ReclaimHost(id)
+		s.Recovery.LinesReclaimed += uint64(rec.Reclaimed)
+		s.Recovery.LinesPoisoned += uint64(rec.Poisoned)
+		naked += rec.NAKed
+		s.recordPoison(rec.PoisonedLines)
+	}
+	if s.HDir != nil {
+		rec := s.HDir.ReclaimHost(id)
+		s.Recovery.LinesReclaimed += uint64(rec.Reclaimed)
+		s.Recovery.LinesPoisoned += uint64(rec.Poisoned)
+		naked += rec.NAKed
+		s.recordPoison(rec.PoisonedLines)
+	}
+	for _, cl := range s.Clusters {
+		if cl.C3.ID() != id && !cl.crashed {
+			naked += cl.C3.PeerDead(id)
+		}
+	}
+	s.Recovery.TxNAKed += uint64(naked)
+	if at, ok := s.crashAt[id]; ok {
+		s.Recovery.TimeToQuiesce = uint64(s.K.Now() - at)
+	}
+}
+
+// recordPoison feeds crash-poisoned lines into the fault injector's
+// poison set, unifying PoisonedLines(), the watchdog's poisoned-line
+// classification and the faults.poisoned metric across both poison
+// sources (retry exhaustion and host crash).
+func (s *System) recordPoison(lines []mem.LineAddr) {
+	inj := s.Net.Injector()
+	if inj == nil {
+		return
+	}
+	for _, a := range lines {
+		inj.RecordPoison(a)
+	}
+}
+
+// rejoinCluster brings a crashed cluster's fabric links back and
+// re-admits its C3 at the home controller, cold: the C3 restarts with
+// empty state and the cluster's cores stay halted (a crash loses the
+// workload; rejoin restores the machine, not the program). Lines
+// poisoned by the crash stay poisoned.
+func (s *System) rejoinCluster(ci int) {
+	cl := s.Clusters[ci]
+	if !cl.crashed {
+		return
+	}
+	cl.crashed = false
+	s.Recovery.HostsRejoined++
+	for _, id := range s.clusterNodes(ci) {
+		s.Net.MarkNodeUp(id)
+	}
+	if s.DCOH != nil {
+		s.DCOH.ReviveHost(cl.C3.ID())
+	}
+	if s.HDir != nil {
+		s.HDir.ReviveHost(cl.C3.ID())
+	}
+	cl.C3.Reset()
+	if s.Tracer != nil {
+		s.Tracer.State(s.K.Now(), cl.C3.ID(), 0, "down", "up", fmt.Sprintf("host %d rejoined (cold)", ci))
+	}
+}
+
+// CrashedClusters returns the indices of clusters currently down.
+func (s *System) CrashedClusters() []int {
+	var out []int
+	for ci, cl := range s.Clusters {
+		if cl.crashed {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// DeadHostIsolationViolations checks the post-reclamation isolation
+// invariant: no directory or snoop-filter entry may still name a host
+// the fabric has declared dead. It returns one description per
+// violation (empty means the invariant holds).
+func (s *System) DeadHostIsolationViolations() []string {
+	var out []string
+	for _, id := range s.Net.DeadPeers() {
+		if s.DCOH != nil && s.DCOH.ReferencesHost(id) {
+			out = append(out, fmt.Sprintf("DCOH still references dead host %d", id))
+		}
+		if s.HDir != nil && s.HDir.ReferencesHost(id) {
+			out = append(out, fmt.Sprintf("HDir still references dead host %d", id))
+		}
+	}
+	return out
+}

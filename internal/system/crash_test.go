@@ -1,0 +1,211 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"c3/internal/cpu"
+	"c3/internal/faults"
+	"c3/internal/sim"
+)
+
+// crashConfig is twoClusters plus a host-1 crash at tick `at`
+// (rejoin 0 = permanent).
+func crashConfig(global string, at, rejoin int64, seed int64) Config {
+	cfg := twoClusters("mesi", "mesi", global, 1, seed)
+	plan := &faults.Plan{Seed: uint64(seed)}
+	plan.CrashHost(1, sim.Time(at))
+	if rejoin != 0 {
+		plan.Crashes[0].Rejoin = sim.Time(rejoin)
+	}
+	cfg.Faults = plan
+	return cfg
+}
+
+// busyProg keeps a core running well past the crash tick.
+func busyProg(base, n int) []cpu.Instr {
+	var prog []cpu.Instr
+	for i := 0; i < n; i++ {
+		prog = append(prog, cpu.Instr{Kind: cpu.RMWAdd, Addr: addr(base), Val: 1, Reg: i % 8})
+	}
+	return prog
+}
+
+// victimSource takes line `base` Modified, then spins on it forever —
+// guaranteed to be mid-stream (holding the only copy) at any crash tick.
+func victimSource(base int) *cpu.FuncSource {
+	stored := false
+	return &cpu.FuncSource{
+		NextFn: func() (cpu.Instr, bool) {
+			if !stored {
+				stored = true
+				return cpu.Instr{Kind: cpu.Store, Addr: addr(base), Val: 77}, true
+			}
+			return cpu.Instr{Kind: cpu.Load, Addr: addr(base), Reg: 1, CtrlDep: true}, true
+		},
+	}
+}
+
+func TestHostCrashReclaimsAndConverges(t *testing.T) {
+	for _, global := range []string{"cxl", "hmesi"} {
+		t.Run(global, func(t *testing.T) {
+			s, err := New(crashConfig(global, 2000, 0, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The victim cluster takes line 5 Modified and spins; it is
+			// mid-stream at the crash tick, so its only copy dies.
+			s.AttachSource(1, 0, victimSource(5))
+			// The survivor spins on a disjoint line until the fabric has
+			// declared the victim dead, then stops — keeping the kernel
+			// alive through the declaration without depending on timing.
+			spinning := true
+			surv := &cpu.FuncSource{
+				NextFn: func() (cpu.Instr, bool) {
+					if !spinning {
+						return cpu.Instr{}, false
+					}
+					return cpu.Instr{Kind: cpu.Load, Addr: addr(0), Reg: 1, CtrlDep: true}, true
+				},
+				CompleteFn: func(cpu.Instr, uint64) {
+					if s.Recovery.PeersDeclaredDead > 0 {
+						spinning = false
+					}
+				},
+			}
+			s.AttachSource(0, 0, surv)
+			mustRun(t, s)
+
+			if s.Recovery.HostsCrashed != 1 {
+				t.Fatalf("HostsCrashed = %d, want 1", s.Recovery.HostsCrashed)
+			}
+			if s.Recovery.PeersDeclaredDead != 1 {
+				t.Fatalf("PeersDeclaredDead = %d, want 1", s.Recovery.PeersDeclaredDead)
+			}
+			if s.Recovery.LinesReclaimed == 0 {
+				t.Fatal("reclamation walk scrubbed nothing")
+			}
+			if s.Recovery.LinesPoisoned == 0 || len(s.PoisonedLines()) == 0 {
+				t.Fatal("the victim's Modified line must be recorded poisoned")
+			}
+			if s.Recovery.TimeToQuiesce == 0 {
+				t.Fatal("TimeToQuiesce not measured")
+			}
+			if got := s.CrashedClusters(); len(got) != 1 || got[0] != 1 {
+				t.Fatalf("CrashedClusters = %v, want [1]", got)
+			}
+			if v := s.DeadHostIsolationViolations(); len(v) > 0 {
+				t.Fatalf("isolation invariant violated: %v", v)
+			}
+		})
+	}
+}
+
+func TestHostCrashRejoinColdRestart(t *testing.T) {
+	s, err := New(crashConfig("cxl", 2000, 30_000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachSource(1, 0, victimSource(5))
+	// The survivor spins until the rejoin has happened, then stops.
+	spinning := true
+	surv := &cpu.FuncSource{
+		NextFn: func() (cpu.Instr, bool) {
+			if !spinning {
+				return cpu.Instr{}, false
+			}
+			return cpu.Instr{Kind: cpu.Load, Addr: addr(0), Reg: 1, CtrlDep: true}, true
+		},
+		CompleteFn: func(cpu.Instr, uint64) {
+			if s.Recovery.HostsRejoined > 0 {
+				spinning = false
+			}
+		},
+	}
+	s.AttachSource(0, 0, surv)
+	mustRun(t, s)
+
+	if s.Recovery.HostsRejoined != 1 {
+		t.Fatalf("HostsRejoined = %d, want 1", s.Recovery.HostsRejoined)
+	}
+	if got := s.CrashedClusters(); len(got) != 0 {
+		t.Fatalf("CrashedClusters = %v after rejoin, want none", got)
+	}
+	if len(s.Net.DeadPeers()) != 0 {
+		t.Fatal("rejoin left a dead-peer declaration")
+	}
+	// The crash still cost the workload its data: poison is sticky.
+	if len(s.PoisonedLines()) == 0 {
+		t.Fatal("rejoin must not launder crash-poisoned lines")
+	}
+}
+
+func TestCrashPlanValidation(t *testing.T) {
+	bad := []faults.Crash{
+		{Host: 0, At: 100},              // cluster 0 must survive
+		{Host: 2, At: 100},              // out of range for 2 clusters
+		{Host: 1, At: 0},                // crash tick must be positive
+		{Host: 1, At: 100, Rejoin: 50},  // rejoin before crash
+		{Host: 1, At: 100, Rejoin: 100}, // rejoin at crash
+	}
+	for i, cr := range bad {
+		cfg := twoClusters("mesi", "mesi", "cxl", 1, 1)
+		cfg.Faults = &faults.Plan{Crashes: []faults.Crash{cr}}
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: crash %+v accepted", i, cr)
+		}
+	}
+}
+
+// TestRecoveryMetricsGolden pins the recovery.* block of the metrics
+// render: the keys, their order, and their presence exactly when a crash
+// plan is armed. Downstream tooling diffs runs by these names.
+func TestRecoveryMetricsGolden(t *testing.T) {
+	s, err := New(crashConfig("cxl", 2000, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachSource(1, 0, cpu.NewSliceSource(busyProg(5, 400)))
+	s.AttachSource(0, 0, cpu.NewSliceSource(busyProg(0, 400)))
+	mustRun(t, s)
+
+	var b strings.Builder
+	s.Metrics().RenderText(&b)
+	var got []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "recovery.") {
+			got = append(got, strings.Fields(line)[0])
+		}
+	}
+	want := []string{
+		"recovery.hosts_crashed",
+		"recovery.hosts_rejoined",
+		"recovery.lines_poisoned",
+		"recovery.lines_reclaimed",
+		"recovery.peers_declared_dead",
+		"recovery.time_to_quiesce",
+		"recovery.tx_naked",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovery block = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovery key %d = %q, want %q (render order is pinned)", i, got[i], want[i])
+		}
+	}
+
+	// Without a crash plan the block must be absent entirely.
+	s2, err := New(twoClusters("mesi", "mesi", "cxl", 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.AttachSource(0, 0, cpu.NewSliceSource(busyProg(0, 4)))
+	s2.AttachSource(1, 0, cpu.NewSliceSource(busyProg(1, 4)))
+	mustRun(t, s2)
+	var b2 strings.Builder
+	s2.Metrics().RenderText(&b2)
+	if strings.Contains(b2.String(), "recovery.") {
+		t.Fatal("recovery.* rendered without a crash plan")
+	}
+}

@@ -86,6 +86,17 @@ func (s *System) Metrics() *trace.Registry {
 	r.Counter("net.msgs.total", ns.TotalMsgs)
 	r.Counter("net.bytes.total", ns.TotalBytes)
 
+	if s.crashAt != nil {
+		rs := &s.Recovery
+		r.Counter("recovery.hosts_crashed", func() uint64 { return rs.HostsCrashed })
+		r.Counter("recovery.hosts_rejoined", func() uint64 { return rs.HostsRejoined })
+		r.Counter("recovery.peers_declared_dead", func() uint64 { return rs.PeersDeclaredDead })
+		r.Counter("recovery.lines_reclaimed", func() uint64 { return rs.LinesReclaimed })
+		r.Counter("recovery.lines_poisoned", func() uint64 { return rs.LinesPoisoned })
+		r.Counter("recovery.tx_naked", func() uint64 { return rs.TxNAKed })
+		r.Counter("recovery.time_to_quiesce", func() uint64 { return rs.TimeToQuiesce })
+	}
+
 	if inj := s.Net.Injector(); inj != nil {
 		fs := &inj.Stats
 		r.Counter("faults.decisions", func() uint64 { return fs.Decisions })

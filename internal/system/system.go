@@ -82,6 +82,9 @@ type Cluster struct {
 	C3    *core.C3
 	L1s   []L1Port
 	Cores []*cpu.Core
+
+	// crashed is set while the cluster is down (crash plan).
+	crashed bool
 }
 
 // System is one assembled machine.
@@ -101,6 +104,13 @@ type System struct {
 
 	// Tracer mirrors Config.Tracer (nil when tracing is off).
 	Tracer *trace.Tracer
+
+	// Recovery aggregates host-crash recovery telemetry (crash.go);
+	// meaningful only when the fault plan schedules crashes.
+	Recovery RecoveryStats
+
+	dog     *trace.Watchdog
+	crashAt map[msg.NodeID]sim.Time
 
 	finished int
 	total    int
@@ -161,20 +171,23 @@ func New(cfg Config) (*System, error) {
 		cfg.Tracer.SetWatchdog(dog)
 		if net.Injector() != nil {
 			// With an unreliable fabric a silent line is not necessarily
-			// a protocol deadlock: classify recovery-in-progress and
-			// poisoned lines so reports (and the soak harness) can tell
-			// them apart.
+			// a protocol deadlock: classify recovery-in-progress,
+			// poisoned lines and dead hosts so reports (and the soak
+			// harness) can tell them apart.
 			dog.Classify = func(a mem.LineAddr) string {
 				switch {
 				case net.Injector().Poisoned(a):
 					return "poisoned-line"
 				case net.PendingRetries(a):
 					return "link-retry"
+				case len(net.DeadPeers()) > 0:
+					return "dead-host"
 				}
 				return "protocol-hang"
 			}
 		}
 	}
+	s.dog = dog
 
 	intra := cfg.Intra
 	if intra == (network.LinkConfig{}) {
@@ -290,6 +303,12 @@ func New(cfg Config) (*System, error) {
 	}
 	if err := net.Validate(); err != nil {
 		return nil, fmt.Errorf("system: %w", err)
+	}
+	if cfg.Faults != nil && len(cfg.Faults.Crashes) > 0 {
+		if err := validateCrashes(cfg.Faults.Crashes, len(cfg.Clusters)); err != nil {
+			return nil, err
+		}
+		s.armCrashes(cfg.Faults.Crashes)
 	}
 	return s, nil
 }

@@ -36,6 +36,10 @@ type atxn struct {
 	// began; reset whenever the line goes idle (closes == opens).
 	oldestOpen sim.Time
 	last       sim.Time
+	// bySrc attributes open transactions to their requestor (the Src of
+	// the opening send; the Dst of the closing delivery), so a host crash
+	// can cancel exactly the dead host's transactions (DropNodes).
+	bySrc map[msg.NodeID]int
 }
 
 // Watchdog maintains the in-flight transaction table and turns protocol
@@ -126,13 +130,14 @@ func (w *Watchdog) observe(ev Event) {
 			return
 		}
 		if t == nil {
-			t = &atxn{}
+			t = &atxn{bySrc: make(map[msg.NodeID]int)}
 			w.open[ev.Addr] = t
 		}
 		if t.opens == t.closes {
 			t.oldestOpen = ev.Time
 		}
 		t.opens++
+		t.bySrc[ev.Src]++
 		t.last = ev.Time
 		w.arm()
 	case KDeliver:
@@ -141,6 +146,9 @@ func (w *Watchdog) observe(ev Event) {
 			t.last = ev.Time
 			if closes(ev.MsgType) && t.closes < t.opens {
 				t.closes++
+				if t.bySrc[ev.Dst] > 0 {
+					t.bySrc[ev.Dst]--
+				}
 				if t.closes == t.opens {
 					delete(w.open, ev.Addr)
 					if len(w.open) == 0 {
@@ -191,6 +199,30 @@ func (w *Watchdog) check() {
 	}
 	w.timer = w.k.Schedule(stalest+w.MaxAge+1, w.check)
 	w.armed = true
+}
+
+// DropNodes cancels the open transactions attributed to the given nodes
+// (a crashed host's requests will never see their completions — they are
+// abandoned, not hung). Lines whose remaining opens are all balanced are
+// closed out; the watchdog disarms when nothing is left in flight.
+func (w *Watchdog) DropNodes(ids ...msg.NodeID) {
+	if w.fired {
+		return
+	}
+	for addr, t := range w.open {
+		for _, id := range ids {
+			if n := t.bySrc[id]; n > 0 {
+				t.opens -= n
+				delete(t.bySrc, id)
+			}
+		}
+		if t.closes >= t.opens {
+			delete(w.open, addr)
+		}
+	}
+	if len(w.open) == 0 {
+		w.disarm()
+	}
 }
 
 // HangReport is the structured form of a watchdog hang: what line stuck,

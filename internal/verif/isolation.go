@@ -1,0 +1,21 @@
+package verif
+
+import (
+	"fmt"
+	"strings"
+
+	"c3/internal/system"
+)
+
+// CheckHostIsolation verifies the post-crash isolation invariant: once
+// the fabric has declared a host dead and its reclamation walk ran, no
+// directory or snoop-filter entry may still name it. A violation means
+// a surviving transaction could still wait on — or grant rights to — a
+// host that will never answer.
+func CheckHostIsolation(s *system.System) error {
+	if v := s.DeadHostIsolationViolations(); len(v) > 0 {
+		return fmt.Errorf("verif: dead-host isolation violated:\n  %s",
+			strings.Join(v, "\n  "))
+	}
+	return nil
+}

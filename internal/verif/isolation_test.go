@@ -1,0 +1,68 @@
+package verif
+
+import (
+	"testing"
+
+	"c3/internal/cpu"
+	"c3/internal/faults"
+	"c3/internal/mem"
+	"c3/internal/system"
+)
+
+// TestCheckHostIsolation drives a real crash through a two-cluster
+// system and checks the invariant wrapper: clean before and after a
+// completed reclamation, and a named violation if state were to survive.
+func TestCheckHostIsolation(t *testing.T) {
+	plan := &faults.Plan{}
+	plan.CrashHost(1, 2000)
+	s, err := system.New(system.Config{
+		Global: "cxl",
+		Faults: plan,
+		Clusters: []system.ClusterConfig{
+			{Protocol: "mesi", MCM: cpu.WMO, Cores: 1},
+			{Protocol: "mesi", MCM: cpu.WMO, Cores: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHostIsolation(s); err != nil {
+		t.Fatalf("pre-crash system violates isolation: %v", err)
+	}
+	line := mem.Addr(0x20000)
+	// The victim takes the line Modified and spins on it.
+	stored := false
+	s.AttachSource(1, 0, &cpu.FuncSource{
+		NextFn: func() (cpu.Instr, bool) {
+			if !stored {
+				stored = true
+				return cpu.Instr{Kind: cpu.Store, Addr: line, Val: 9}, true
+			}
+			return cpu.Instr{Kind: cpu.Load, Addr: line, Reg: 1, CtrlDep: true}, true
+		},
+	})
+	// The survivor spins until the declaration lands.
+	spinning := true
+	s.AttachSource(0, 0, &cpu.FuncSource{
+		NextFn: func() (cpu.Instr, bool) {
+			if !spinning {
+				return cpu.Instr{}, false
+			}
+			return cpu.Instr{Kind: cpu.Load, Addr: line + mem.LineBytes, Reg: 1, CtrlDep: true}, true
+		},
+		CompleteFn: func(cpu.Instr, uint64) {
+			if s.Recovery.PeersDeclaredDead > 0 {
+				spinning = false
+			}
+		},
+	})
+	if !s.Run(50_000_000) {
+		t.Fatal("system wedged")
+	}
+	if s.Recovery.PeersDeclaredDead != 1 {
+		t.Fatalf("declaration not processed: %+v", s.Recovery)
+	}
+	if err := CheckHostIsolation(s); err != nil {
+		t.Fatalf("post-reclamation isolation violated: %v", err)
+	}
+}

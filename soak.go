@@ -2,6 +2,7 @@ package c3
 
 import (
 	"fmt"
+	"time"
 
 	"c3/internal/cpu"
 	"c3/internal/faults"
@@ -14,9 +15,10 @@ import (
 type FaultPlan = faults.Plan
 
 // ParseFaultPlan resolves a fault-plan spec: a named preset ("light",
-// "noisy", "stall", "blackout" — see FaultPlans) or a key=value string
-// such as "drop=0.01,dup=0.01,delay=0.1,delaymax=200,stall=100:900,
-// retries=8,seed=7".
+// "noisy", "stall", "blackout", "crash", "crash-rejoin", "crash-noisy"
+// — see FaultPlans) or a key=value string such as
+// "drop=0.01,dup=0.01,delay=0.1,delaymax=200,stall=100:900,
+// retries=8,seed=7,crash=1@2500" (crash values are host@tick[:rejoin]).
 func ParseFaultPlan(spec string) (FaultPlan, error) {
 	if p, ok := litmus.PlanByName(spec); ok {
 		return p.Plan, nil
@@ -28,6 +30,18 @@ func ParseFaultPlan(spec string) (FaultPlan, error) {
 func FaultPlans() []string {
 	var out []string
 	for _, p := range litmus.DefaultPlans() {
+		out = append(out, p.Name)
+	}
+	for _, p := range litmus.CrashPlans() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// CrashPlans lists just the host-crash preset names (the crash sweep).
+func CrashPlans() []string {
+	var out []string
+	for _, p := range litmus.CrashPlans() {
 		out = append(out, p.Name)
 	}
 	return out
@@ -46,7 +60,8 @@ type SoakConfig struct {
 	Locals  [2]string // cluster protocols (default mesi/mesi)
 	Global  string    // "cxl" (default) or "hmesi"
 	MCMs    [2]MCM
-	Workers int // campaign fan-out (0 = GOMAXPROCS); reports are identical
+	Workers int           // campaign fan-out (0 = GOMAXPROCS); reports are identical
+	Timeout time.Duration // wall-clock bound for the sweep (0 = none)
 }
 
 // SoakReport is the campaign result table: Render() is byte-identical
@@ -77,5 +92,6 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		Global:  cfg.Global,
 		MCMs:    [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
 		Workers: cfg.Workers,
+		Timeout: cfg.Timeout,
 	})
 }
