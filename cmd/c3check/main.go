@@ -17,20 +17,32 @@
 //	c3check -tiny                    # force CXL-cache evictions (Fig. 7)
 //	c3check -test MP -unsynced -witness   # witness a relaxed outcome
 //	c3check -test MP -unsynced -replay 1,0,2
+//	c3check -statusz :8080           # watch a long exploration live
+//
+// Observability: -statusz serves live exploration counters (states,
+// frontier, depth) as JSON plus pprof/expvar, -heartbeat prints a
+// progress line to stderr, and every invocation appends a record to the
+// run ledger (-ledger, default $C3_LEDGER or c3runs.jsonl; empty
+// disables). None of these affect exploration or its verdict.
 //
 // Exit status: 0 no violation (or -replay reproduced one), 1 violation
 // found (or -replay failed to reproduce), 2 usage error.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"c3"
+	"c3/internal/obs"
+	"c3/internal/trace"
 )
 
 func main() {
@@ -52,12 +64,19 @@ func main() {
 		"re-execute a comma-separated witness path against -test instead of exploring")
 	replayRoot := flag.Bool("replay-from-root", false,
 		"explore by prefix re-execution instead of snapshot cloning (cross-check mode)")
+	statusz := flag.String("statusz", "", "serve live introspection (/statusz JSON, /metricsz, pprof, expvar) on this address, e.g. :8080 or 127.0.0.1:0")
+	heartbeat := flag.Duration("heartbeat", 0, "print a progress line to stderr at this interval (0 = off)")
+	ledger := flag.String("ledger", obs.DefaultLedgerPath(), "append a JSONL run record to this file (empty = off)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "c3check: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
 
+	// Live exploration counters: Verify's OnProgress callback stores into
+	// atomics, the statusz registry reads them — the checker itself never
+	// blocks on an HTTP reader.
+	co := newCheckObserver()
 	cfg := c3.VerifyConfig{
 		Locals:         [2]string{*local0, *local1},
 		Global:         *global,
@@ -69,6 +88,7 @@ func main() {
 		Unsynced:       *unsynced,
 		CheckForbidden: *unsynced,
 		ReplayFromRoot: *replayRoot,
+		OnProgress:     co.progress,
 	}
 
 	if *replay != "" {
@@ -106,10 +126,37 @@ func main() {
 	if *test != "" {
 		tests = []string{*test}
 	}
+	co.Plan(tests)
+
+	var server *obs.Server
+	if *statusz != "" {
+		var err error
+		server, err = obs.StartStatusz(*statusz, "c3check", co.Tracker)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3check:", err)
+			os.Exit(2)
+		}
+		server.SetRegistry(co.registry)
+		fmt.Fprintf(os.Stderr, "c3check: statusz on http://%s/statusz\n", server.Addr())
+	}
+	var stopHeartbeat func()
+	if *heartbeat > 0 {
+		stopHeartbeat = obs.Heartbeat(os.Stderr, *heartbeat, "c3check", co.Tracker)
+	}
+
+	sweepStart := time.Now()
 	ok := true
-	for _, name := range tests {
+	for i, name := range tests {
+		co.TaskStarted(i)
 		start := time.Now()
 		rep, err := c3.Verify(name, cfg)
+		if err == nil {
+			// Small explorations finish under the progress stride; fold the
+			// final counts so the ledger's totals are never zero.
+			co.progress(c3.CheckProgress{States: rep.States, Terminals: rep.Terminals,
+				Builds: rep.Builds, Clones: rep.Clones})
+		}
+		co.TaskDone(i, err)
 		if err != nil {
 			ok = false
 			fmt.Printf("%-8s FAIL: %v\n", name, err)
@@ -135,9 +182,88 @@ func main() {
 			name, status, rep.States, rep.Terminals, rep.Outcomes, rep.Builds, rep.Clones,
 			time.Since(start).Seconds(), note)
 	}
-	if !ok {
-		os.Exit(1)
+	if stopHeartbeat != nil {
+		stopHeartbeat()
 	}
+	if server != nil {
+		server.Close()
+	}
+
+	verdict, exit := obs.VerdictPass, 0
+	if !ok {
+		verdict, exit = obs.VerdictViolation, 1
+	}
+	if *ledger != "" {
+		var metrics bytes.Buffer
+		if err := co.registry.RenderJSON(&metrics); err != nil {
+			metrics.Reset()
+		}
+		rec := &obs.Record{
+			Tool:    "c3check",
+			Spec:    obs.SpecFromFlags("statusz", "heartbeat", "ledger"),
+			Workers: *workers,
+			Version: obs.Version(),
+			Start:   sweepStart,
+			WallMS:  time.Since(sweepStart).Milliseconds(),
+			Verdict: verdict,
+			Exit:    exit,
+			Metrics: json.RawMessage(metrics.Bytes()),
+			Extra: map[string]any{
+				"tests":  tests,
+				"states": co.states.Load(),
+			},
+		}
+		if err := obs.AppendLedger(*ledger, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "c3check: ledger: %v\n", err)
+		}
+	}
+	os.Exit(exit)
+}
+
+// checkObserver mirrors the checker's progress callbacks into atomics so
+// the statusz registry can render them from HTTP goroutines while the
+// exploration runs. Counters accumulate across the per-test runs (total
+// work this invocation did); frontier and depth are instantaneous.
+type checkObserver struct {
+	*obs.Tracker
+	registry *trace.Registry
+
+	states, terminals, builds, clones atomic.Uint64
+	frontier, depth                   atomic.Int64
+	// base* carry the totals of completed tests, since each Verify call's
+	// Progress counts restart from zero.
+	baseStates, baseTerminals, baseBuilds, baseClones atomic.Uint64
+}
+
+func newCheckObserver() *checkObserver {
+	o := &checkObserver{Tracker: obs.NewTracker(), registry: trace.NewRegistry()}
+	o.registry.Counter("check.states", o.states.Load)
+	o.registry.Counter("check.terminals", o.terminals.Load)
+	o.registry.Counter("check.builds", o.builds.Load)
+	o.registry.Counter("check.clones", o.clones.Load)
+	o.registry.Gauge("check.frontier", func() float64 { return float64(o.frontier.Load()) })
+	o.registry.Gauge("check.depth", func() float64 { return float64(o.depth.Load()) })
+	return o
+}
+
+func (o *checkObserver) progress(p c3.CheckProgress) {
+	o.states.Store(o.baseStates.Load() + p.States)
+	o.terminals.Store(o.baseTerminals.Load() + p.Terminals)
+	o.builds.Store(o.baseBuilds.Load() + p.Builds)
+	o.clones.Store(o.baseClones.Load() + p.Clones)
+	o.frontier.Store(int64(p.Frontier))
+	o.depth.Store(int64(p.Depth))
+}
+
+// TaskDone folds the finished test's counts into the bases so the next
+// test's restarted Progress values keep the totals monotonic.
+func (o *checkObserver) TaskDone(i int, err error) {
+	o.baseStates.Store(o.states.Load())
+	o.baseTerminals.Store(o.terminals.Load())
+	o.baseBuilds.Store(o.builds.Load())
+	o.baseClones.Store(o.clones.Load())
+	o.frontier.Store(0)
+	o.Tracker.TaskDone(i, err)
 }
 
 // printSteps decodes a witness by replaying it.

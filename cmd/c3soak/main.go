@@ -11,22 +11,39 @@
 //	c3soak -tests MP,SB -plans "light;blackout" -iters 50
 //	c3soak -plans drop=0.02,dup=0.02 -seeds 1,2,3 -j 4
 //	c3soak -plans "crash;crash-rejoin" -timeout 5m  # host-crash sweep
+//	c3soak -statusz :8080 -heartbeat 10s            # live introspection
 //	c3soak -list-plans
 //
 // -plans entries are separated by ';' (a plan spec itself uses commas).
 //
+// Observability: -statusz serves a JSON run snapshot (plus pprof and
+// expvar) while the sweep runs, -heartbeat prints a progress line to
+// stderr for headless CI, and every invocation appends a JSONL record
+// to the run ledger (-ledger, default $C3_LEDGER or c3runs.jsonl;
+// empty disables). None of these change the report: its bytes are
+// identical with and without them, at any worker count.
+//
 // Exit status 0 means the soak contract held; 1 means a silent
-// coherence violation or an aborted campaign (the report shows which).
+// coherence violation, an aborted campaign, or a sweep timeout (the
+// report shows which, and the ledger verdict distinguishes "timeout"
+// from "fail").
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"c3"
+	"c3/internal/litmus"
+	"c3/internal/obs"
+	"c3/internal/trace"
 )
 
 func main() {
@@ -43,6 +60,9 @@ func main() {
 	flag.IntVar(workers, "workers", 0, "alias for -j")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole sweep, e.g. 5m (0 = none)")
 	listPlans := flag.Bool("list-plans", false, "list the named fault-plan presets")
+	statusz := flag.String("statusz", "", "serve live introspection (/statusz JSON, /metricsz, pprof, expvar) on this address, e.g. :8080 or 127.0.0.1:0")
+	heartbeat := flag.Duration("heartbeat", 0, "print a progress line to stderr at this interval (0 = off)")
+	ledger := flag.String("ledger", obs.DefaultLedgerPath(), "append a JSONL run record to this file (empty = off)")
 	flag.Parse()
 
 	if *listPlans {
@@ -92,11 +112,120 @@ func main() {
 		cfg.Seeds = append(cfg.Seeds, v)
 	}
 
+	// Live introspection: the tracker follows the campaign pool, the
+	// registry aggregates atomically maintained sweep counters (safe to
+	// render from HTTP goroutines mid-run), and the optional server and
+	// heartbeat read both. None of it touches the report.
+	so := newSoakObserver()
+	cfg.Observer = so
+	var server *obs.Server
+	if *statusz != "" {
+		server, err = obs.StartStatusz(*statusz, "c3soak", so.Tracker)
+		failUsage(err)
+		server.SetRegistry(so.registry)
+		fmt.Fprintf(os.Stderr, "c3soak: statusz on http://%s/statusz\n", server.Addr())
+	}
+	var stopHeartbeat func()
+	if *heartbeat > 0 {
+		stopHeartbeat = obs.Heartbeat(os.Stderr, *heartbeat, "c3soak", so.Tracker)
+	}
+
+	start := time.Now()
 	rep, err := c3.RunSoak(cfg)
-	failUsage(err)
+	if stopHeartbeat != nil {
+		stopHeartbeat()
+	}
+	if server != nil {
+		server.Close()
+	}
+	if err != nil {
+		appendLedger(*ledger, so, cfg, start, obs.VerdictError, 2, map[string]any{"error": err.Error()})
+		failUsage(err)
+	}
+
 	fmt.Print(rep.Render())
+	exit := 0
 	if !rep.OK() {
-		os.Exit(1)
+		exit = 1
+	}
+	appendLedger(*ledger, so, cfg, start, rep.Verdict(), exit, map[string]any{
+		"campaigns": len(rep.Runs),
+		"forbidden": so.forbidden.Load(),
+		"poisoned":  so.poisoned.Load(),
+		"crashed":   so.crashed.Load(),
+		"hangs":     so.hangs.Load(),
+		"timeouts":  so.timeouts.Load(),
+	})
+	os.Exit(exit)
+}
+
+// soakObserver aggregates the sweep live: the embedded Tracker follows
+// pool scheduling, and the atomic tallies (fed by CampaignDone, read by
+// the statusz registry) expose the robustness counters — including the
+// watchdog firings — while the sweep runs.
+type soakObserver struct {
+	*obs.Tracker
+	registry *trace.Registry
+
+	forbidden atomic.Uint64
+	poisoned  atomic.Uint64
+	crashed   atomic.Uint64
+	hangs     atomic.Uint64
+	timeouts  atomic.Uint64
+	errors    atomic.Uint64
+}
+
+func newSoakObserver() *soakObserver {
+	o := &soakObserver{Tracker: obs.NewTracker(), registry: trace.NewRegistry()}
+	o.registry.Counter("soak.forbidden", o.forbidden.Load)
+	o.registry.Counter("soak.poisoned", o.poisoned.Load)
+	o.registry.Counter("soak.crashed", o.crashed.Load)
+	o.registry.Counter("soak.watchdog_firings", o.hangs.Load)
+	o.registry.Counter("soak.timeouts", o.timeouts.Load)
+	o.registry.Counter("soak.errors", o.errors.Load)
+	return o
+}
+
+// CampaignDone implements litmus.SoakRowObserver; it runs concurrently
+// from pool workers.
+func (o *soakObserver) CampaignDone(_ int, row litmus.SoakRun) {
+	o.forbidden.Add(uint64(row.Forbidden))
+	o.poisoned.Add(uint64(row.Poisoned))
+	o.crashed.Add(uint64(row.Crashed))
+	o.hangs.Add(uint64(row.Hangs))
+	if row.TimedOut {
+		o.timeouts.Add(1)
+	} else if row.Err != "" {
+		o.errors.Add(1)
+	}
+}
+
+// appendLedger writes this invocation's run-ledger record; ledger
+// failures warn but never change the exit status (the sweep's verdict
+// must not depend on a full disk).
+func appendLedger(path string, so *soakObserver, cfg c3.SoakConfig, start time.Time, verdict string, exit int, extra map[string]any) {
+	if path == "" {
+		return
+	}
+	var metrics bytes.Buffer
+	if err := so.registry.RenderJSON(&metrics); err != nil {
+		metrics.Reset()
+	}
+	rec := &obs.Record{
+		Tool:    "c3soak",
+		Spec:    obs.SpecFromFlags("statusz", "heartbeat", "ledger"),
+		Seeds:   cfg.Seeds,
+		Workers: cfg.Workers,
+		Version: obs.Version(),
+		Start:   start,
+		WallMS:  time.Since(start).Milliseconds(),
+		Verdict: verdict,
+		Exit:    exit,
+		Metrics: json.RawMessage(metrics.Bytes()),
+		Extra:   extra,
+	}
+	if err := obs.AppendLedger(path, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "c3soak: ledger: %v\n", err)
 	}
 }
 

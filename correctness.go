@@ -179,6 +179,23 @@ type VerifyConfig struct {
 	// ReplayFromRoot reconstructs every state by re-executing its delivery
 	// prefix instead of snapshot cloning (cross-check / low-memory mode).
 	ReplayFromRoot bool
+	// OnProgress, when non-nil, receives a periodic exploration snapshot
+	// (roughly every couple thousand states) from the checker loop — the
+	// live-introspection feed behind c3check -statusz. It runs serially
+	// on the exploration goroutine and cannot influence the exploration.
+	OnProgress func(CheckProgress)
+}
+
+// CheckProgress is a mid-exploration snapshot (VerifyConfig.OnProgress):
+// states visited, terminals, snapshot builds/clones, frontier size, and
+// the deepest expanded path so far.
+type CheckProgress struct {
+	States    uint64
+	Terminals uint64
+	Builds    uint64
+	Clones    uint64
+	Frontier  int
+	Depth     int
 }
 
 // VerifyReport summarizes an exhaustive exploration.
@@ -255,13 +272,24 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := verif.Check(mcfg, verif.CheckerConfig{
+	ccfg := verif.CheckerConfig{
 		MaxStates:      cfg.MaxStates,
 		MaxDepth:       cfg.MaxDepth,
 		Workers:        cfg.Workers,
 		ReplayFromRoot: cfg.ReplayFromRoot,
 		CheckForbidden: cfg.CheckForbidden,
-	})
+	}
+	if cfg.OnProgress != nil {
+		hook := cfg.OnProgress
+		ccfg.OnProgress = func(p verif.Progress) {
+			hook(CheckProgress{
+				States: p.States, Terminals: p.Terminals,
+				Builds: p.Builds, Clones: p.Clones,
+				Frontier: p.Frontier, Depth: p.Depth,
+			})
+		}
+	}
+	rep, err := verif.Check(mcfg, ccfg)
 	if err != nil {
 		var cex *verif.Counterexample
 		if errors.As(err, &cex) {

@@ -96,8 +96,33 @@ type SoakConfig struct {
 	// have not started when it expires become "timeout" error rows; the
 	// cut point depends on the host machine, so reports are only
 	// byte-identical across worker counts when the sweep finishes in
-	// time — the timeout is a failure path, not a schedule.
+	// time — the timeout is a failure path, not a schedule. The report
+	// is still produced in full (completed rows plus timeout rows) and
+	// SoakReport.TimedOut flags the abort, so callers can flush the
+	// partial result and record a "timeout" verdict instead of exiting
+	// silently.
 	Timeout time.Duration
+	// Observer, when non-nil, receives the campaign plan and per-campaign
+	// lifecycle events for live introspection (c3soak -statusz). Start/
+	// done events arrive concurrently from pool workers (see
+	// parallel.Observer); the observer can never affect the report.
+	Observer SoakObserver
+}
+
+// SoakObserver observes a soak sweep from the outside: Plan announces
+// the campaign labels ("test/plan/seed") in pool-item order before the
+// sweep starts, then the pool's parallel.Observer callbacks track each
+// campaign. obs.Tracker implements it.
+type SoakObserver interface {
+	parallel.Observer
+	Plan(labels []string)
+}
+
+// SoakRowObserver is optionally implemented by a SoakObserver to
+// additionally receive each completed row (concurrently, from pool
+// workers) — the feed for live hang/poison/forbidden tallies.
+type SoakRowObserver interface {
+	CampaignDone(i int, row SoakRun)
 }
 
 // SoakRun is one campaign's row in the report.
@@ -114,6 +139,9 @@ type SoakRun struct {
 	Hangs     int // watchdog firings (classified, not fatal)
 	Classes   string
 	Err       string // campaign abort (wedge or captured panic)
+	// TimedOut marks a campaign the sweep's wall-clock bound cut off
+	// before it started (Err carries the detail).
+	TimedOut bool
 }
 
 // ok reports whether the run upheld the robustness contract: it finished
@@ -136,6 +164,36 @@ func (r *SoakReport) OK() bool {
 	return true
 }
 
+// TimedOut reports whether the sweep's wall-clock bound cut off any
+// campaign.
+func (r *SoakReport) TimedOut() bool {
+	for i := range r.Runs {
+		if r.Runs[i].TimedOut {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict maps the report onto the run-ledger verdict vocabulary:
+// "fail" on a silent violation or an aborted (non-timeout) campaign,
+// "timeout" when the only failures are wall-clock cutoffs (the partial
+// report is still rendered), "pass" otherwise.
+func (r *SoakReport) Verdict() string {
+	verdict := "pass"
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		if run.ok() {
+			continue
+		}
+		if !run.TimedOut {
+			return "fail"
+		}
+		verdict = "timeout"
+	}
+	return verdict
+}
+
 // Render produces the deterministic report table.
 func (r *SoakReport) Render() string {
 	var b strings.Builder
@@ -145,6 +203,8 @@ func (r *SoakReport) Render() string {
 		run := &r.Runs[i]
 		status := "ok"
 		switch {
+		case run.TimedOut:
+			status = "TIMEOUT: " + run.Err
 		case run.Err != "":
 			status = "ERROR: " + run.Err
 		case run.Forbidden > 0:
@@ -161,9 +221,12 @@ func (r *SoakReport) Render() string {
 			run.Test, run.Plan, run.Seed, run.Iters, run.Distinct,
 			run.Forbidden, run.Poisoned, run.Crashed, run.Hangs, status)
 	}
-	if r.OK() {
+	switch r.Verdict() {
+	case "pass":
 		b.WriteString("SOAK PASS: every run passed coherence checks or reported detected degradation\n")
-	} else {
+	case "timeout":
+		b.WriteString("SOAK TIMEOUT: wall-clock bound cut the sweep short; completed rows above are valid\n")
+	default:
 		b.WriteString("SOAK FAIL: silent coherence violation or aborted campaign above\n")
 	}
 	return b.String()
@@ -233,16 +296,37 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		deadline = time.Now().Add(cfg.Timeout)
 	}
 
+	// Live introspection: announce the plan and attach the observer to
+	// the pool's context. The observer sees scheduling, never results.
+	ctx := context.Background()
+	var rowObs SoakRowObserver
+	if cfg.Observer != nil {
+		labels := make([]string, len(jobs))
+		for i, j := range jobs {
+			labels[i] = fmt.Sprintf("%s/%s/seed%d", j.test.Name, j.plan.Name, j.seed)
+		}
+		cfg.Observer.Plan(labels)
+		ctx = parallel.WithObserver(ctx, cfg.Observer)
+		rowObs, _ = cfg.Observer.(SoakRowObserver)
+	}
+	report := func(i int, row SoakRun) SoakRun {
+		if rowObs != nil {
+			rowObs.CampaignDone(i, row)
+		}
+		return row
+	}
+
 	// Parallelism lives at the campaign level; each campaign runs its
 	// iterations serially (Workers: 1) so the worker budget is not
 	// oversubscribed and every row is independent of scheduling.
-	runs, err := parallel.Map(context.Background(), parallel.Workers(cfg.Workers), len(jobs),
+	runs, err := parallel.Map(ctx, parallel.Workers(cfg.Workers), len(jobs),
 		func(i int) (SoakRun, error) {
 			job := jobs[i]
 			row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
 			if !deadline.IsZero() && time.Now().After(deadline) {
+				row.TimedOut = true
 				row.Err = fmt.Sprintf("timeout: sweep exceeded %v before campaign started", cfg.Timeout)
-				return row, nil
+				return report(i, row), nil
 			}
 			plan := job.plan.Plan
 			res, err := runSoakCampaign(job.test, RunnerConfig{
@@ -258,7 +342,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			})
 			if err != nil {
 				row.Err = err.Error()
-				return row, nil
+				return report(i, row), nil
 			}
 			row.Iters = res.Iters
 			row.Distinct = res.Distinct()
@@ -267,7 +351,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			row.Crashed = res.Crashed
 			row.Hangs = res.Hangs
 			row.Classes = classesString(res.HangClasses)
-			return row, nil
+			return report(i, row), nil
 		})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,152 @@
+package litmus
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"c3/internal/faults"
+)
+
+// recordingObserver implements SoakObserver + SoakRowObserver and
+// records everything it sees (events arrive concurrently from pool
+// workers).
+type recordingObserver struct {
+	mu      sync.Mutex
+	labels  []string
+	started int
+	done    int
+	failed  int
+	rows    []SoakRun
+}
+
+func (o *recordingObserver) Plan(labels []string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.labels = append([]string(nil), labels...)
+}
+
+func (o *recordingObserver) TaskStarted(int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started++
+}
+
+func (o *recordingObserver) TaskDone(_ int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.done++
+	if err != nil {
+		o.failed++
+	}
+}
+
+func (o *recordingObserver) CampaignDone(_ int, row SoakRun) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rows = append(o.rows, row)
+}
+
+// TestSoakObserverSeesSweep: the observer gets the labeled plan, one
+// start/done pair per campaign, and every completed row — and the
+// report's bytes are identical to an unobserved run at any worker count.
+func TestSoakObserverSeesSweep(t *testing.T) {
+	cfg := SoakConfig{
+		Tests: []string{"MP", "SB"},
+		Plans: []NamedPlan{{Name: "light", Plan: faults.Plan{Rates: faults.Rates{Drop: 0.01}}}},
+		Seeds: []int64{1, 2},
+		Iters: 2,
+	}
+	baseRep, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseRep.Render()
+
+	for _, workers := range []int{1, 3} {
+		obs := &recordingObserver{}
+		cfg.Workers = workers
+		cfg.Observer = obs
+		rep, err := RunSoak(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := rep.Render(); got != base {
+			t.Fatalf("workers=%d: observer changed the report:\n--- unobserved ---\n%s--- observed ---\n%s",
+				workers, base, got)
+		}
+		obs.mu.Lock()
+		if want := []string{"MP/light/seed1", "MP/light/seed2", "SB/light/seed1", "SB/light/seed2"}; len(obs.labels) != len(want) {
+			t.Fatalf("workers=%d: plan = %v, want %v", workers, obs.labels, want)
+		} else {
+			for i, l := range want {
+				if obs.labels[i] != l {
+					t.Errorf("workers=%d: label[%d] = %q, want %q", workers, i, obs.labels[i], l)
+				}
+			}
+		}
+		if obs.started != 4 || obs.done != 4 || obs.failed != 0 {
+			t.Errorf("workers=%d: started/done/failed = %d/%d/%d, want 4/4/0",
+				workers, obs.started, obs.done, obs.failed)
+		}
+		if len(obs.rows) != 4 {
+			t.Errorf("workers=%d: observer saw %d rows, want 4", workers, len(obs.rows))
+		}
+		obs.mu.Unlock()
+	}
+	cfg.Observer = nil
+}
+
+// TestSoakTimeoutFlushesPartialReport pins the -timeout abort path: an
+// already-expired bound yields a full-length report whose rows are all
+// flagged TimedOut, the verdict is "timeout", and the render names the
+// cutoff — the ledger and a reader can both tell a timeout from a
+// protocol failure.
+func TestSoakTimeoutFlushesPartialReport(t *testing.T) {
+	cfg := SoakConfig{
+		Tests:   []string{"MP"},
+		Plans:   []NamedPlan{{Name: "light", Plan: faults.Plan{Rates: faults.Rates{Drop: 0.01}}}},
+		Seeds:   []int64{1, 2},
+		Iters:   2,
+		Timeout: time.Nanosecond, // expires before any campaign starts
+	}
+	rep, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("%d rows, want 2 (timeout rows are rows, not missing entries)", len(rep.Runs))
+	}
+	for i := range rep.Runs {
+		if !rep.Runs[i].TimedOut || rep.Runs[i].Err == "" {
+			t.Fatalf("row %d not flagged: %+v", i, rep.Runs[i])
+		}
+	}
+	if !rep.TimedOut() || rep.OK() {
+		t.Fatalf("TimedOut()=%v OK()=%v, want true/false", rep.TimedOut(), rep.OK())
+	}
+	if v := rep.Verdict(); v != "timeout" {
+		t.Fatalf("verdict = %q, want timeout", v)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "TIMEOUT: timeout: sweep exceeded") || !strings.Contains(out, "SOAK TIMEOUT") {
+		t.Fatalf("render missing timeout markers:\n%s", out)
+	}
+}
+
+// TestSoakVerdictPrecedence: a real failure outranks a timeout; clean
+// rows pass.
+func TestSoakVerdictPrecedence(t *testing.T) {
+	pass := &SoakReport{Runs: []SoakRun{{Test: "MP"}}}
+	if v := pass.Verdict(); v != "pass" {
+		t.Errorf("clean verdict = %q, want pass", v)
+	}
+	mixed := &SoakReport{Runs: []SoakRun{
+		{Test: "MP", TimedOut: true, Err: "timeout"},
+		{Test: "SB", Forbidden: 1},
+	}}
+	if v := mixed.Verdict(); v != "fail" {
+		t.Errorf("mixed verdict = %q, want fail (forbidden beats timeout)", v)
+	}
+}

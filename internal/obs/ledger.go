@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LedgerSchema versions the record format; bump on incompatible change.
+const LedgerSchema = "c3-run/v1"
+
+// Verdicts a record can carry. Tools map their exit conditions onto
+// these so ledgers from different commands diff uniformly.
+const (
+	VerdictPass      = "pass"      // the run's contract held
+	VerdictFail      = "fail"      // contract violated (soak FAIL, bench regression)
+	VerdictViolation = "violation" // checker found a counterexample
+	VerdictTimeout   = "timeout"   // sweep hit its wall-clock bound
+	VerdictError     = "error"     // infrastructure/usage failure
+)
+
+// Record is one invocation's ledger entry: enough to re-run the sweep
+// exactly (spec + seeds + version) and to diff what it did (metrics +
+// verdict + wall time). Records append as single JSON lines, so a ledger
+// is greppable, jq-able, and mergeable by concatenation.
+type Record struct {
+	Schema string `json:"schema"`
+	// Tool is the command name ("c3soak", "c3check", "c3bench").
+	Tool string `json:"tool"`
+	// Spec is the canonical run specification — the full flag rendering
+	// a reader could paste after the tool name to reproduce the run.
+	Spec string `json:"spec"`
+	// Seeds lists the campaign base seeds, when the tool has them.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Workers is the resolved worker count (0 = GOMAXPROCS default).
+	Workers int `json:"workers"`
+	// Version identifies the code (go toolchain + VCS revision).
+	Version VersionInfo `json:"version"`
+	// Start / WallMS bound the run in wall-clock terms.
+	Start  time.Time `json:"start"`
+	WallMS int64     `json:"wall_ms"`
+	// Verdict is one of the Verdict* constants; Exit the process's exit
+	// status.
+	Verdict string `json:"verdict"`
+	Exit    int    `json:"exit"`
+	// Metrics is the final aggregate registry dump (trace.Registry
+	// RenderJSON), when the tool keeps one.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Extra carries tool-specific results (soak row counts, checker
+	// state counts, bench stats).
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// DefaultLedgerPath resolves where records go: $C3_LEDGER if set, else
+// c3runs.jsonl in the working directory.
+func DefaultLedgerPath() string {
+	if p := os.Getenv("C3_LEDGER"); p != "" {
+		return p
+	}
+	return "c3runs.jsonl"
+}
+
+// AppendLedger appends one record to the JSONL ledger at path, creating
+// the file if needed. The write is a single O_APPEND write of one line,
+// so concurrent appenders (a sharded sweep's workers, parallel CI jobs
+// on a shared volume) interleave whole records, never partial ones.
+func AppendLedger(path string, rec *Record) error {
+	if rec.Schema == "" {
+		rec.Schema = LedgerSchema
+	}
+	if rec.Start.IsZero() {
+		rec.Start = time.Now()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: ledger marshal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: ledger open: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: ledger write: %w", err)
+	}
+	return f.Close()
+}
+
+// SpecFromFlags renders the command line's explicitly set flags as a
+// canonical, pasteable spec string ("-tests=MP,SB -iters=50"), in
+// lexicographic flag order with shell-unfriendly values quoted. Flags
+// named in exclude are omitted — the observability knobs (-statusz,
+// -heartbeat, -ledger) never change what a run computes, so two runs
+// that differ only there must produce the same spec (the future result
+// cache keys on it).
+func SpecFromFlags(exclude ...string) string {
+	return specFromSet(flag.CommandLine, exclude)
+}
+
+func specFromSet(fs *flag.FlagSet, exclude []string) string {
+	skip := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
+	var parts []string
+	fs.Visit(func(f *flag.Flag) {
+		if skip[f.Name] {
+			return
+		}
+		v := f.Value.String()
+		if strings.ContainsAny(v, " \t;\"'") {
+			v = strconv.Quote(v)
+		}
+		parts = append(parts, "-"+f.Name+"="+v)
+	})
+	return strings.Join(parts, " ")
+}
+
+// ReadLedger parses every record in the JSONL ledger at path.
+func ReadLedger(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for ln := 1; sc.Scan(); ln++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("obs: ledger %s line %d: %w", path, ln, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+type countingObserver struct {
+	mu      sync.Mutex
+	started map[int]int
+	done    map[int]int
+	errs    map[int]error
+}
+
+func newCountingObserver() *countingObserver {
+	return &countingObserver{started: map[int]int{}, done: map[int]int{}, errs: map[int]error{}}
+}
+
+func (o *countingObserver) TaskStarted(i int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started[i]++
+}
+
+func (o *countingObserver) TaskDone(i int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.done[i]++
+	o.errs[i] = err
+}
+
+// TestObserverSeesEveryTask: each executed task produces exactly one
+// started and one done event, results are untouched, and a context
+// without an observer behaves as before.
+func TestObserverSeesEveryTask(t *testing.T) {
+	obs := newCountingObserver()
+	ctx := WithObserver(context.Background(), obs)
+	got, err := Map(ctx, 4, 50, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("result[%d] = %d (observer corrupted results)", i, v)
+		}
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	for i := 0; i < 50; i++ {
+		if obs.started[i] != 1 || obs.done[i] != 1 {
+			t.Fatalf("task %d: started %d done %d, want 1/1", i, obs.started[i], obs.done[i])
+		}
+		if obs.errs[i] != nil {
+			t.Fatalf("task %d: unexpected error %v", i, obs.errs[i])
+		}
+	}
+}
+
+// TestObserverSeesErrorsAndPanics: TaskDone carries the task's error,
+// including one synthesized from a captured panic.
+func TestObserverSeesErrorsAndPanics(t *testing.T) {
+	boom := errors.New("boom")
+	obs := newCountingObserver()
+	ctx := WithObserver(context.Background(), obs)
+	_, err := Map(ctx, 1, 3, func(i int) (int, error) {
+		switch i {
+		case 1:
+			return 0, boom
+		case 2:
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want boom (lowest failing index)", err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.errs[0] != nil {
+		t.Errorf("task 0 err = %v, want nil", obs.errs[0])
+	}
+	if !errors.Is(obs.errs[1], boom) {
+		t.Errorf("task 1 err = %v, want boom", obs.errs[1])
+	}
+	// With 1 worker, task 2 may or may not run after task 1's error; if
+	// it ran, the observer must have seen the panic as an error.
+	if obs.done[2] > 0 {
+		var pe *PanicError
+		if !errors.As(obs.errs[2], &pe) {
+			t.Errorf("task 2 err = %v, want PanicError", obs.errs[2])
+		}
+	}
+}
+
+func TestObserverAbsent(t *testing.T) {
+	if observerFrom(context.Background()) != nil {
+		t.Fatal("observerFrom on a bare context is non-nil")
+	}
+}

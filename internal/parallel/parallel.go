@@ -41,6 +41,35 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Observer receives item lifecycle callbacks from the pool, for live
+// introspection (obs.Tracker feeds the -statusz endpoint through this).
+// Callbacks fire concurrently from worker goroutines in claim order, not
+// completion order, so implementations must be concurrency-safe. An
+// observer never influences scheduling, results, or errors: reports from
+// an observed run are byte-identical to an unobserved one.
+type Observer interface {
+	// TaskStarted fires when a worker claims item i, before fn runs.
+	TaskStarted(i int)
+	// TaskDone fires when item i's fn returns (err non-nil on failure,
+	// including captured panics).
+	TaskDone(i int, err error)
+}
+
+// observerKey carries an Observer through a context.
+type observerKey struct{}
+
+// WithObserver returns a context that makes every Map/MapOrdered/ForEach
+// call under it report item lifecycle events to o.
+func WithObserver(ctx context.Context, o Observer) context.Context {
+	return context.WithValue(ctx, observerKey{}, o)
+}
+
+// observerFrom extracts the context's observer, if any.
+func observerFrom(ctx context.Context) Observer {
+	o, _ := ctx.Value(observerKey{}).(Observer)
+	return o
+}
+
 // PanicError wraps a panic captured from a pool item.
 type PanicError struct {
 	Item  int
@@ -83,7 +112,12 @@ func MapOrdered[T any](ctx context.Context, workers, n int, fn func(i int) (T, e
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
+	obs := observerFrom(ctx)
 	call := func(i int) (err error) {
+		if obs != nil {
+			obs.TaskStarted(i)
+			defer func() { obs.TaskDone(i, err) }()
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PanicError{Item: i, Value: r, Stack: debug.Stack()}

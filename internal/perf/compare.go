@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BaselineSchema versions the BENCH_c3.json format.
+const BaselineSchema = "c3-bench/v1"
+
+// DefaultWallTolerance is the committed regression budget: a benchmark
+// may be up to 25% slower than its baseline before the compare step
+// fails (runner-to-runner noise lives inside this; the 3-run median
+// damps the rest).
+const DefaultWallTolerance = 0.25
+
+// allocSlack absorbs the runtime's background allocation jitter on
+// alloc-heavy benchmarks (±a few mallocs in ~100k from timers and
+// scheduler internals, even after the min-of-runs damping): a 0.5%
+// relative ceiling. A zero-alloc baseline gets zero slack, so the
+// kernel and network-send gates stay exact — any new allocation on
+// those paths fails.
+const allocSlack = 0.005
+
+// Baseline is the committed perf-trajectory file (BENCH_c3.json).
+type Baseline struct {
+	Schema string `json:"schema"`
+	// Note records provenance (how to regenerate).
+	Note       string          `json:"note,omitempty"`
+	Benchmarks map[string]Stat `json:"benchmarks"`
+}
+
+// NewBaseline wraps current measurements as a committable baseline.
+func NewBaseline(stats map[string]Stat) *Baseline {
+	return &Baseline{
+		Schema:     BaselineSchema,
+		Note:       "regenerate with: go run ./cmd/c3bench -exp micro -runs 3 -write-baseline BENCH_c3.json",
+		Benchmarks: stats,
+	}
+}
+
+// SaveBaseline writes b as stable, indented JSON (map keys sort, so the
+// file diffs cleanly across PRs).
+func SaveBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("perf: baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("perf: baseline %s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// Compare checks current measurements against a baseline and returns
+// one violation line per failure (empty = no regression):
+//
+//   - wall time: cur must be <= base * (1 + wallTol);
+//   - allocations: cur must be <= base * (1 + allocSlack) — exactly
+//     <= base for zero-alloc baselines;
+//   - coverage: every baseline benchmark must be measured and every
+//     measured benchmark must be in the baseline (a new benchmark means
+//     the committed file needs regenerating).
+func Compare(base *Baseline, cur map[string]Stat, wallTol float64) []string {
+	if wallTol <= 0 {
+		wallTol = DefaultWallTolerance
+	}
+	var bad []string
+	for _, name := range sortedNames(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		c, ok := cur[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not measured", name))
+			continue
+		}
+		if limit := float64(b.NsOp) * (1 + wallTol); float64(c.NsOp) > limit {
+			bad = append(bad, fmt.Sprintf("%s: wall regression: %d ns/op > %.0f ns/op (baseline %d +%.0f%%)",
+				name, c.NsOp, limit, b.NsOp, 100*wallTol))
+		}
+		if allocLimit := b.AllocsOp + uint64(float64(b.AllocsOp)*allocSlack); c.AllocsOp > allocLimit {
+			bad = append(bad, fmt.Sprintf("%s: alloc regression: %d allocs/op > %d (baseline %d +%.1f%%)",
+				name, c.AllocsOp, allocLimit, b.AllocsOp, 100*allocSlack))
+		}
+	}
+	for _, name := range sortedNames(cur) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			bad = append(bad, fmt.Sprintf("%s: measured but not in baseline (regenerate BENCH_c3.json)", name))
+		}
+	}
+	return bad
+}
+
+// Summary renders a baseline-vs-current table for CI logs.
+func Summary(base *Baseline, cur map[string]Stat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %14s %14s %8s %12s %12s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs")
+	names := sortedNames(base.Benchmarks)
+	for _, name := range sortedNames(cur) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		bs, inBase := base.Benchmarks[name]
+		cs, inCur := cur[name]
+		switch {
+		case !inCur:
+			fmt.Fprintf(&b, "%-18s %14d %14s\n", name, bs.NsOp, "MISSING")
+		case !inBase:
+			fmt.Fprintf(&b, "%-18s %14s %14d %8s %12s %12d\n", name, "NEW", cs.NsOp, "", "", cs.AllocsOp)
+		default:
+			delta := 100 * (float64(cs.NsOp)/float64(bs.NsOp) - 1)
+			fmt.Fprintf(&b, "%-18s %14d %14d %+7.1f%% %12d %12d\n",
+				name, bs.NsOp, cs.NsOp, delta, bs.AllocsOp, cs.AllocsOp)
+		}
+	}
+	return b.String()
+}
+
+func sortedNames(m map[string]Stat) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

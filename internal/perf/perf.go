@@ -1,0 +1,237 @@
+// Package perf is the self-contained micro-benchmark harness behind the
+// checked-in perf-trajectory baseline (BENCH_c3.json): it re-runs the
+// repo's four load-bearing hot paths — the event kernel, the checker's
+// snapshot expansion, the network send path, and the soak inner loop —
+// from a normal binary (c3bench -exp micro) rather than `go test
+// -bench`, measures wall time and allocation cost per op, and compares
+// the result against a committed baseline so every PR sees its perf
+// trajectory.
+//
+// The harness deliberately avoids the testing package's auto-scaling:
+// each benchmark runs a fixed op count chosen to finish in well under a
+// second, so a full 3-run sweep stays cheap in CI and op counts never
+// drift between baseline and candidate.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"c3/internal/cpu"
+	"c3/internal/faults"
+	"c3/internal/litmus"
+	"c3/internal/msg"
+	"c3/internal/network"
+	"c3/internal/sim"
+	"c3/internal/verif"
+)
+
+// Stat is one benchmark's measurement, in `go test -bench` units.
+type Stat struct {
+	NsOp     int64  `json:"ns_per_op"`
+	AllocsOp uint64 `json:"allocs_per_op"`
+	BytesOp  uint64 `json:"bytes_per_op"`
+	// Ops is the op count the run amortized over (fixed per benchmark).
+	Ops int `json:"ops"`
+}
+
+// Benchmark is one entry of the micro suite.
+type Benchmark struct {
+	// Name keys the baseline file ("kernel", "checker-expand", ...).
+	Name string
+	// Ops is the per-run op count; ns/op and allocs/op divide by it.
+	Ops int
+	// ZeroAlloc pins the steady state at 0 allocs/op (the CI alloc gates
+	// for the kernel and the fault-free network send path).
+	ZeroAlloc bool
+	// Setup builds run state once per measurement (excluded from the
+	// timed region) and returns the op loop.
+	Setup func(ops int) (run func())
+}
+
+// Benchmarks returns the micro suite in baseline order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			// The event-kernel schedule+fire round trip (mirrors
+			// internal/sim BenchmarkKernelSchedule): the inner loop under
+			// every simulated cycle. Steady state is allocation-free.
+			Name: "kernel", Ops: 2_000_000, ZeroAlloc: true,
+			Setup: func(ops int) func() {
+				k := &sim.Kernel{}
+				fn := func() {}
+				for i := 0; i < 64; i++ {
+					k.Schedule(sim.Time(i), fn)
+				}
+				k.RunLimit(0)
+				return func() {
+					for i := 0; i < ops; i++ {
+						k.Schedule(k.Now()+1, fn)
+						k.Step()
+					}
+				}
+			},
+		},
+		{
+			// The perfect-fabric send+deliver path (mirrors
+			// internal/network BenchmarkNetworkSend): one cross-cluster
+			// message end to end, allocation-free with faults disabled.
+			Name: "network-send", Ops: 500_000, ZeroAlloc: true,
+			Setup: func(ops int) func() {
+				k := &sim.Kernel{}
+				n := network.New(k, 1)
+				n.Register(0, nopPort{})
+				n.Register(1, nopPort{})
+				n.Connect(0, 1, network.CrossCluster())
+				m := &msg.Msg{Type: msg.GetS, Src: 0, Dst: 1, VNet: msg.VReq}
+				n.Send(m)
+				k.Run(nil)
+				return func() {
+					for i := 0; i < ops; i++ {
+						n.Send(m)
+						k.Run(nil)
+					}
+				}
+			},
+		},
+		{
+			// One bounded exhaustive exploration of the CXL MP shape by
+			// snapshot cloning (mirrors internal/verif
+			// BenchmarkCheckerExpand at a smaller state budget).
+			Name: "checker-expand", Ops: 1,
+			Setup: func(int) func() {
+				mcfg := mpModel()
+				return func() {
+					if _, err := verif.Check(mcfg, verif.CheckerConfig{
+						MaxStates: 20_000, Workers: 1,
+					}); err != nil {
+						panic(fmt.Sprintf("perf: checker-expand: %v", err))
+					}
+				}
+			},
+		},
+		{
+			// The soak harness's inner loop: one full MP campaign
+			// iteration on a faulty fabric with the hang watchdog armed —
+			// the unit of work a million-run campaign multiplies.
+			Name: "soak-inner-loop", Ops: 8,
+			Setup: func(ops int) func() {
+				tc, ok := litmus.ByName("MP")
+				if !ok {
+					panic("perf: no MP litmus test")
+				}
+				plan := faults.Plan{Rates: faults.Rates{Drop: 0.01, Dup: 0.01}}
+				return func() {
+					p := plan
+					res, err := litmus.Run(tc, litmus.RunnerConfig{
+						Locals: [2]string{"mesi", "mesi"}, Global: "cxl",
+						MCMs:  [2]cpu.MCM{cpu.WMO, cpu.WMO},
+						Iters: ops, Sync: litmus.SyncFull, BaseSeed: 1,
+						Workers: 1, Faults: &p, HangWatch: true,
+					})
+					if err != nil {
+						panic(fmt.Sprintf("perf: soak-inner-loop: %v", err))
+					}
+					if res.Forbidden != 0 {
+						panic("perf: soak-inner-loop saw a forbidden outcome")
+					}
+				}
+			},
+		},
+	}
+}
+
+// nopPort swallows deliveries without bookkeeping, so receiver cost is
+// not charged to the send path.
+type nopPort struct{}
+
+func (nopPort) Recv(*msg.Msg) {}
+
+func mpModel() verif.ModelConfig {
+	tc, ok := litmus.ByName("MP")
+	if !ok {
+		panic("perf: no MP litmus test")
+	}
+	return verif.ModelConfig{
+		Test:   tc,
+		Locals: [2]string{"mesi", "mesi"},
+		Global: "cxl",
+		MCMs:   [2]cpu.MCM{cpu.WMO, cpu.WMO},
+		Sync:   litmus.SyncFull,
+	}
+}
+
+// Measure runs b once (after its setup) and reports per-op wall time and
+// allocation cost. Allocation counts come from runtime.MemStats deltas
+// around the timed region; a GC is forced first so the delta reflects
+// the benchmark, not a previous phase's garbage.
+func Measure(b Benchmark) Stat {
+	run := b.Setup(b.Ops)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Stat{
+		NsOp:     elapsed.Nanoseconds() / int64(b.Ops),
+		AllocsOp: (after.Mallocs - before.Mallocs) / uint64(b.Ops),
+		BytesOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(b.Ops),
+		Ops:      b.Ops,
+	}
+}
+
+// MeasureAll runs every benchmark `runs` times (>=1) and aggregates:
+// median ns/op (damping runner noise) and minimum allocs/op and bytes/op
+// (allocation noise — a background GC assist, a resized map — is purely
+// additive, so the minimum is the true cost). Keys are benchmark names.
+func MeasureAll(runs int) map[string]Stat {
+	if runs < 1 {
+		runs = 1
+	}
+	benches := Benchmarks()
+	samples := make(map[string][]Stat, len(benches))
+	// Interleave runs (1st run of all benches, then 2nd, ...) so a
+	// transient machine-load spike hits one sample of each benchmark
+	// instead of every sample of one.
+	for r := 0; r < runs; r++ {
+		for _, b := range benches {
+			samples[b.Name] = append(samples[b.Name], Measure(b))
+		}
+	}
+	out := make(map[string]Stat, len(benches))
+	for _, b := range benches {
+		out[b.Name] = aggregate(samples[b.Name])
+	}
+	return out
+}
+
+// aggregate folds repeated samples: median wall time, min allocation.
+func aggregate(ss []Stat) Stat {
+	ns := make([]int64, len(ss))
+	agg := ss[0]
+	for i, s := range ss {
+		ns[i] = s.NsOp
+		if s.AllocsOp < agg.AllocsOp {
+			agg.AllocsOp = s.AllocsOp
+		}
+		if s.BytesOp < agg.BytesOp {
+			agg.BytesOp = s.BytesOp
+		}
+	}
+	agg.NsOp = medianInt64(ns)
+	return agg
+}
+
+// medianInt64 returns the middle sample (lower-middle for even counts).
+func medianInt64(v []int64) int64 {
+	s := append([]int64(nil), v...)
+	for i := 1; i < len(s); i++ { // insertion sort; n is tiny
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[(len(s)-1)/2]
+}

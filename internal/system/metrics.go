@@ -97,6 +97,10 @@ func (s *System) Metrics() *trace.Registry {
 		r.Counter("recovery.time_to_quiesce", func() uint64 { return rs.TimeToQuiesce })
 	}
 
+	if s.Tracer != nil {
+		r.Counter("trace.dropped_events", s.Tracer.DroppedEvents)
+	}
+
 	if inj := s.Net.Injector(); inj != nil {
 		fs := &inj.Stats
 		r.Counter("faults.decisions", func() uint64 { return fs.Decisions })

@@ -1,0 +1,148 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"c3/internal/mem"
+	"c3/internal/sim"
+	"c3/internal/trace"
+)
+
+// TestRingDropped pins the overwrite counter: a ring loses nothing until
+// it fills, then counts every evicted event.
+func TestRingDropped(t *testing.T) {
+	r := trace.NewRing(4)
+	for i := 0; i < 4; i++ {
+		r.Emit(trace.Event{Kind: trace.KState, Time: sim.Time(i)})
+	}
+	if d := r.Dropped(); d != 0 {
+		t.Fatalf("Dropped = %d before overflow, want 0", d)
+	}
+	for i := 4; i < 7; i++ {
+		r.Emit(trace.Event{Kind: trace.KState, Time: sim.Time(i)})
+	}
+	if d := r.Dropped(); d != 3 {
+		t.Fatalf("Dropped = %d after 7 emits into cap 4, want 3", d)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (dropping must not shrink retention)", r.Len())
+	}
+}
+
+// TestTracerDroppedEvents pins the aggregate: DroppedEvents sums every
+// attached ring sink plus the watchdog's history ring, and the count is
+// what the metrics registry surfaces as trace.dropped_events.
+func TestTracerDroppedEvents(t *testing.T) {
+	k := &sim.Kernel{}
+	ring := trace.NewRing(2)
+	tr := trace.New(ring)
+	w := trace.NewWatchdog(k, 100, 3)
+	tr.SetWatchdog(w)
+
+	// KState events feed every ring but open no transactions, so nothing
+	// arms the watchdog timer.
+	for i := 0; i < 5; i++ {
+		tr.State(sim.Time(i), 1, mem.LineAddr(0x40), "I", "S", "fill")
+	}
+	// sink ring (cap 2) dropped 3, watchdog ring (cap 3) dropped 2.
+	if got := tr.DroppedEvents(); got != 5 {
+		t.Fatalf("DroppedEvents = %d, want 5 (3 from sink ring + 2 from watchdog ring)", got)
+	}
+
+	reg := trace.NewRegistry()
+	reg.Counter("trace.dropped_events", tr.DroppedEvents)
+	var b strings.Builder
+	reg.RenderText(&b)
+	if !strings.Contains(b.String(), "trace.dropped_events") || !strings.Contains(b.String(), "5") {
+		t.Errorf("registry render missing the dropped counter:\n%s", b.String())
+	}
+}
+
+// TestRegistryJSONGolden pins the RenderJSON byte format: keys sorted by
+// name regardless of registration order, stable layout. The ledger and
+// the statusz endpoint both embed this rendering, so its bytes are an
+// interface — a format change must show up here as a conscious diff.
+func TestRegistryJSONGolden(t *testing.T) {
+	r := trace.NewRegistry()
+	// Register out of order: the render must sort.
+	r.Counter("z.last", func() uint64 { return 3 })
+	r.Counter("a.first", func() uint64 { return 1 })
+	r.Counter("m.middle", func() uint64 { return 2 })
+	r.Gauge("run.ratio", func() float64 { return 0.25 })
+	h := trace.NewLatencyHist([]uint64{100, 200})
+	h.Observe(sim.NS(50))
+	h.Observe(sim.NS(500))
+	r.Histogram("lat", h)
+
+	const golden = `{
+  "counters": {
+    "a.first": 1,
+    "m.middle": 2,
+    "z.last": 3
+  },
+  "gauges": {
+    "run.ratio": 0.25
+  },
+  "histograms": {
+    "lat": {"unit": "ns", "bounds": [100, 200], "counts": [1, 0, 1], "count": 2, "sum": 550}
+  }
+}
+`
+	var b strings.Builder
+	if err := r.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != golden {
+		t.Fatalf("RenderJSON drifted from golden.\ngot:\n%s\nwant:\n%s", b.String(), golden)
+	}
+
+	// Renders are idempotent: same registry, same bytes.
+	var again strings.Builder
+	if err := r.RenderJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != b.String() {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+// TestRegistryJSONRoundTrip: the hand-rendered JSON must survive a trip
+// through encoding/json with no value loss — that is what every ledger
+// consumer (jq, the diff recipe in EXPERIMENTS.md) relies on.
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	r := trace.NewRegistry()
+	r.Counter("soak.forbidden", func() uint64 { return 0 })
+	r.Counter("trace.dropped_events", func() uint64 { return 18446744073709551615 }) // max uint64 survives
+	r.Gauge("check.frontier", func() float64 { return 1234.5 })
+
+	var b strings.Builder
+	if err := r.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("render is not decodable JSON: %v\n%s", err, b.String())
+	}
+	if doc.Counters["trace.dropped_events"] != 18446744073709551615 {
+		t.Errorf("max-uint64 counter lost precision: %d", doc.Counters["trace.dropped_events"])
+	}
+	if doc.Gauges["check.frontier"] != 1234.5 {
+		t.Errorf("gauge = %v, want 1234.5", doc.Gauges["check.frontier"])
+	}
+	reencoded, err := json.Marshal(doc.Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]uint64
+	if err := json.Unmarshal(reencoded, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["trace.dropped_events"] != doc.Counters["trace.dropped_events"] {
+		t.Error("encoding/json round trip changed a counter value")
+	}
+}

@@ -15,6 +15,11 @@ type RingSink struct {
 	buf  []Event
 	next int
 	full bool
+	// dropped counts events overwritten after the ring filled — history
+	// a post-mortem reader silently lost. Surfaced in the metrics
+	// registry as trace.dropped_events (see Tracer.DroppedEvents), so an
+	// undersized ring is visible instead of quietly truncating reports.
+	dropped uint64
 }
 
 // NewRing builds a ring holding the last capacity events.
@@ -27,6 +32,9 @@ func NewRing(capacity int) *RingSink {
 
 // Emit implements Sink.
 func (r *RingSink) Emit(ev Event) {
+	if r.full {
+		r.dropped++
+	}
 	r.buf[r.next] = ev
 	r.next++
 	if r.next == len(r.buf) {
@@ -34,6 +42,9 @@ func (r *RingSink) Emit(ev Event) {
 		r.full = true
 	}
 }
+
+// Dropped reports how many events have been overwritten since creation.
+func (r *RingSink) Dropped() uint64 { return r.dropped }
 
 // Len reports how many events are retained.
 func (r *RingSink) Len() int {

@@ -114,6 +114,22 @@ func (t *Tracer) SetWatchdog(w *Watchdog) {
 // Watchdog returns the armed watchdog, if any.
 func (t *Tracer) Watchdog() *Watchdog { return t.watch }
 
+// DroppedEvents sums the events every attached ring (sinks plus the
+// watchdog's history ring) has overwritten: the amount of trace history
+// this run lost. system.Metrics registers it as trace.dropped_events.
+func (t *Tracer) DroppedEvents() uint64 {
+	var n uint64
+	for _, s := range t.sinks {
+		if r, ok := s.(*RingSink); ok {
+			n += r.Dropped()
+		}
+	}
+	if t.watch != nil && t.watch.ring != nil {
+		n += t.watch.ring.Dropped()
+	}
+	return n
+}
+
 // Name registers a human-readable label for a trace node ("C3[0]",
 // "L1[5]", "DCOH", "core 1.2"). Labels appear as Perfetto track names
 // and in watchdog reports.

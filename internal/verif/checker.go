@@ -56,6 +56,28 @@ type CheckerConfig struct {
 	// Report.ForbiddenSkipped). Used to demonstrate witness extraction on
 	// outcomes that are reachable by design.
 	CheckForbidden bool
+	// OnProgress, when non-nil, receives a periodic exploration snapshot
+	// about every ProgressEvery visited states — the live-introspection
+	// feed behind c3check -statusz. It runs serially on the exploration
+	// goroutine between expansions (never concurrently); implementations
+	// that republish to other goroutines must synchronize. The hook
+	// cannot influence exploration.
+	OnProgress func(Progress)
+	// ProgressEvery is the OnProgress period in states (0 -> 2048).
+	ProgressEvery uint64
+}
+
+// Progress is a mid-exploration snapshot for live introspection.
+type Progress struct {
+	// States / Terminals / Builds / Clones mirror the Report counters so
+	// far; Frontier is the current BFS queue length; Depth the deepest
+	// path expanded yet.
+	States    uint64
+	Terminals uint64
+	Builds    uint64
+	Clones    uint64
+	Frontier  int
+	Depth     int
 }
 
 // Check exhaustively explores mcfg's state space and verifies all
@@ -142,7 +164,21 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		live++
 	}
 
+	progressEvery := ccfg.ProgressEvery
+	if progressEvery == 0 {
+		progressEvery = 2048
+	}
+	var lastProgress uint64
+
 	for len(frontier) > 0 {
+		if ccfg.OnProgress != nil && rep.States-lastProgress >= progressEvery {
+			lastProgress = rep.States
+			ccfg.OnProgress(Progress{
+				States: rep.States, Terminals: rep.Terminals,
+				Builds: rep.Builds, Clones: rep.Clones,
+				Frontier: len(frontier), Depth: rep.MaxDepth,
+			})
+		}
 		ent := frontier[0]
 		frontier[0] = frontierEntry{}
 		frontier = frontier[1:]

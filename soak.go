@@ -62,7 +62,16 @@ type SoakConfig struct {
 	MCMs    [2]MCM
 	Workers int           // campaign fan-out (0 = GOMAXPROCS); reports are identical
 	Timeout time.Duration // wall-clock bound for the sweep (0 = none)
+	// Observer, when non-nil, receives the campaign plan and lifecycle
+	// events for live introspection (obs.Tracker implements it; see
+	// c3soak -statusz). It can never affect the report.
+	Observer SoakObserver
 }
+
+// SoakObserver observes a soak sweep for live introspection: the
+// campaign label plan up front, then concurrent start/done events from
+// the worker pool.
+type SoakObserver = litmus.SoakObserver
 
 // SoakReport is the campaign result table: Render() is byte-identical
 // for every worker count, OK() is the robustness verdict (every run
@@ -90,8 +99,9 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		Iters:   cfg.Iters,
 		Locals:  cfg.Locals,
 		Global:  cfg.Global,
-		MCMs:    [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
-		Workers: cfg.Workers,
-		Timeout: cfg.Timeout,
+		MCMs:     [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
+		Workers:  cfg.Workers,
+		Timeout:  cfg.Timeout,
+		Observer: cfg.Observer,
 	})
 }
