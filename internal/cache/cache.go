@@ -7,10 +7,32 @@
 // evictions (e.g. the C3 cross-domain eviction of Fig. 7) are driven by
 // the owning controller: Victim nominates a line, the controller runs its
 // eviction transaction, then Remove + Install complete the replacement.
+//
+// # Storage layout and copy-on-write
+//
+// All frames live in one flat []Entry slab (set s occupies
+// entries[s*ways : (s+1)*ways]), so building a cache is a single
+// allocation and cloning one is a single copy. The slab sits behind an
+// atomic reference count and is shared copy-on-write between a cache and
+// its Clones: Clone bumps the count and shares the slab; the first
+// mutating access on either side materializes a private copy. Every
+// accessor that hands out an *Entry the caller may write through
+// (Lookup, Probe, Victim, VictimFunc, Install, ForEach) materializes
+// first; the RO variants (ProbeRO, ForEachRO) read the shared slab
+// without copying and exist for hash/dump/invariant paths that must stay
+// O(0) on freshly cloned snapshots. Pointers obtained from either kind
+// of accessor are invalidated by the next cache call and must not be
+// retained across calls.
+//
+// Retired slabs are recycled through per-geometry sync.Pools (Release);
+// under the model checker's clone churn the steady state allocates
+// almost nothing.
 package cache
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"c3/internal/mem"
 )
@@ -36,9 +58,43 @@ type Entry struct {
 	set int
 }
 
+// slab is the refcounted backing store shared copy-on-write between a
+// cache and its clones. refs counts the Cache instances referencing it;
+// writers may touch entries only when refs == 1 (sole owner) — otherwise
+// they copy first (materialize). refs is the only cross-goroutine state:
+// concurrent Clones of one parent share it via atomic increments while
+// each resulting model stays single-goroutine-owned.
+type slab struct {
+	refs    atomic.Int32
+	entries []Entry
+}
+
+// slabPools recycles retired slabs per entry count (sync.Map of
+// nlines -> *sync.Pool). Different cache geometries never mix.
+var slabPools sync.Map
+
+func getSlab(nlines int) *slab {
+	pi, ok := slabPools.Load(nlines)
+	if !ok {
+		pi, _ = slabPools.LoadOrStore(nlines, &sync.Pool{})
+	}
+	s, _ := pi.(*sync.Pool).Get().(*slab)
+	if s == nil {
+		s = &slab{entries: make([]Entry, nlines)}
+	}
+	s.refs.Store(1)
+	return s
+}
+
+func putSlab(s *slab) {
+	if pi, ok := slabPools.Load(len(s.entries)); ok {
+		pi.(*sync.Pool).Put(s)
+	}
+}
+
 // Cache is a set-associative array. Create with New.
 type Cache struct {
-	sets    [][]Entry
+	s       *slab
 	setMask uint64
 	ways    int
 	tick    uint64
@@ -48,7 +104,9 @@ type Cache struct {
 }
 
 // New builds a cache of the given total size in bytes and associativity.
-// Size must be a multiple of ways*64 and the set count a power of two.
+// Size must be a multiple of ways*mem.LineBytes and the set count a
+// power of two. The frame array is one pooled slab, so construction
+// costs at most one allocation.
 func New(sizeBytes, ways int) *Cache {
 	if sizeBytes <= 0 || ways <= 0 {
 		panic("cache: size and ways must be positive")
@@ -61,43 +119,87 @@ func New(sizeBytes, ways int) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
 	}
-	c := &Cache{sets: make([][]Entry, nsets), setMask: uint64(nsets - 1), ways: ways}
-	for i := range c.sets {
-		c.sets[i] = make([]Entry, ways)
-		for w := range c.sets[i] {
-			c.sets[i][w].set = i
-		}
+	c := &Cache{s: getSlab(lines), setMask: uint64(nsets - 1), ways: ways}
+	for i := range c.s.entries {
+		c.s.entries[i] = Entry{set: i / ways}
 	}
 	return c
 }
 
-// Clone returns a deep copy of the array, including LRU ordering and
-// hit/miss counters, for model-checker state snapshots. Entries are
-// values, so copying the sets copies everything.
+// Clone returns a copy of the array, including LRU ordering and hit/miss
+// counters, for model-checker state snapshots. The frame slab is shared
+// copy-on-write: the clone costs O(1) and the first mutating access on
+// either side materializes a private copy.
 func (c *Cache) Clone() *Cache {
-	n := &Cache{
-		sets: make([][]Entry, len(c.sets)), setMask: c.setMask, ways: c.ways,
-		tick: c.tick, Hits: c.Hits, Misses: c.Misses,
-	}
-	for i := range c.sets {
-		n.sets[i] = append([]Entry(nil), c.sets[i]...)
-	}
-	return n
+	c.s.refs.Add(1)
+	n := *c
+	return &n
 }
 
-// Sets and Ways report geometry.
-func (c *Cache) Sets() int { return len(c.sets) }
+// Release drops the cache's reference to its slab, recycling it through
+// the pool once no clone references it. The cache must not be used
+// afterwards. Calling Release is optional (an unreleased slab is simply
+// garbage collected); the model checker releases retired snapshots to
+// keep the clone hot path allocation-free.
+func (c *Cache) Release() {
+	if c.s == nil {
+		return
+	}
+	if c.s.refs.Add(-1) == 0 {
+		putSlab(c.s)
+	}
+	c.s = nil
+}
+
+// materialize gives the cache a private slab before a write. With a sole
+// reference the slab is already private and writes happen in place — the
+// no-clone fast path (litmus/soak) pays one atomic load. Shared slabs
+// are copied; the reference drop may race another clone's release, so
+// the loser of the decrement recycles.
+func (c *Cache) materialize() {
+	s := c.s
+	if s.refs.Load() == 1 {
+		return
+	}
+	ns := getSlab(len(s.entries))
+	copy(ns.entries, s.entries)
+	c.s = ns
+	if s.refs.Add(-1) == 0 {
+		putSlab(s)
+	}
+}
+
+// Materialize forces a private copy of the frame slab now, as if a write
+// occurred. The checker's deep-copy cross-check mode uses it to turn a
+// COW clone into an eager one.
+func (c *Cache) Materialize() { c.materialize() }
+
+// Shared reports whether the frame slab is currently shared with a clone
+// (ie. a write would copy). For tests.
+func (c *Cache) Shared() bool { return c.s.refs.Load() > 1 }
+
+// Sets reports the set count.
+func (c *Cache) Sets() int { return len(c.s.entries) / c.ways }
 
 // Ways reports the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
+// setIndex derives the set of addr from the line index, with the line
+// shift taken from mem so the two constants cannot drift.
+func (c *Cache) setIndex(addr mem.LineAddr) int {
+	return int((uint64(addr) >> mem.LineShift) & c.setMask)
+}
+
 func (c *Cache) setOf(addr mem.LineAddr) []Entry {
-	return c.sets[(uint64(addr)>>6)&c.setMask]
+	si := c.setIndex(addr)
+	return c.s.entries[si*c.ways : (si+1)*c.ways]
 }
 
 // Lookup returns the entry for addr, or nil on miss. It counts hit/miss
-// statistics but does not touch LRU state; call Touch on use.
+// statistics but does not touch LRU state; call Touch on use. The caller
+// may write through the returned pointer.
 func (c *Cache) Lookup(addr mem.LineAddr) *Entry {
+	c.materialize()
 	set := c.setOf(addr)
 	for i := range set {
 		if set[i].Valid && set[i].Addr == addr {
@@ -109,8 +211,22 @@ func (c *Cache) Lookup(addr mem.LineAddr) *Entry {
 	return nil
 }
 
-// Probe is Lookup without statistics, for inspection paths.
+// Probe is Lookup without statistics. The caller may write through the
+// returned pointer; use ProbeRO on read-only paths that must not
+// materialize a shared snapshot.
 func (c *Cache) Probe(addr mem.LineAddr) *Entry {
+	c.materialize()
+	return c.probe(addr)
+}
+
+// ProbeRO is Probe for read-only inspection (hashing, dumps, invariant
+// checks): it never copies a shared slab. The caller must not write
+// through the returned pointer.
+func (c *Cache) ProbeRO(addr mem.LineAddr) *Entry {
+	return c.probe(addr)
+}
+
+func (c *Cache) probe(addr mem.LineAddr) *Entry {
 	set := c.setOf(addr)
 	for i := range set {
 		if set[i].Valid && set[i].Addr == addr {
@@ -120,7 +236,9 @@ func (c *Cache) Probe(addr mem.LineAddr) *Entry {
 	return nil
 }
 
-// Touch marks e most recently used.
+// Touch marks e most recently used. e must come from an accessor that
+// materializes (Lookup/Probe/Install), so the write lands in a private
+// slab.
 func (c *Cache) Touch(e *Entry) {
 	c.tick++
 	e.lru = c.tick
@@ -141,6 +259,7 @@ func (c *Cache) HasSpace(addr mem.LineAddr) bool {
 // or nil if a free way exists. The caller evicts it (protocol flow),
 // then calls Remove.
 func (c *Cache) Victim(addr mem.LineAddr) *Entry {
+	c.materialize()
 	set := c.setOf(addr)
 	var victim *Entry
 	for i := range set {
@@ -158,6 +277,7 @@ func (c *Cache) Victim(addr mem.LineAddr) *Entry {
 // with no transaction in flight). It returns nil either when a free way
 // exists or when no eligible victim exists; use HasSpace to distinguish.
 func (c *Cache) VictimFunc(addr mem.LineAddr, ok func(*Entry) bool) *Entry {
+	c.materialize()
 	set := c.setOf(addr)
 	var victim *Entry
 	for i := range set {
@@ -180,6 +300,7 @@ func (c *Cache) VictimFunc(addr mem.LineAddr, ok func(*Entry) bool) *Entry {
 // set is full (the controller must have evicted first) or if addr is
 // already present.
 func (c *Cache) Install(addr mem.LineAddr) *Entry {
+	c.materialize()
 	set := c.setOf(addr)
 	for i := range set {
 		if set[i].Valid && set[i].Addr == addr {
@@ -197,20 +318,32 @@ func (c *Cache) Install(addr mem.LineAddr) *Entry {
 	panic(fmt.Sprintf("cache: install of %v into full set", addr))
 }
 
-// Remove frees e's frame.
+// Remove frees e's frame. e must come from an accessor that materializes.
 func (c *Cache) Remove(e *Entry) {
 	set := e.set
 	*e = Entry{set: set}
 }
 
-// ForEach visits every valid entry. The callback must not install or
-// remove entries.
+// ForEach visits every valid entry; the caller may write through the
+// pointer. The callback must not install or remove entries. Use
+// ForEachRO on read-only paths.
 func (c *Cache) ForEach(fn func(*Entry)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].Valid {
-				fn(&c.sets[s][w])
-			}
+	c.materialize()
+	c.forEach(fn)
+}
+
+// ForEachRO visits every valid entry without materializing a shared
+// slab. The callback must not write through the pointer nor install or
+// remove entries.
+func (c *Cache) ForEachRO(fn func(*Entry)) {
+	c.forEach(fn)
+}
+
+func (c *Cache) forEach(fn func(*Entry)) {
+	es := c.s.entries
+	for i := range es {
+		if es[i].Valid {
+			fn(&es[i])
 		}
 	}
 }
@@ -218,6 +351,6 @@ func (c *Cache) ForEach(fn func(*Entry)) {
 // Count returns the number of valid entries.
 func (c *Cache) Count() int {
 	n := 0
-	c.ForEach(func(*Entry) { n++ })
+	c.ForEachRO(func(*Entry) { n++ })
 	return n
 }

@@ -13,6 +13,13 @@ import (
 // timing lives as kernel events and must have drained before cloning.
 // Hybrid-memory configurations are not cloneable: LocalMem would be
 // shared with the original. The tracer is not carried over.
+//
+// The CXL cache clones copy-on-write (see cache.Cache). Messages are
+// immutable after Send (see msg.Msg), so *msg.Msg pointers held by TBEs
+// are shared with the original; stalled-queue slice headers are still
+// private, so post-clone appends never touch the original's backing
+// array. Directory and TBE records are allocated as slabs, and sharer
+// vectors are NodeSet values that copy with their struct.
 func (c *C3) Clone(k *sim.Kernel, local, global network.Fabric) *C3 {
 	if c.cfg.LocalMem != nil {
 		panic("core: Clone of C3 with hybrid local memory")
@@ -25,33 +32,34 @@ func (c *C3) Clone(k *sim.Kernel, local, global network.Fabric) *C3 {
 		tbes:  make(map[mem.LineAddr]*tbe, len(c.tbes)),
 		Stats: c.Stats,
 	}
+	dslab := make([]ldir, len(c.dirs))
+	i := 0
 	for a, d := range c.dirs {
-		nd := &ldir{class: d.class, owner: d.owner, fwd: d.fwd,
-			sharers: make(map[msg.NodeID]bool, len(d.sharers))}
-		for id, v := range d.sharers {
-			nd.sharers[id] = v
-		}
+		nd := &dslab[i]
+		i++
+		*nd = *d
 		n.dirs[a] = nd
 	}
+	tslab := make([]tbe, len(c.tbes))
+	i = 0
 	for a, t := range c.tbes {
-		nt := *t
-		nt.req = cloneMsg(t.req)
-		nt.snp = cloneMsg(t.snp)
-		nt.conflict = cloneMsg(t.conflict)
-		nt.heldCmp = cloneMsg(t.heldCmp)
-		nt.resume = cloneMsg(t.resume)
-		nt.stalled = nil
-		for _, m := range t.stalled {
-			nt.stalled = append(nt.stalled, m.Clone())
+		nt := &tslab[i]
+		i++
+		*nt = *t
+		if len(t.stalled) > 0 {
+			nt.stalled = append([]*msg.Msg(nil), t.stalled...)
 		}
-		n.tbes[a] = &nt
+		n.tbes[a] = nt
 	}
 	return n
 }
 
-func cloneMsg(m *msg.Msg) *msg.Msg {
-	if m == nil {
-		return nil
-	}
-	return m.Clone()
-}
+// ReleaseLLC recycles the CXL cache's frame slab (see cache.Release).
+// The controller must not be used afterwards; the model checker calls
+// it when retiring a snapshot.
+func (c *C3) ReleaseLLC() { c.llc.Release() }
+
+// MaterializeLLC forces a private copy of the CXL cache's frame slab,
+// turning a COW clone into an eager one (the checker's deep-copy
+// cross-check mode).
+func (c *C3) MaterializeLLC() { c.llc.Materialize() }

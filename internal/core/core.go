@@ -72,12 +72,11 @@ type ldir struct {
 	class   ssp.Class
 	owner   msg.NodeID
 	fwd     msg.NodeID // MESIF designated forwarder
-	sharers map[msg.NodeID]bool
+	sharers msg.NodeSet
 }
 
 func newLdir(initial ssp.Class) *ldir {
-	return &ldir{class: initial, owner: msg.None, fwd: msg.None,
-		sharers: make(map[msg.NodeID]bool)}
+	return &ldir{class: initial, owner: msg.None, fwd: msg.None}
 }
 
 // TBE phases.
@@ -259,9 +258,10 @@ func (c *C3) lclass(a mem.LineAddr) ssp.Class {
 	return c.initialLocal()
 }
 
-// gclass reports the global stable class of a line.
+// gclass reports the global stable class of a line. Read-only: ProbeRO
+// keeps invariant checks and dumps from materializing a shared snapshot.
 func (c *C3) gclass(a mem.LineAddr) ssp.Class {
-	if e := c.llc.Probe(a); e != nil {
+	if e := c.llc.ProbeRO(a); e != nil {
 		return gclassOf(e.State)
 	}
 	return ssp.ClsI
@@ -466,20 +466,20 @@ func (c *C3) grant(t *tbe) {
 	case ssp.GrantM:
 		d.owner = m.Src
 		d.fwd = msg.None
-		d.sharers = make(map[msg.NodeID]bool)
+		d.sharers = 0
 	case ssp.GrantE:
 		d.owner = m.Src
 		d.fwd = msg.None
-		d.sharers = make(map[msg.NodeID]bool)
+		d.sharers = 0
 		// An exclusive-clean grant leaves the directory in the owner
 		// class (M covers E/M: silent upgrades).
 		nextL = ssp.ClsM
 	case ssp.GrantS:
-		d.sharers[m.Src] = true
+		d.sharers.Add(m.Src)
 		if nextL != ssp.ClsO {
 			if d.owner != msg.None {
 				// Downgraded owner becomes a plain sharer.
-				d.sharers[d.owner] = true
+				d.sharers.Add(d.owner)
 				d.owner = msg.None
 			}
 		}
@@ -562,15 +562,15 @@ func (c *C3) localPut(m *msg.Msg) {
 	}
 	switch m.Type {
 	case msg.PutS:
-		if d.sharers[m.Src] {
-			delete(d.sharers, m.Src)
+		if d.sharers.Has(m.Src) {
+			d.sharers.Remove(m.Src)
 			if d.fwd == m.Src {
 				d.fwd = msg.None
 				if d.class == ssp.ClsF {
 					d.class = ssp.ClsS
 				}
 			}
-			if len(d.sharers) == 0 && (d.class == ssp.ClsS || d.class == ssp.ClsF) {
+			if d.sharers.Empty() && (d.class == ssp.ClsS || d.class == ssp.ClsF) {
 				d.class = ssp.ClsI
 			}
 		}
@@ -581,15 +581,15 @@ func (c *C3) localPut(m *msg.Msg) {
 				e.DataValid = true
 			}
 			d.owner = msg.None
-			if len(d.sharers) > 0 {
+			if !d.sharers.Empty() {
 				d.class = ssp.ClsS
 			} else {
 				d.class = ssp.ClsI
 			}
-		} else if d.sharers[m.Src] {
+		} else if d.sharers.Has(m.Src) {
 			// A downgraded owner's stale PutM/PutO: treat as PutS.
-			delete(d.sharers, m.Src)
-			if len(d.sharers) == 0 && (d.class == ssp.ClsS || d.class == ssp.ClsF) {
+			d.sharers.Remove(m.Src)
+			if d.sharers.Empty() && (d.class == ssp.ClsS || d.class == ssp.ClsF) {
 				d.class = ssp.ClsI
 			}
 		}

@@ -12,7 +12,10 @@ import (
 )
 
 // DumpState writes a canonical rendering of the controller state for the
-// model checker's hashing.
+// model checker's hashing. Read-only: it uses the RO cache accessors so
+// hashing a freshly cloned snapshot never materializes its slab, and
+// NodeSet vectors render in ascending id order like the sorted int
+// slices the pre-NodeSet code produced.
 func (c *C3) DumpState(w io.Writer) {
 	fmt.Fprintf(w, "C3[%d]", c.cfg.ID)
 	type ent struct {
@@ -22,7 +25,7 @@ func (c *C3) DumpState(w io.Writer) {
 		v bool
 	}
 	var es []ent
-	c.llc.ForEach(func(e *cache.Entry) {
+	c.llc.ForEachRO(func(e *cache.Entry) {
 		es = append(es, ent{e.Addr, e.State, e.Data, e.DataValid})
 	})
 	sort.Slice(es, func(i, j int) bool { return es[i].a < es[j].a })
@@ -36,12 +39,7 @@ func (c *C3) DumpState(w io.Writer) {
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	for _, a := range lines {
 		d := c.dirs[a]
-		var sh []int
-		for h := range d.sharers {
-			sh = append(sh, int(h))
-		}
-		sort.Ints(sh)
-		fmt.Fprintf(w, "d%x:%s:%d:%d:%v;", uint64(a), d.class, d.owner, d.fwd, sh)
+		fmt.Fprintf(w, "d%x:%s:%d:%d:%v;", uint64(a), d.class, d.owner, d.fwd, d.sharers)
 	}
 	lines = lines[:0]
 	for a := range c.tbes {
@@ -68,7 +66,7 @@ func (c *C3) CompoundOf(a mem.LineAddr) (l, g ssp.Class, busy bool) {
 // Lines lists every line the controller currently tracks.
 func (c *C3) Lines() []mem.LineAddr {
 	seen := map[mem.LineAddr]bool{}
-	c.llc.ForEach(func(e *cache.Entry) { seen[e.Addr] = true })
+	c.llc.ForEachRO(func(e *cache.Entry) { seen[e.Addr] = true })
 	for a := range c.dirs {
 		seen[a] = true
 	}
@@ -87,16 +85,12 @@ func (c *C3) OwnerView(a mem.LineAddr) (owner msg.NodeID, sharers []msg.NodeID) 
 	if d == nil {
 		return msg.None, nil
 	}
-	for h := range d.sharers {
-		sharers = append(sharers, h)
-	}
-	sort.Slice(sharers, func(i, j int) bool { return sharers[i] < sharers[j] })
-	return d.owner, sharers
+	return d.owner, d.sharers.IDs()
 }
 
 // LLCData returns the CXL-cache copy of a line if data-valid.
 func (c *C3) LLCData(a mem.LineAddr) (mem.Data, bool) {
-	if e := c.llc.Probe(a); e != nil && e.DataValid {
+	if e := c.llc.ProbeRO(a); e != nil && e.DataValid {
 		return e.Data, true
 	}
 	return mem.Data{}, false

@@ -19,13 +19,13 @@ func (c *C3) startLocalFlow(t *tbe, plan ssp.Plan, except msg.NodeID) bool {
 	case ssp.PlanNone:
 		return false
 	case ssp.PlanInvSharers:
-		for h := range d.sharers {
+		d.sharers.ForEach(func(h msg.NodeID) {
 			if h == except {
-				continue
+				return
 			}
 			t.pendingAcks++
 			c.sendLocal(&msg.Msg{Type: msg.Inv, Addr: t.addr, Dst: h, VNet: msg.VSnp})
-		}
+		})
 	case ssp.PlanSnpOwner:
 		target := d.owner
 		if target == msg.None {
@@ -47,13 +47,13 @@ func (c *C3) startLocalFlow(t *tbe, plan ssp.Plan, except msg.NodeID) bool {
 			t.pendingRsp++
 			c.sendLocal(&msg.Msg{Type: msg.SnpInv, Addr: t.addr, Dst: d.owner, VNet: msg.VSnp})
 		}
-		for h := range d.sharers {
+		d.sharers.ForEach(func(h msg.NodeID) {
 			if h == except {
-				continue
+				return
 			}
 			t.pendingAcks++
 			c.sendLocal(&msg.Msg{Type: msg.Inv, Addr: t.addr, Dst: h, VNet: msg.VSnp})
-		}
+		})
 	}
 	return t.pendingRsp+t.pendingAcks > 0
 }
@@ -116,10 +116,10 @@ func (c *C3) applySnoopLocal(t *tbe, ent gen.Entry) {
 	switch {
 	case nextL == ssp.ClsI:
 		d.owner, d.fwd = msg.None, msg.None
-		d.sharers = make(map[msg.NodeID]bool)
+		d.sharers = 0
 	case (nextL == ssp.ClsS || nextL == ssp.ClsF) && d.owner != msg.None && nextL != d.class:
 		// Owner downgraded to sharer by a load snoop.
-		d.sharers[d.owner] = true
+		d.sharers.Add(d.owner)
 		if c.table.Local.Params.Forwarder {
 			d.fwd = d.owner
 		}

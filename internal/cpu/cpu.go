@@ -712,15 +712,24 @@ func (c *Core) Clone(k *sim.Kernel, src Source) *Core {
 		Retired: c.Retired, FinishedAt: c.FinishedAt, finished: c.finished,
 		outstanding: c.outstanding,
 	}
-	n.window = make([]*uop, len(c.window))
-	for i, u := range c.window {
-		cu := *u
-		n.window[i] = &cu
+	// Window and store-buffer records are value slabs: one allocation
+	// each instead of one per uop/entry. Identity comparisons elsewhere
+	// (e.g. removeSB) work on the slab pointers.
+	if len(c.window) > 0 {
+		us := make([]uop, len(c.window))
+		n.window = make([]*uop, len(c.window))
+		for i, u := range c.window {
+			us[i] = *u
+			n.window[i] = &us[i]
+		}
 	}
-	n.sb = make([]*sbEntry, len(c.sb))
-	for i, s := range c.sb {
-		cs := *s
-		n.sb[i] = &cs
+	if len(c.sb) > 0 {
+		ss := make([]sbEntry, len(c.sb))
+		n.sb = make([]*sbEntry, len(c.sb))
+		for i, e := range c.sb {
+			ss[i] = *e
+			n.sb[i] = &ss[i]
+		}
 	}
 	return n
 }

@@ -382,6 +382,10 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 				t.Name, it, v)
 		}
 	}
+	// All outcome and poison reads are complete: recycle the private
+	// system's cache slabs for the next iteration. Error paths skip this
+	// (their systems are simply garbage collected).
+	sys.Release()
 	return o, info, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"c3/internal/sim"
 )
@@ -24,12 +25,28 @@ func DefaultDRAMConfig() DRAMConfig {
 	return DRAMConfig{AccessLatency: sim.NS(10), BytesPerCycle: 17.6}
 }
 
+// dramStore is the refcounted line store shared copy-on-write between a
+// DRAM and its clones: a clone shares the map and bumps refs; the first
+// write on either side copies it. refs is the only cross-goroutine state
+// (concurrent Clones of one parent), so the scheme is race-free while
+// each model stays single-goroutine-owned.
+type dramStore struct {
+	refs atomic.Int32
+	m    map[LineAddr]Data
+}
+
+func newDramStore(n int) *dramStore {
+	s := &dramStore{m: make(map[LineAddr]Data, n)}
+	s.refs.Store(1)
+	return s
+}
+
 // DRAM is a latency/bandwidth model of the memory device, plus the
 // authoritative storage for line data not currently owned by any cache.
 type DRAM struct {
 	k     *sim.Kernel
 	cfg   DRAMConfig
-	store map[LineAddr]Data
+	store *dramStore
 	// busyUntil models single-channel serialization.
 	busyUntil sim.Time
 
@@ -43,23 +60,53 @@ func NewDRAM(k *sim.Kernel, cfg DRAMConfig) *DRAM {
 	if cfg.BytesPerCycle <= 0 {
 		cfg.BytesPerCycle = 17.6
 	}
-	return &DRAM{k: k, cfg: cfg, store: make(map[LineAddr]Data)}
+	return &DRAM{k: k, cfg: cfg, store: newDramStore(0)}
 }
 
-// Clone returns a deep copy of the device attached to kernel k, for
-// model-checker state snapshots. In-flight accesses live as kernel
-// events and must have drained before cloning (the checker snapshots
-// only quiescent states).
+// Clone returns a copy of the device attached to kernel k, for
+// model-checker state snapshots. The line store is shared copy-on-write;
+// a write on either side materializes a private map. In-flight accesses
+// live as kernel events and must have drained before cloning (the
+// checker snapshots only quiescent states).
 func (d *DRAM) Clone(k *sim.Kernel) *DRAM {
-	n := &DRAM{
-		k: k, cfg: d.cfg, store: make(map[LineAddr]Data, len(d.store)),
+	d.store.refs.Add(1)
+	return &DRAM{
+		k: k, cfg: d.cfg, store: d.store,
 		busyUntil: d.busyUntil, Reads: d.Reads, Writes: d.Writes,
 	}
-	for a, v := range d.store {
-		n.store[a] = v
-	}
-	return n
 }
+
+// materialize gives the DRAM a private store before a write; with a sole
+// reference (the no-clone fast path) it costs one atomic load.
+func (d *DRAM) materialize() {
+	s := d.store
+	if s.refs.Load() == 1 {
+		return
+	}
+	ns := newDramStore(len(s.m))
+	for a, v := range s.m {
+		ns.m[a] = v
+	}
+	d.store = ns
+	s.refs.Add(-1)
+}
+
+// Materialize forces a private copy of the line store now, as if a write
+// occurred (the checker's deep-copy cross-check mode).
+func (d *DRAM) Materialize() { d.materialize() }
+
+// Release drops the DRAM's reference to its store; the DRAM must not be
+// used afterwards. Optional — unreleased stores are garbage collected.
+func (d *DRAM) Release() {
+	if d.store != nil {
+		d.store.refs.Add(-1)
+		d.store = nil
+	}
+}
+
+// Shared reports whether the store is currently shared with a clone. For
+// tests.
+func (d *DRAM) Shared() bool { return d.store.refs.Load() > 1 }
 
 // occupancy is the channel time one line transfer occupies.
 func (d *DRAM) occupancy() sim.Time {
@@ -86,7 +133,7 @@ func (d *DRAM) Read(addr LineAddr, done func(Data)) {
 	t := d.schedule()
 	d.k.Schedule(t, func() {
 		d.Reads++
-		done(d.store[addr])
+		done(d.store.m[addr])
 	})
 }
 
@@ -96,7 +143,8 @@ func (d *DRAM) Write(addr LineAddr, data Data, done func()) {
 	t := d.schedule()
 	d.k.Schedule(t, func() {
 		d.Writes++
-		d.store[addr] = data
+		d.materialize()
+		d.store.m[addr] = data
 		if done != nil {
 			done()
 		}
@@ -105,22 +153,26 @@ func (d *DRAM) Write(addr LineAddr, data Data, done func()) {
 
 // Peek returns the current stored value without timing, for invariant
 // checks and test assertions.
-func (d *DRAM) Peek(addr LineAddr) Data { return d.store[addr] }
+func (d *DRAM) Peek(addr LineAddr) Data { return d.store.m[addr] }
 
 // Poke sets memory contents directly, for test/bench initialization.
-func (d *DRAM) Poke(addr LineAddr, data Data) { d.store[addr] = data }
+func (d *DRAM) Poke(addr LineAddr, data Data) {
+	d.materialize()
+	d.store.m[addr] = data
+}
 
 // DumpState writes a canonical rendering of memory contents for
-// model-checker hashing.
+// model-checker hashing. Read-only: it never materializes a shared
+// store.
 func (d *DRAM) DumpState(w io.Writer) {
 	var lines []LineAddr
-	for a := range d.store {
+	for a := range d.store.m {
 		lines = append(lines, a)
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	fmt.Fprint(w, "DRAM")
 	for _, a := range lines {
-		fmt.Fprintf(w, "%x:%v;", uint64(a), d.store[a])
+		fmt.Fprintf(w, "%x:%v;", uint64(a), d.store.m[a])
 	}
 	fmt.Fprintln(w)
 }

@@ -11,11 +11,18 @@ package mem
 import "fmt"
 
 // LineBytes is the cache line size. LineWords is the number of 64-bit
-// words per line, the granularity of core loads and stores.
+// words per line, the granularity of core loads and stores. LineShift is
+// log2(LineBytes), for deriving line indices by shift; the compile-time
+// check below keeps the two constants from drifting.
 const (
 	LineBytes = 64
 	LineWords = LineBytes / 8
+	LineShift = 6
 )
+
+// Compile-time guard: 1<<LineShift must equal LineBytes (a non-zero
+// index into a one-element array fails to compile).
+var _ = [1]struct{}{}[LineBytes-(1<<LineShift)]
 
 // Addr is a physical byte address.
 type Addr uint64

@@ -1,0 +1,93 @@
+package msg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestNodeSetMatchesMap cross-checks NodeSet against a reference
+// map[NodeID]bool under random operations, including the rendering
+// format the model checker hashes (ascending ids, like the sorted int
+// slices the pre-NodeSet code produced).
+func TestNodeSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s NodeSet
+	ref := map[NodeID]bool{}
+	for step := 0; step < 2000; step++ {
+		id := NodeID(rng.Intn(nodeSetWidth))
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(id)
+			ref[id] = true
+		case 1:
+			s.Remove(id)
+			delete(ref, id)
+		case 2:
+			if s.Has(id) != ref[id] {
+				t.Fatalf("step %d: Has(%d) = %v, ref %v", step, id, s.Has(id), ref[id])
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, ref %d", step, s.Len(), len(ref))
+		}
+		if s.Empty() != (len(ref) == 0) {
+			t.Fatalf("step %d: Empty mismatch", step)
+		}
+	}
+	// Rendering matches %v of the sorted id slice.
+	var ids []int
+	for _, id := range s.IDs() {
+		ids = append(ids, int(id))
+	}
+	if got, want := s.String(), fmt.Sprintf("%v", ids); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestNodeSetForEachAscending: iteration order is ascending id — the
+// property that makes snoop/invalidate issue order deterministic.
+func TestNodeSetForEachAscending(t *testing.T) {
+	var s NodeSet
+	for _, id := range []NodeID{5, 2, 63, 0, 17} {
+		s.Add(id)
+	}
+	var got []NodeID
+	s.ForEach(func(id NodeID) { got = append(got, id) })
+	want := []NodeID{0, 2, 5, 17, 63}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNodeSetBounds: None and out-of-range ids never appear as members;
+// Add panics rather than silently dropping a sharer.
+func TestNodeSetBounds(t *testing.T) {
+	var s NodeSet
+	if s.Has(None) || s.Has(NodeID(nodeSetWidth)) {
+		t.Fatal("out-of-range id reported as member")
+	}
+	s.Remove(None) // no-op, must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(out-of-range) did not panic")
+		}
+	}()
+	s.Add(NodeID(nodeSetWidth))
+}
+
+// TestNodeSetEmptyString: the empty set renders like an empty slice.
+func TestNodeSetEmptyString(t *testing.T) {
+	var s NodeSet
+	if s.String() != "[]" {
+		t.Fatalf("empty String() = %q, want %q", s.String(), "[]")
+	}
+	if s.IDs() != nil {
+		t.Fatalf("empty IDs() = %v, want nil", s.IDs())
+	}
+}

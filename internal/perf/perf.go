@@ -112,6 +112,40 @@ func Benchmarks() []Benchmark {
 			},
 		},
 		{
+			// The snapshot primitive the checker's expansion multiplies
+			// (mirrors internal/verif BenchmarkCloneSnapshot): COW-clone a
+			// mid-protocol model, deliver one message to the copy, recycle
+			// it. Clone is O(dirty), so the steady state allocates only the
+			// component graph and whatever the single step touches — the
+			// multi-KiB cache arrays and the DRAM store stay shared.
+			Name: "clone-snapshot", Ops: 20_000,
+			Setup: func(ops int) func() {
+				m, err := verif.Build(mpModel())
+				if err != nil {
+					panic(fmt.Sprintf("perf: clone-snapshot: %v", err))
+				}
+				m.Start()
+				// Step a few deliveries in so clones carry populated
+				// caches, open transactions, and in-flight messages.
+				for i := 0; i < 6; i++ {
+					acts := m.Fabric.Enabled()
+					if len(acts) == 0 {
+						break
+					}
+					m.Step(acts[0])
+				}
+				return func() {
+					for i := 0; i < ops; i++ {
+						c := m.Clone()
+						if acts := c.Fabric.Enabled(); len(acts) > 0 {
+							c.Step(acts[0])
+						}
+						c.Release()
+					}
+				}
+			},
+		},
+		{
 			// The soak harness's inner loop: one full MP campaign
 			// iteration on a faulty fabric with the hang watchdog armed —
 			// the unit of work a million-run campaign multiplies.

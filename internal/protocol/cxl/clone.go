@@ -12,42 +12,38 @@ import (
 // state is plain data (line directory, open transactions, stalled
 // queues); DRAM read/write continuations live as kernel events and must
 // have drained before cloning. The tracer is not carried over.
+//
+// Messages are immutable after Send (see msg.Msg), so queued *msg.Msg
+// pointers are shared with the original rather than deep-copied; queue
+// slice headers are still private, so post-clone appends never touch the
+// original's backing array. Directory records are allocated as one slab,
+// and sharer/pending vectors are NodeSet values that copy with their
+// struct — a clone costs O(lines) flat copies, not O(lines) maps.
 func (d *DCOH) Clone(k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
 	n := &DCOH{
 		id: d.id, k: k, net: net, dram: dram, Lat: d.Lat,
 		lines:    make(map[mem.LineAddr]*dline, len(d.lines)),
-		dead:     cloneSharers(d.dead),
+		dead:     d.dead,
 		poisoned: make(map[mem.LineAddr]bool, len(d.poisoned)),
 		Stats:    d.Stats,
 	}
 	for a, v := range d.poisoned {
 		n.poisoned[a] = v
 	}
+	slab := make([]dline, len(d.lines))
+	i := 0
 	for a, l := range d.lines {
-		nl := &dline{state: l.state, owner: l.owner,
-			sharers: cloneSharers(l.sharers)}
+		nl := &slab[i]
+		i++
+		*nl = *l
 		if l.cur != nil {
-			nl.cur = &tx{
-				req: l.cur.req.Clone(), pending: cloneSharers(l.cur.pending),
-				data: l.cur.data, dirty: l.cur.dirty, keptS: cloneSharers(l.cur.keptS),
-				aborted: l.cur.aborted,
-			}
+			cur := *l.cur
+			nl.cur = &cur
 		}
-		for _, m := range l.queue {
-			nl.queue = append(nl.queue, m.Clone())
+		if len(l.queue) > 0 {
+			nl.queue = append([]*msg.Msg(nil), l.queue...)
 		}
 		n.lines[a] = nl
-	}
-	return n
-}
-
-func cloneSharers(s map[msg.NodeID]bool) map[msg.NodeID]bool {
-	if s == nil {
-		return nil
-	}
-	n := make(map[msg.NodeID]bool, len(s))
-	for id, v := range s {
-		n[id] = v
 	}
 	return n
 }

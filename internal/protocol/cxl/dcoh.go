@@ -41,11 +41,11 @@ const (
 func dname(s int) string { return [...]string{"I", "S", "E", "M"}[s] }
 
 type tx struct {
-	req     *msg.Msg            // request being serviced
-	pending map[msg.NodeID]bool // hosts whose snoop responses are due
-	data    mem.Data            // dirty data collected from responses
+	req     *msg.Msg    // request being serviced
+	pending msg.NodeSet // hosts whose snoop responses are due
+	data    mem.Data    // dirty data collected from responses
 	dirty   bool
-	keptS   map[msg.NodeID]bool // snooped hosts that retained a shared copy
+	keptS   msg.NodeSet // snooped hosts that retained a shared copy
 	// aborted marks a transaction whose requestor died: outstanding snoop
 	// responses are still collected (and dirty data committed), but no
 	// completion is granted — the NAK half of host isolation.
@@ -55,7 +55,7 @@ type tx struct {
 type dline struct {
 	state   int
 	owner   msg.NodeID
-	sharers map[msg.NodeID]bool
+	sharers msg.NodeSet
 	cur     *tx
 	queue   []*msg.Msg
 }
@@ -84,7 +84,7 @@ type DCOH struct {
 	// whose only copy died with a host — grants carry msg.Poisoned from
 	// then on (sticky: a lost line stays flagged, the CXL data-poison
 	// contract).
-	dead     map[msg.NodeID]bool
+	dead     msg.NodeSet
 	poisoned map[mem.LineAddr]bool
 
 	// Tracer, when non-nil, observes directory state transitions.
@@ -107,7 +107,6 @@ func (d *DCOH) traceState(a mem.LineAddr, old int, note string) {
 func New(id msg.NodeID, k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *DCOH {
 	return &DCOH{id: id, k: k, net: net, dram: dram, Lat: 4,
 		lines:    make(map[mem.LineAddr]*dline),
-		dead:     make(map[msg.NodeID]bool),
 		poisoned: make(map[mem.LineAddr]bool)}
 }
 
@@ -120,7 +119,7 @@ func (d *DCOH) DRAM() *mem.DRAM { return d.dram }
 func (d *DCOH) line(a mem.LineAddr) *dline {
 	l := d.lines[a]
 	if l == nil {
-		l = &dline{state: dI, owner: msg.None, sharers: make(map[msg.NodeID]bool)}
+		l = &dline{state: dI, owner: msg.None}
 		d.lines[a] = l
 	}
 	return l
@@ -133,7 +132,7 @@ func (d *DCOH) send(m *msg.Msg) {
 
 // Recv implements network.Port.
 func (d *DCOH) Recv(m *msg.Msg) {
-	if d.dead[m.Src] {
+	if d.dead.Has(m.Src) {
 		// A message from an isolated host (delivered in the same tick the
 		// crash landed): host isolation already reclaimed its state, so
 		// the message is stale by definition.
@@ -165,7 +164,7 @@ func (d *DCOH) Recv(m *msg.Msg) {
 
 func (d *DCOH) startRead(l *dline, m *msg.Msg) {
 	d.Stats.Reads++
-	l.cur = &tx{req: m, pending: make(map[msg.NodeID]bool), keptS: make(map[msg.NodeID]bool)}
+	l.cur = &tx{req: m}
 	want := msg.BISnpData
 	if m.Type == msg.MemRdA {
 		want = msg.BISnpInv
@@ -179,11 +178,12 @@ func (d *DCOH) startRead(l *dline, m *msg.Msg) {
 		}
 	case dS:
 		if m.Type == msg.MemRdA {
-			for h := range l.sharers {
+			// Ascending id order: snoop issue order is deterministic.
+			l.sharers.ForEach(func(h msg.NodeID) {
 				if h != m.Src {
 					targets = append(targets, h)
 				}
-			}
+			})
 		}
 	}
 	if len(targets) == 0 {
@@ -191,7 +191,7 @@ func (d *DCOH) startRead(l *dline, m *msg.Msg) {
 		return
 	}
 	for _, h := range targets {
-		l.cur.pending[h] = true
+		l.cur.pending.Add(h)
 		d.Stats.Snoops++
 		d.send(&msg.Msg{Type: want, Addr: m.Addr, Dst: h, VNet: msg.VSnp})
 	}
@@ -199,10 +199,10 @@ func (d *DCOH) startRead(l *dline, m *msg.Msg) {
 
 func (d *DCOH) handleSnpRsp(m *msg.Msg) {
 	l := d.lines[m.Addr]
-	if l == nil || l.cur == nil || !l.cur.pending[m.Src] {
+	if l == nil || l.cur == nil || !l.cur.pending.Has(m.Src) {
 		panic(fmt.Sprintf("cxl: unexpected snoop response %v", m))
 	}
-	delete(l.cur.pending, m.Src)
+	l.cur.pending.Remove(m.Src)
 	if m.Data != nil && m.Dirty {
 		l.cur.data = *m.Data
 		l.cur.dirty = true
@@ -211,9 +211,9 @@ func (d *DCOH) handleSnpRsp(m *msg.Msg) {
 		}
 	}
 	if m.Type == msg.BISnpRspS {
-		l.cur.keptS[m.Src] = true
+		l.cur.keptS.Add(m.Src)
 	}
-	if len(l.cur.pending) == 0 {
+	if l.cur.pending.Empty() {
 		d.settle(l)
 	}
 }
@@ -229,7 +229,7 @@ func (d *DCOH) handleWrite(m *msg.Msg) {
 	// Only the registered owner's data is authoritative; a stale write
 	// (the host was invalidated while its eviction was in flight) is
 	// acknowledged and dropped.
-	snoopedWB := l.cur != nil && l.cur.pending[m.Src]
+	snoopedWB := l.cur != nil && l.cur.pending.Has(m.Src)
 	if l.owner == m.Src || snoopedWB {
 		d.dram.Write(m.Addr, *m.Data, nil)
 		if m.Poisoned {
@@ -245,7 +245,7 @@ func (d *DCOH) handleWrite(m *msg.Msg) {
 				l.owner = msg.None
 			} else { // MemWrS: writeback, retain shared copy
 				l.state = dS
-				l.sharers[m.Src] = true
+				l.sharers.Add(m.Src)
 				l.owner = msg.None
 			}
 			if d.Tracer != nil {
@@ -272,13 +272,13 @@ func (d *DCOH) settle(l *dline) {
 func (d *DCOH) abortRead(l *dline, cur *tx) {
 	oldState := l.state
 	l.owner = msg.None
-	l.sharers = make(map[msg.NodeID]bool)
-	for s := range cur.keptS {
-		if !d.dead[s] {
-			l.sharers[s] = true
+	l.sharers = 0
+	cur.keptS.ForEach(func(s msg.NodeID) {
+		if !d.dead.Has(s) {
+			l.sharers.Add(s)
 		}
-	}
-	if len(l.sharers) > 0 {
+	})
+	if !l.sharers.Empty() {
 		l.state = dS
 	} else {
 		l.state = dI
@@ -299,7 +299,7 @@ func (d *DCOH) finishRead(l *dline) {
 	}
 	d.dram.Read(cur.req.Addr, func(data mem.Data) {
 		h := cur.req.Src
-		if cur.aborted || d.dead[h] {
+		if cur.aborted || d.dead.Has(h) {
 			// The requestor crashed while the memory read was in flight.
 			d.abortRead(l, cur)
 			return
@@ -311,24 +311,21 @@ func (d *DCOH) finishRead(l *dline) {
 			rsp.Type = msg.CmpM
 			l.state = dM
 			l.owner = h
-			l.sharers = make(map[msg.NodeID]bool)
+			l.sharers = 0
 		} else {
 			// Shared read: exclusive-clean when no one else holds it.
-			for s := range l.sharers {
+			l.sharers.ForEach(func(s msg.NodeID) {
 				if s != h {
-					cur.keptS[s] = true
+					cur.keptS.Add(s)
 				}
-			}
+			})
 			if l.state == dE || l.state == dM {
 				// Previous owner downgraded (kept a copy iff it said so).
 			}
 			l.owner = msg.None
-			l.sharers = make(map[msg.NodeID]bool)
-			for s := range cur.keptS {
-				l.sharers[s] = true
-			}
-			l.sharers[h] = true
-			if len(l.sharers) == 1 {
+			l.sharers = cur.keptS
+			l.sharers.Add(h)
+			if l.sharers.Len() == 1 {
 				rsp.Type = msg.CmpE
 				l.state = dE
 				l.owner = h
@@ -366,10 +363,7 @@ func (d *DCOH) StateOf(a mem.LineAddr) (state string, owner msg.NodeID, sharers 
 	if l == nil {
 		return "I", msg.None, nil
 	}
-	for h := range l.sharers {
-		sharers = append(sharers, h)
-	}
-	return dname(l.state), l.owner, sharers
+	return dname(l.state), l.owner, l.sharers.IDs()
 }
 
 // Busy reports whether a transaction is in flight for line a.
@@ -399,7 +393,7 @@ type Reclaim struct {
 // queued requests. Lines are walked in address order so any messages the
 // walk releases are scheduled deterministically.
 func (d *DCOH) ReclaimHost(h msg.NodeID) Reclaim {
-	d.dead[h] = true
+	d.dead.Add(h)
 	var r Reclaim
 	poison := func(a mem.LineAddr) {
 		if d.poisoned[a] {
@@ -424,23 +418,23 @@ func (d *DCOH) ReclaimHost(h msg.NodeID) Reclaim {
 				l.cur.aborted = true
 				r.NAKed++
 			}
-			if l.cur.pending[h] {
+			if l.cur.pending.Has(h) {
 				// A snoop to the dead host will never be answered. If it
 				// held the exclusive copy and no dirty data arrived, the
 				// only current copy died with it.
-				delete(l.cur.pending, h)
+				l.cur.pending.Remove(h)
 				if (l.state == dE || l.state == dM) && l.owner == h && !l.cur.dirty {
 					poison(a)
 				}
-				if len(l.cur.pending) == 0 {
+				if l.cur.pending.Empty() {
 					d.settle(l)
 				}
 			}
 		}
-		if l.sharers[h] {
-			delete(l.sharers, h)
+		if l.sharers.Has(h) {
+			l.sharers.Remove(h)
 			r.Reclaimed++
-			if len(l.sharers) == 0 && l.state == dS && l.cur == nil {
+			if l.sharers.Empty() && l.state == dS && l.cur == nil {
 				l.state = dI
 			}
 		}
@@ -474,10 +468,10 @@ func (d *DCOH) ReclaimHost(h msg.NodeID) Reclaim {
 // the post-reclamation isolation invariant must find none.
 func (d *DCOH) ReferencesHost(h msg.NodeID) bool {
 	for _, l := range d.lines {
-		if l.owner == h || l.sharers[h] {
+		if l.owner == h || l.sharers.Has(h) {
 			return true
 		}
-		if l.cur != nil && (l.cur.pending[h] || l.cur.req.Src == h) {
+		if l.cur != nil && (l.cur.pending.Has(h) || l.cur.req.Src == h) {
 			return true
 		}
 		for _, m := range l.queue {
@@ -495,4 +489,4 @@ func (d *DCOH) PoisonedLine(a mem.LineAddr) bool { return d.poisoned[a] }
 // ReviveHost re-admits a previously reclaimed host (crash rejoin): its
 // messages are accepted again. The host must come back cold — its state
 // was reclaimed at crash time and is not restored. Poison is sticky.
-func (d *DCOH) ReviveHost(h msg.NodeID) { delete(d.dead, h) }
+func (d *DCOH) ReviveHost(h msg.NodeID) { d.dead.Remove(h) }

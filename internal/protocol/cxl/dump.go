@@ -9,6 +9,8 @@ import (
 )
 
 // DumpState writes a canonical rendering for model-checker hashing.
+// NodeSet vectors render in ascending id order, like the sorted int
+// slices the pre-NodeSet code produced.
 func (d *DCOH) DumpState(w io.Writer) {
 	fmt.Fprint(w, "DCOH")
 	var lines []mem.LineAddr
@@ -18,19 +20,9 @@ func (d *DCOH) DumpState(w io.Writer) {
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	for _, a := range lines {
 		l := d.lines[a]
-		var sh []int
-		for h := range l.sharers {
-			sh = append(sh, int(h))
-		}
-		sort.Ints(sh)
-		fmt.Fprintf(w, "%x:%d:%d:%v", uint64(a), l.state, l.owner, sh)
+		fmt.Fprintf(w, "%x:%d:%d:%v", uint64(a), l.state, l.owner, l.sharers)
 		if l.cur != nil {
-			var pend []int
-			for h := range l.cur.pending {
-				pend = append(pend, int(h))
-			}
-			sort.Ints(pend)
-			fmt.Fprintf(w, ":tx%d:%v:%v", l.cur.req.Src, pend, l.cur.dirty)
+			fmt.Fprintf(w, ":tx%d:%v:%v", l.cur.req.Src, l.cur.pending, l.cur.dirty)
 		}
 		fmt.Fprintf(w, ":q%d;", len(l.queue))
 	}

@@ -33,7 +33,7 @@ func hname(s int) string { return [...]string{"I", "S", "E", "M"}[s] }
 type hline struct {
 	state   int
 	owner   msg.NodeID
-	sharers map[msg.NodeID]bool
+	sharers msg.NodeSet
 	// busy is set while reading memory or awaiting a GCopyBack.
 	busy bool
 	// copyBackFrom/pendingReq track the in-flight owner downgrade.
@@ -69,7 +69,7 @@ type Dir struct {
 	// dead is the set of isolated (crashed) hosts; poisoned marks lines
 	// whose only current copy died with one (sticky — see the DCOH's
 	// equivalent).
-	dead     map[msg.NodeID]bool
+	dead     msg.NodeSet
 	poisoned map[mem.LineAddr]bool
 
 	// Tracer, when non-nil, observes directory state transitions.
@@ -92,7 +92,6 @@ func (d *Dir) traceState(a mem.LineAddr, old int, note string) {
 func New(id msg.NodeID, k *sim.Kernel, net network.Fabric, dram *mem.DRAM) *Dir {
 	return &Dir{id: id, k: k, net: net, dram: dram, Lat: 4,
 		lines:    make(map[mem.LineAddr]*hline),
-		dead:     make(map[msg.NodeID]bool),
 		poisoned: make(map[mem.LineAddr]bool)}
 }
 
@@ -106,7 +105,7 @@ func (d *Dir) line(a mem.LineAddr) *hline {
 	l := d.lines[a]
 	if l == nil {
 		l = &hline{owner: msg.None, copyBackFrom: msg.None, pendingReq: msg.None,
-			lastFwdFrom: msg.None, sharers: make(map[msg.NodeID]bool)}
+			lastFwdFrom: msg.None}
 		d.lines[a] = l
 	}
 	return l
@@ -119,7 +118,7 @@ func (d *Dir) send(m *msg.Msg) {
 
 // Recv implements network.Port.
 func (d *Dir) Recv(m *msg.Msg) {
-	if d.dead[m.Src] {
+	if d.dead.Has(m.Src) {
 		// Stale message from an isolated host; its state was reclaimed.
 		return
 	}
@@ -152,7 +151,7 @@ func (d *Dir) getS(m *msg.Msg) {
 		l.busy = true
 		d.dram.Read(m.Addr, func(data mem.Data) {
 			l.busy = false
-			if d.dead[m.Src] {
+			if d.dead.Has(m.Src) {
 				// The requestor crashed while memory was read: do not
 				// install it as owner.
 				d.drain(m.Addr, l)
@@ -172,11 +171,11 @@ func (d *Dir) getS(m *msg.Msg) {
 		l.busy = true
 		d.dram.Read(m.Addr, func(data mem.Data) {
 			l.busy = false
-			if d.dead[m.Src] {
+			if d.dead.Has(m.Src) {
 				d.drain(m.Addr, l)
 				return
 			}
-			l.sharers[m.Src] = true
+			l.sharers.Add(m.Src)
 			d.send(&msg.Msg{Type: msg.GData, Addr: m.Addr, Dst: m.Src, VNet: msg.VRsp,
 				Data: msg.WithData(data), Poisoned: d.poisoned[m.Addr]})
 			d.drain(m.Addr, l)
@@ -209,7 +208,7 @@ func (d *Dir) getM(m *msg.Msg) {
 		l.busy = true
 		d.dram.Read(m.Addr, func(data mem.Data) {
 			l.busy = false
-			if d.dead[m.Src] {
+			if d.dead.Has(m.Src) {
 				d.drain(m.Addr, l)
 				return
 			}
@@ -223,20 +222,21 @@ func (d *Dir) getM(m *msg.Msg) {
 			d.drain(m.Addr, l)
 		})
 	case hS:
-		// Invalidate other sharers; they ack to the requestor.
+		// Invalidate other sharers (ascending id order, deterministic);
+		// they ack to the requestor.
 		n := 0
-		for h := range l.sharers {
+		l.sharers.ForEach(func(h msg.NodeID) {
 			if h == m.Src {
-				continue
+				return
 			}
 			n++
 			d.Stats.Invs++
 			d.send(&msg.Msg{Type: msg.GInv, Addr: m.Addr, Dst: h, Req: m.Src, VNet: msg.VSnp})
-		}
-		wasSharer := l.sharers[m.Src]
+		})
+		wasSharer := l.sharers.Has(m.Src)
 		l.state = hM
 		l.owner = m.Src
-		l.sharers = make(map[msg.NodeID]bool)
+		l.sharers = 0
 		if d.Tracer != nil {
 			d.traceState(m.Addr, hS, "GGetM")
 		}
@@ -298,7 +298,7 @@ func (d *Dir) putM(m *msg.Msg) {
 		l.owner = msg.None
 		l.sharers = d.liveSharers(l.pendingReq)
 		l.state = hS
-		if len(l.sharers) == 0 {
+		if l.sharers.Empty() {
 			l.state = hI
 		}
 		l.copyBackFrom, l.pendingReq = msg.None, msg.None
@@ -334,7 +334,7 @@ func (d *Dir) putS(m *msg.Msg) {
 		l.owner = msg.None
 		l.sharers = d.liveSharers(l.pendingReq)
 		l.state = hS
-		if len(l.sharers) == 0 {
+		if l.sharers.Empty() {
 			l.state = hI
 		}
 		l.copyBackFrom, l.pendingReq = msg.None, msg.None
@@ -348,9 +348,9 @@ func (d *Dir) putS(m *msg.Msg) {
 	}
 	old := l.state
 	switch {
-	case l.state == hS && l.sharers[m.Src]:
-		delete(l.sharers, m.Src)
-		if len(l.sharers) == 0 {
+	case l.state == hS && l.sharers.Has(m.Src):
+		l.sharers.Remove(m.Src)
+		if l.sharers.Empty() {
 			l.state = hI
 		}
 	case (l.state == hE || l.state == hM) && l.owner == m.Src && !l.busy:
@@ -385,7 +385,7 @@ func (d *Dir) copyBack(m *msg.Msg) {
 	old := l.state
 	l.sharers = d.liveSharers(l.copyBackFrom, l.pendingReq)
 	l.state = hS
-	if len(l.sharers) == 0 {
+	if l.sharers.Empty() {
 		l.state = hI
 	}
 	l.owner = msg.None
@@ -406,14 +406,14 @@ func (d *Dir) drain(a mem.LineAddr, l *hline) {
 	d.k.After(1, func() { d.Recv(next) })
 }
 
-// liveSharers builds a sharer map from ids, skipping unset or dead ones
+// liveSharers builds a sharer set from ids, skipping unset or dead ones
 // (a crashed host must never be re-registered by a crossed flow that was
 // in flight when it died).
-func (d *Dir) liveSharers(ids ...msg.NodeID) map[msg.NodeID]bool {
-	m := make(map[msg.NodeID]bool)
+func (d *Dir) liveSharers(ids ...msg.NodeID) msg.NodeSet {
+	var m msg.NodeSet
 	for _, id := range ids {
-		if id != msg.None && !d.dead[id] {
-			m[id] = true
+		if id != msg.None && !d.dead.Has(id) {
+			m.Add(id)
 		}
 	}
 	return m
@@ -441,7 +441,7 @@ type Reclaim struct {
 // it). Real back-invalidation has the same window; CXL closes it with
 // timeouts at the requestor, which the C3 layer's PeerDead pass models.
 func (d *Dir) ReclaimHost(h msg.NodeID) Reclaim {
-	d.dead[h] = true
+	d.dead.Add(h)
 	var r Reclaim
 	poison := func(a mem.LineAddr) {
 		if d.poisoned[a] {
@@ -470,11 +470,11 @@ func (d *Dir) ReclaimHost(h msg.NodeID) Reclaim {
 			l.busy = false
 			l.sharers = d.liveSharers(req)
 			l.state = hS
-			if len(l.sharers) == 0 {
+			if l.sharers.Empty() {
 				l.state = hI
 			}
 			poison(a)
-			if req != msg.None && !d.dead[req] {
+			if req != msg.None && !d.dead.Has(req) {
 				r.NAKed++
 				d.synthGrant(msg.GData, a, req)
 			}
@@ -496,16 +496,16 @@ func (d *Dir) ReclaimHost(h msg.NodeID) Reclaim {
 			// already arrived, the target has no open transaction and
 			// drops the duplicate.
 			l.lastFwdFrom = msg.None
-			if l.owner != msg.None && l.owner != h && !d.dead[l.owner] {
+			if l.owner != msg.None && l.owner != h && !d.dead.Has(l.owner) {
 				poison(a)
 				r.NAKed++
 				d.synthGrant(msg.GDataM, a, l.owner)
 			}
 		}
-		if l.sharers[h] {
-			delete(l.sharers, h)
+		if l.sharers.Has(h) {
+			l.sharers.Remove(h)
 			r.Reclaimed++
-			if len(l.sharers) == 0 && l.state == hS && !l.busy {
+			if l.sharers.Empty() && l.state == hS && !l.busy {
 				old := l.state
 				l.state = hI
 				if d.Tracer != nil {
@@ -554,7 +554,7 @@ func (d *Dir) synthGrant(t msg.Type, a mem.LineAddr, dst msg.NodeID) {
 // ReferencesHost reports whether any directory state still names h.
 func (d *Dir) ReferencesHost(h msg.NodeID) bool {
 	for _, l := range d.lines {
-		if l.owner == h || l.sharers[h] || l.copyBackFrom == h ||
+		if l.owner == h || l.sharers.Has(h) || l.copyBackFrom == h ||
 			l.pendingReq == h || l.lastFwdFrom == h {
 			return true
 		}
@@ -573,7 +573,7 @@ func (d *Dir) PoisonedLine(a mem.LineAddr) bool { return d.poisoned[a] }
 // ReviveHost re-admits a previously reclaimed host (crash rejoin): its
 // messages are accepted again. The host must come back cold — its state
 // was reclaimed at crash time and is not restored. Poison is sticky.
-func (d *Dir) ReviveHost(h msg.NodeID) { delete(d.dead, h) }
+func (d *Dir) ReviveHost(h msg.NodeID) { d.dead.Remove(h) }
 
 // StateOf reports the directory view for tests and invariants.
 func (d *Dir) StateOf(a mem.LineAddr) (state string, owner msg.NodeID, sharers []msg.NodeID) {
@@ -581,8 +581,5 @@ func (d *Dir) StateOf(a mem.LineAddr) (state string, owner msg.NodeID, sharers [
 	if l == nil {
 		return "I", msg.None, nil
 	}
-	for h := range l.sharers {
-		sharers = append(sharers, h)
-	}
-	return hname(l.state), l.owner, sharers
+	return hname(l.state), l.owner, l.sharers.IDs()
 }

@@ -9,6 +9,8 @@ import (
 )
 
 // DumpState writes a canonical rendering for model-checker hashing.
+// NodeSet vectors render in ascending id order, like the sorted int
+// slices the pre-NodeSet code produced.
 func (d *Dir) DumpState(w io.Writer) {
 	fmt.Fprint(w, "HDIR")
 	var lines []mem.LineAddr
@@ -18,13 +20,8 @@ func (d *Dir) DumpState(w io.Writer) {
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	for _, a := range lines {
 		l := d.lines[a]
-		var sh []int
-		for h := range l.sharers {
-			sh = append(sh, int(h))
-		}
-		sort.Ints(sh)
-		fmt.Fprintf(w, "%x:%d:%d:%v:%v:%d:%d:q%d;", uint64(a), l.state, l.owner, sh,
-			l.busy, l.copyBackFrom, l.pendingReq, len(l.queue))
+		fmt.Fprintf(w, "%x:%d:%d:%v:%v:%d:%d:q%d;", uint64(a), l.state, l.owner,
+			l.sharers, l.busy, l.copyBackFrom, l.pendingReq, len(l.queue))
 	}
 	fmt.Fprintln(w)
 }

@@ -3,6 +3,7 @@ package hostproto
 import (
 	"c3/internal/cpu"
 	"c3/internal/mem"
+	"c3/internal/msg"
 	"c3/internal/network"
 	"c3/internal/sim"
 )
@@ -39,8 +40,10 @@ func (l *L1) Clone(k *sim.Kernel, net network.Fabric, resume func(tok uint64, r 
 		for _, op := range t.ops {
 			nt.ops = append(nt.ops, redo(op))
 		}
-		for _, snp := range t.stalledSnps {
-			nt.stalledSnps = append(nt.stalledSnps, snp.Clone())
+		if len(t.stalledSnps) > 0 {
+			// Immutable after Send (see msg.Msg): share the pointers,
+			// copy only the slice header's backing.
+			nt.stalledSnps = append([]*msg.Msg(nil), t.stalledSnps...)
 		}
 		n.reqs[a] = nt
 	}

@@ -71,7 +71,7 @@ func dumpCache(w io.Writer, c *cache.Cache) {
 		v bool
 	}
 	var es []ent
-	c.ForEach(func(e *cache.Entry) {
+	c.ForEachRO(func(e *cache.Entry) {
 		es = append(es, ent{e.Addr, e.State, e.Data, e.DataValid})
 	})
 	sort.Slice(es, func(i, j int) bool { return es[i].a < es[j].a })

@@ -8,6 +8,7 @@ package system
 import (
 	"fmt"
 
+	"c3/internal/cache"
 	"c3/internal/core"
 	"c3/internal/cpu"
 	"c3/internal/faults"
@@ -361,6 +362,28 @@ func (s *System) Start() {
 
 // Done reports whether every attached core has drained.
 func (s *System) Done() bool { return s.finished == s.total }
+
+// Release retires the system, dropping its references to the pooled
+// cache frame slabs and the DRAM line stores so they recycle (see
+// cache.Release). The system must not be used afterwards. The litmus
+// runner releases each iteration's private system, which removes the
+// dominant per-iteration allocation (the multi-MiB CXL-cache arrays).
+func (s *System) Release() {
+	for _, cl := range s.Clusters {
+		cl.C3.ReleaseLLC()
+		for _, l1 := range cl.L1s {
+			if c, ok := l1.(interface{ Cache() *cache.Cache }); ok {
+				c.Cache().Release()
+			}
+		}
+	}
+	s.DRAM.Release()
+	for _, lm := range s.LocalMems {
+		if lm != nil {
+			lm.Release()
+		}
+	}
+}
 
 // Run starts the cores and processes events until all cores finish or
 // limit events elapse (0 = unlimited). It reports whether the run

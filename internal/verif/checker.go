@@ -65,6 +65,11 @@ type CheckerConfig struct {
 	OnProgress func(Progress)
 	// ProgressEvery is the OnProgress period in states (0 -> 2048).
 	ProgressEvery uint64
+	// DeepCopySnapshots forces every successor clone to materialize all
+	// copy-on-write backings eagerly (Model.Materialize), reproducing the
+	// pre-COW checker's deep copies. Kept as a cross-check: COW and
+	// deep-copy exploration must produce identical Reports.
+	DeepCopySnapshots bool
 }
 
 // Progress is a mid-exploration snapshot for live introspection.
@@ -100,7 +105,12 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		ccfg.SnapshotBudget = 4096
 	}
 	rep := &Report{Outcomes: map[string]bool{}}
-	visited := make(map[uint64]bool)
+	// visited dedups states by their 64-bit FNV-1a fingerprint. Caveat:
+	// two distinct states that collide in 64 bits would silently merge,
+	// pruning part of the space — with ~10^6 states the collision odds
+	// are ~(states^2)/2^65 ≈ 10^-8, accepted for the memory savings of
+	// not retaining canonical state strings.
+	visited := make(map[uint64]struct{})
 
 	checkForbidden := mcfg.Test.Forbidden != nil &&
 		(mcfg.Sync == litmus.SyncFull || ccfg.CheckForbidden)
@@ -152,7 +162,7 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		return nil, err
 	}
 	rep.Builds++
-	visited[m0.Hash()] = true
+	visited[m0.Hash()] = struct{}{}
 	rep.States++
 	if err := m0.checkInvariants(); err != nil {
 		return rep, fail(VInvariant, err.Error(), nil)
@@ -207,6 +217,7 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 			if checkForbidden && mcfg.Test.Forbidden(o) {
 				return rep, fail(VForbidden, o.String(), path)
 			}
+			base.Release()
 			continue
 		}
 		if len(path) >= ccfg.MaxDepth {
@@ -242,6 +253,9 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 					}
 				} else {
 					m = base.Clone()
+					if ccfg.DeepCopySnapshots {
+						m.Materialize()
+					}
 				}
 				m.Step(m.Fabric.Enabled()[ai])
 				s := successor{hash: m.Hash(), invErr: m.checkInvariants()}
@@ -258,11 +272,18 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		} else {
 			rep.Clones += uint64(len(acts))
 		}
+		// The base is fully expanded: recycle its COW backings. Each kid
+		// holds its own references, so releasing the parent never frees
+		// a slab a successor still shares.
+		base.Release()
 		for ai, kid := range kids {
-			if visited[kid.hash] {
+			if _, seen := visited[kid.hash]; seen {
+				if kid.m != nil {
+					kid.m.Release()
+				}
 				continue
 			}
-			visited[kid.hash] = true
+			visited[kid.hash] = struct{}{}
 			rep.States++
 			np := make([]uint16, len(path)+1)
 			copy(np, path)
@@ -275,9 +296,15 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 				return rep, nil
 			}
 			ent := frontierEntry{path: np}
-			if kid.m != nil && live < ccfg.SnapshotBudget {
-				ent.m = kid.m
-				live++
+			if kid.m != nil {
+				if live < ccfg.SnapshotBudget {
+					ent.m = kid.m
+					live++
+				} else {
+					// Over budget: drop the snapshot (the entry replays
+					// its prefix when popped) and recycle its backings.
+					kid.m.Release()
+				}
 			}
 			frontier = append(frontier, ent)
 		}
@@ -299,7 +326,7 @@ func (m *Model) checkSWMR() error {
 	for _, a := range m.lines() {
 		writers, readers := 0, 0
 		for _, l := range m.l1s {
-			e := l.cache.Probe(a)
+			e := l.cache.ProbeRO(a)
 			if e == nil {
 				continue
 			}

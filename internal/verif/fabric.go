@@ -45,15 +45,25 @@ func (k chKey) less(o chKey) bool {
 	return k.vnet < o.vnet
 }
 
+// channel is one ordered FIFO. Channels live in a slice kept sorted by
+// key; a drained channel keeps its slot (the set of channels a litmus
+// system ever uses is tiny and stable), so Enabled and DumpState walk
+// an already-canonical order with no per-call sort.
+type channel struct {
+	key chKey
+	q   []*msg.Msg
+}
+
 // ChoiceFabric is a network.Fabric whose delivery order is chosen by the
 // explorer rather than by timestamps. Ordered channels (response vnets,
 // intra-cluster links) expose only their head; unordered channels (the
 // CXL fabric's request and snoop vnets) expose every in-flight message —
 // exactly the reordering CXL's conflict handshake exists to survive.
 type ChoiceFabric struct {
-	ports   map[msg.NodeID]network.Port
-	ordered map[chKey][]*msg.Msg
-	bag     []*msg.Msg
+	// ports is indexed by NodeID (small and dense by construction).
+	ports []network.Port
+	chans []channel
+	bag   []*msg.Msg
 	// Unordered reports whether a message travels on an unordered
 	// channel.
 	Unordered func(m *msg.Msg) bool
@@ -67,38 +77,68 @@ type ChoiceFabric struct {
 
 // NewChoiceFabric builds an empty fabric.
 func NewChoiceFabric(unordered func(m *msg.Msg) bool) *ChoiceFabric {
-	return &ChoiceFabric{
-		ports:     make(map[msg.NodeID]network.Port),
-		ordered:   make(map[chKey][]*msg.Msg),
-		Unordered: unordered,
-	}
+	return &ChoiceFabric{Unordered: unordered}
 }
 
 // Register attaches a receiver.
-func (f *ChoiceFabric) Register(id msg.NodeID, p network.Port) { f.ports[id] = p }
+func (f *ChoiceFabric) Register(id msg.NodeID, p network.Port) {
+	for int(id) >= len(f.ports) {
+		f.ports = append(f.ports, nil)
+	}
+	f.ports[id] = p
+}
 
-// Clone returns a deep copy of the fabric's in-flight messages for
+func (f *ChoiceFabric) port(id msg.NodeID) network.Port {
+	if int(id) < 0 || int(id) >= len(f.ports) {
+		return nil
+	}
+	return f.ports[id]
+}
+
+// findChan returns the channel for k, or nil if it does not exist.
+func (f *ChoiceFabric) findChan(k chKey) *channel {
+	i := sort.Search(len(f.chans), func(i int) bool { return !f.chans[i].key.less(k) })
+	if i < len(f.chans) && f.chans[i].key == k {
+		return &f.chans[i]
+	}
+	return nil
+}
+
+// Clone returns a copy of the fabric's in-flight messages for
 // model-checker snapshots. Ports are NOT carried over — they reference
 // the original component graph; the caller re-Registers the cloned
 // components. The Unordered/CrossFabric classifiers are stateless pure
 // functions of the message and are shared.
+//
+// Messages are immutable after Send (see msg.Msg), so the *msg.Msg
+// pointers are shared with the original; only the slice backings are
+// private. All queue backings come from one slab, full-capacity sliced
+// so a post-clone Send reallocates instead of stomping a neighbour;
+// the bag gets its own backing because Deliver compacts it in place.
 func (f *ChoiceFabric) Clone() *ChoiceFabric {
 	n := &ChoiceFabric{
-		ports:       make(map[msg.NodeID]network.Port, len(f.ports)),
-		ordered:     make(map[chKey][]*msg.Msg, len(f.ordered)),
+		ports:       make([]network.Port, len(f.ports)),
 		Unordered:   f.Unordered,
 		CrossFabric: f.CrossFabric,
 		Delivered:   f.Delivered,
 	}
-	for k, q := range f.ordered {
-		nq := make([]*msg.Msg, len(q))
-		for i, m := range q {
-			nq[i] = m.Clone()
-		}
-		n.ordered[k] = nq
+	total := 0
+	for i := range f.chans {
+		total += len(f.chans[i].q)
 	}
-	for _, m := range f.bag {
-		n.bag = append(n.bag, m.Clone())
+	n.chans = make([]channel, len(f.chans))
+	slab := make([]*msg.Msg, total)
+	off := 0
+	for i := range f.chans {
+		c := &f.chans[i]
+		end := off + len(c.q)
+		nq := slab[off:end:end]
+		copy(nq, c.q)
+		off = end
+		n.chans[i] = channel{key: c.key, q: nq}
+	}
+	if len(f.bag) > 0 {
+		n.bag = append([]*msg.Msg(nil), f.bag...)
 	}
 	return n
 }
@@ -118,14 +158,22 @@ func (f *ChoiceFabric) channelOf(m *msg.Msg) chKey {
 
 // Send implements network.Fabric.
 func (f *ChoiceFabric) Send(m *msg.Msg) {
-	if f.ports[m.Dst] == nil {
+	if f.port(m.Dst) == nil {
 		panic(fmt.Sprintf("verif: no port for %v", m))
 	}
 	if f.Unordered != nil && f.Unordered(m) {
 		f.bag = append(f.bag, m)
 		return
 	}
-	f.ordered[f.channelOf(m)] = append(f.ordered[f.channelOf(m)], m)
+	k := f.channelOf(m)
+	if c := f.findChan(k); c != nil {
+		c.q = append(c.q, m)
+		return
+	}
+	i := sort.Search(len(f.chans), func(i int) bool { return !f.chans[i].key.less(k) })
+	f.chans = append(f.chans, channel{})
+	copy(f.chans[i+1:], f.chans[i:])
+	f.chans[i] = channel{key: k, q: []*msg.Msg{m}}
 }
 
 // Action identifies one deliverable message.
@@ -139,16 +187,17 @@ type Action struct {
 // Enabled lists deliverable actions in a canonical order (deterministic
 // across re-executions of the same prefix).
 func (f *ChoiceFabric) Enabled() []Action {
-	var keys []chKey
-	for k, q := range f.ordered {
-		if len(q) > 0 {
-			keys = append(keys, k)
+	nch := 0
+	for i := range f.chans {
+		if len(f.chans[i].q) > 0 {
+			nch++
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
-	acts := make([]Action, 0, len(keys)+len(f.bag))
-	for _, k := range keys {
-		acts = append(acts, Action{Channel: k})
+	acts := make([]Action, 0, nch+len(f.bag))
+	for i := range f.chans {
+		if len(f.chans[i].q) > 0 {
+			acts = append(acts, Action{Channel: f.chans[i].key})
+		}
 	}
 	for i := range f.bag {
 		acts = append(acts, Action{FromBag: true, Index: i})
@@ -162,7 +211,7 @@ func (f *ChoiceFabric) Peek(a Action) *msg.Msg {
 	if a.FromBag {
 		return f.bag[a.Index]
 	}
-	return f.ordered[a.Channel][0]
+	return f.findChan(a.Channel).q[0]
 }
 
 // ActionKey renders the protocol-visible identity of the message action
@@ -188,13 +237,9 @@ func (f *ChoiceFabric) Deliver(a Action) {
 		m = f.bag[a.Index]
 		f.bag = append(f.bag[:a.Index], f.bag[a.Index+1:]...)
 	} else {
-		q := f.ordered[a.Channel]
-		m = q[0]
-		if len(q) == 1 {
-			delete(f.ordered, a.Channel)
-		} else {
-			f.ordered[a.Channel] = q[1:]
-		}
+		c := f.findChan(a.Channel)
+		m = c.q[0]
+		c.q = c.q[1:]
 	}
 	f.Delivered++
 	f.ports[m.Dst].Recv(m)
@@ -205,27 +250,26 @@ func (f *ChoiceFabric) Empty() bool {
 	if len(f.bag) > 0 {
 		return false
 	}
-	for _, q := range f.ordered {
-		if len(q) > 0 {
+	for i := range f.chans {
+		if len(f.chans[i].q) > 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// DumpState renders in-flight messages canonically for hashing.
+// DumpState renders in-flight messages canonically for hashing. Drained
+// channels are skipped, so the rendering matches the pre-slice code
+// that deleted them.
 func (f *ChoiceFabric) DumpState(w writerTo) {
-	var keys []chKey
-	for k, q := range f.ordered {
-		if len(q) > 0 {
-			keys = append(keys, k)
-		}
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 	fmt.Fprint(w, "NET")
-	for _, k := range keys {
-		fmt.Fprintf(w, "[%d>%d.%d", k.src, k.dst, k.vnet)
-		for _, m := range f.ordered[k] {
+	for i := range f.chans {
+		c := &f.chans[i]
+		if len(c.q) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "[%d>%d.%d", c.key.src, c.key.dst, c.key.vnet)
+		for _, m := range c.q {
 			dumpMsg(w, m)
 		}
 		fmt.Fprint(w, "]")

@@ -47,6 +47,11 @@ type Model struct {
 	hdir *hmesi.Dir
 
 	dumpers []interface{ DumpState(io.Writer) }
+
+	// addrLines caches the sorted line addresses of the test's variables.
+	// Computed once at Build and shared (read-only) by every clone: the
+	// invariant checks walk it for each expanded state.
+	addrLines []mem.LineAddr
 }
 
 type hostL1 struct {
@@ -151,6 +156,10 @@ func Build(cfg ModelConfig) (*Model, error) {
 		m.dumpers = append(m.dumpers, m.hdir)
 	}
 	m.dumpers = append(m.dumpers, m.dram)
+	for _, v := range cfg.Test.Vars {
+		m.addrLines = append(m.addrLines, varAddrOf(cfg.Test, v).Line())
+	}
+	sort.Slice(m.addrLines, func(i, j int) bool { return m.addrLines[i] < m.addrLines[j] })
 	return m, nil
 }
 
@@ -223,7 +232,7 @@ func (m *Model) finalValue(a mem.LineAddr) (mem.Data, error) {
 	var owners []mem.Data
 	var shared []mem.Data
 	for _, l := range m.l1s {
-		if e := l.cache.Probe(a); e != nil {
+		if e := l.cache.ProbeRO(a); e != nil {
 			switch e.State {
 			case 3, 4: // stM, stO (hostproto encoding)
 				owners = append(owners, e.Data)
@@ -287,12 +296,6 @@ func varAddrOf(t litmus.Test, v litmus.Var) mem.Addr {
 	panic("verif: unknown var")
 }
 
-// sortedLines of interest (the test's variables).
-func (m *Model) lines() []mem.LineAddr {
-	var out []mem.LineAddr
-	for _, v := range m.cfg.Test.Vars {
-		out = append(out, varAddrOf(m.cfg.Test, v).Line())
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// lines returns the sorted line addresses of interest (the test's
+// variables), cached at Build and shared read-only across clones.
+func (m *Model) lines() []mem.LineAddr { return m.addrLines }

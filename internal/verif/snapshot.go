@@ -1,5 +1,12 @@
 package verif
 
+import (
+	"io"
+
+	"c3/internal/core"
+	"c3/internal/cpu"
+)
+
 // Clone returns a deep copy of a quiescent model: an independent system
 // whose every component — kernel clock, cores, store buffers, host
 // caches, C3 controllers, global directory, DRAM, and in-flight fabric
@@ -7,16 +14,23 @@ package verif
 // original untouched. The checker uses it to expand a frontier state's
 // successors without re-executing the delivery prefix from the root.
 //
+// The big flat arrays — cache frame slabs and the DRAM line store —
+// clone copy-on-write: the clone shares the parent's backing under a
+// refcount and a private copy materializes only on the first mutating
+// access (see cache.Cache and mem.DRAM). A successor that hashes to an
+// already-visited state is therefore cloned, stepped, hashed, and
+// discarded without ever copying the arrays its step left untouched.
+//
 // Cloning is only defined at quiescent points (the only states the
 // checker visits): the kernel queue must be empty, which guarantees no
 // event closures reference the old graph. The one cross-component link
 // that outlives quiescence — an L1's pending core completions — is
 // rebuilt from request tokens (see cpu.Request.Token and cpu.Core.Resume).
 //
-// Clone is read-only on the receiver, so several successors of the same
-// parent may be cloned concurrently.
+// Clone is read-only on the receiver except for the COW refcounts, so
+// several successors of the same parent may be cloned concurrently.
 func (m *Model) Clone() *Model {
-	n := &Model{cfg: m.cfg, K: m.K.Clone()}
+	n := &Model{cfg: m.cfg, K: m.K.Clone(), addrLines: m.addrLines}
 	n.Fabric = m.Fabric.Clone()
 	n.dram = m.dram.Clone(n.K)
 	if m.dcoh != nil {
@@ -27,11 +41,16 @@ func (m *Model) Clone() *Model {
 		n.hdir = m.hdir.Clone(n.K, n.Fabric, n.dram)
 		n.Fabric.Register(n.hdir.ID(), n.hdir)
 	}
+	n.c3s = make([]*core.C3, 0, len(m.c3s))
 	for _, c3 := range m.c3s {
 		nc := c3.Clone(n.K, n.Fabric, n.Fabric)
 		n.Fabric.Register(nc.ID(), nc)
 		n.c3s = append(n.c3s, nc)
 	}
+	n.cores = make([]*cpu.Core, 0, len(m.cores))
+	n.srcs = make([]*cpu.SliceSource, 0, len(m.srcs))
+	n.l1s = make([]*hostL1, 0, len(m.l1s))
+	hls := make([]hostL1, len(m.l1s))
 	for i, c := range m.cores {
 		src := m.srcs[i].Clone()
 		nc := c.Clone(n.K, src)
@@ -40,10 +59,12 @@ func (m *Model) Clone() *Model {
 		n.Fabric.Register(l1.ID(), l1)
 		n.cores = append(n.cores, nc)
 		n.srcs = append(n.srcs, src)
-		n.l1s = append(n.l1s, &hostL1{l1: l1, cache: l1.Cache(), cluster: m.l1s[i].cluster})
+		hls[i] = hostL1{l1: l1, cache: l1.Cache(), cluster: m.l1s[i].cluster}
+		n.l1s = append(n.l1s, &hls[i])
 	}
 	// Dumpers in Build's order, so Hash sees states identically whether a
 	// model was built or cloned.
+	n.dumpers = make([]interface{ DumpState(io.Writer) }, 0, len(m.dumpers))
 	for _, c := range n.cores {
 		n.dumpers = append(n.dumpers, c)
 	}
@@ -61,4 +82,34 @@ func (m *Model) Clone() *Model {
 	}
 	n.dumpers = append(n.dumpers, n.dram)
 	return n
+}
+
+// Release retires the model, dropping its references to the COW slabs
+// behind every cache and the DRAM store so sole-owned backings recycle
+// through their pools. The model must not be used afterwards. Calling
+// Release is optional (unreleased backings are garbage collected); the
+// checker releases expanded bases, duplicate successors, and
+// budget-dropped snapshots to keep the clone hot path allocation-free.
+func (m *Model) Release() {
+	for _, l := range m.l1s {
+		l.cache.Release()
+	}
+	for _, c3 := range m.c3s {
+		c3.ReleaseLLC()
+	}
+	m.dram.Release()
+}
+
+// Materialize forces private copies of every COW backing now, turning a
+// copy-on-write clone into the eager deep copy the pre-COW checker
+// made. The deep-copy cross-check mode uses it to demonstrate the two
+// strategies produce identical Reports.
+func (m *Model) Materialize() {
+	for _, l := range m.l1s {
+		l.cache.Materialize()
+	}
+	for _, c3 := range m.c3s {
+		c3.MaterializeLLC()
+	}
+	m.dram.Materialize()
 }

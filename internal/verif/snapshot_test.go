@@ -134,6 +134,13 @@ func TestSnapshotMatchesReplayFromRoot(t *testing.T) {
 			{MaxStates: c.max, Workers: 4, ReplayFromRoot: true},
 			{MaxStates: c.max, Workers: 4},
 			{MaxStates: c.max, Workers: 1, SnapshotBudget: 1},
+			// Deep-copy cross-check: eagerly materializing every COW
+			// backing must change nothing but cost.
+			{MaxStates: c.max, Workers: 1, DeepCopySnapshots: true},
+			{MaxStates: c.max, Workers: 8, DeepCopySnapshots: true},
+			// COW under maximum sharing pressure: many workers cloning
+			// the same parent concurrently.
+			{MaxStates: c.max, Workers: 8},
 		}
 		for i, ccfg := range variants {
 			got, err := Check(c.mcfg, ccfg)
@@ -195,5 +202,33 @@ func benchCheck(b *testing.B, ccfg CheckerConfig) {
 		b.ReportMetric(float64(rep.Builds)/float64(rep.States), "builds/state")
 		b.ReportMetric(float64(rep.Clones)/float64(rep.States), "clones/state")
 		b.ReportMetric(float64(rep.States), "states")
+	}
+}
+
+// BenchmarkCloneSnapshot measures the clone+step+release primitive in
+// isolation (the unit BenchmarkCheckerExpand multiplies). With COW
+// backings a clone is O(dirty): the per-op allocations cover the
+// component graph, never the cache frame slabs or the DRAM store.
+func BenchmarkCloneSnapshot(b *testing.B) {
+	m, err := Build(mpCXL(b, litmus.SyncFull))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Start()
+	for i := 0; i < 6; i++ {
+		acts := m.Fabric.Enabled()
+		if len(acts) == 0 {
+			break
+		}
+		m.Step(acts[0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Clone()
+		if acts := c.Fabric.Enabled(); len(acts) > 0 {
+			c.Step(acts[0])
+		}
+		c.Release()
 	}
 }

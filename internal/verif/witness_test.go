@@ -112,7 +112,7 @@ func TestForbiddenSkippedWhenUnsynced(t *testing.T) {
 func TestDeadlockWitness(t *testing.T) {
 	setRootMutate(t, func(m *Model) {
 		m.Fabric.bag = nil
-		m.Fabric.ordered = map[chKey][]*msg.Msg{}
+		m.Fabric.chans = nil
 	})
 	mcfg := mpCXL(t, litmus.SyncFull)
 	_, err := Check(mcfg, CheckerConfig{MaxStates: 1000})
