@@ -28,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -141,7 +142,7 @@ func main() {
 	}
 	var stopHeartbeat func()
 	if *heartbeat > 0 {
-		stopHeartbeat = obs.Heartbeat(os.Stderr, *heartbeat, "c3bench", tracker)
+		stopHeartbeat = obs.Heartbeat(context.Background(), os.Stderr, *heartbeat, "c3bench", tracker)
 	}
 
 	start := time.Now()

@@ -25,19 +25,35 @@
 // run ledger (-ledger, default $C3_LEDGER or c3runs.jsonl; empty
 // disables). None of these affect exploration or its verdict.
 //
+// Resilience: -task-timeout bounds each test's exploration wall clock,
+// with -retries extra attempts before the test is recorded TIMEOUT
+// (partial state counts still print). -mem-budget-mb sets a soft heap
+// budget: the Go runtime gets it as a hard GC target
+// (debug.SetMemoryLimit) and the checker starts shedding frontier
+// snapshots at 80% of it — degrading to replay-from-root instead of
+// OOMing, with the degradation reported per test. SIGINT/SIGTERM stop
+// the exploration at its next poll, print the partial result, and exit
+// 3; a second signal kills immediately.
+//
 // Exit status: 0 no violation (or -replay reproduced one), 1 violation
-// found (or -replay failed to reproduce), 2 usage error.
+// found or a test timed out (or -replay failed to reproduce), 2 usage
+// error, 3 interrupted by SIGINT/SIGTERM (partial results printed).
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"c3"
@@ -64,6 +80,9 @@ func main() {
 		"re-execute a comma-separated witness path against -test instead of exploring")
 	replayRoot := flag.Bool("replay-from-root", false,
 		"explore by prefix re-execution instead of snapshot cloning (cross-check mode)")
+	taskTimeout := flag.Duration("task-timeout", 0, "wall-clock bound per test exploration (0 = none); expired attempts retry, then the test records TIMEOUT")
+	retries := flag.Int("retries", 1, "extra attempts a timed-out test exploration gets")
+	memBudgetMB := flag.Int("mem-budget-mb", 0, "soft heap budget in MiB (0 = none): sets the runtime memory limit and sheds checker snapshots at 80% of it instead of OOMing")
 	statusz := flag.String("statusz", "", "serve live introspection (/statusz JSON, /metricsz, pprof, expvar) on this address, e.g. :8080 or 127.0.0.1:0")
 	heartbeat := flag.Duration("heartbeat", 0, "print a progress line to stderr at this interval (0 = off)")
 	ledger := flag.String("ledger", obs.DefaultLedgerPath(), "append a JSONL run record to this file (empty = off)")
@@ -71,6 +90,11 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "c3check: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
+	}
+
+	if *taskTimeout < 0 || *retries < 0 || *memBudgetMB < 0 {
+		fmt.Fprintln(os.Stderr, "c3check: -task-timeout, -retries and -mem-budget-mb must be non-negative")
+		os.Exit(obs.ExitUsage)
 	}
 
 	// Live exploration counters: Verify's OnProgress callback stores into
@@ -90,6 +114,35 @@ func main() {
 		ReplayFromRoot: *replayRoot,
 		OnProgress:     co.progress,
 	}
+
+	// Memory-pressure degradation: the runtime gets the budget as a hard
+	// GC target (it will collect aggressively rather than exceed it), and
+	// the checker starts shedding snapshots at 80% so degradation kicks in
+	// before the GC is forced into a death spiral.
+	if *memBudgetMB > 0 {
+		budget := int64(*memBudgetMB) << 20
+		debug.SetMemoryLimit(budget)
+		cfg.MemBudget = uint64(budget) * 8 / 10
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the interrupt
+	// channel — the exploration stops at its next poll and the partial
+	// result prints. signal.Stop restores default disposition, so a
+	// second signal kills.
+	interruptc := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "c3check: %v: stopping gracefully (send again to kill)\n", sig)
+		signal.Stop(sigc)
+		close(interruptc)
+	}()
+	defer signal.Stop(sigc)
+	cfg.Interrupt = interruptc
 
 	if *replay != "" {
 		if *test == "" {
@@ -141,23 +194,71 @@ func main() {
 	}
 	var stopHeartbeat func()
 	if *heartbeat > 0 {
-		stopHeartbeat = obs.Heartbeat(os.Stderr, *heartbeat, "c3check", co.Tracker)
+		stopHeartbeat = obs.Heartbeat(context.Background(), os.Stderr, *heartbeat, "c3check", co.Tracker)
 	}
 
 	sweepStart := time.Now()
 	ok := true
+	timedOut := false
+	interrupted := false
 	for i, name := range tests {
+		if interrupted {
+			fmt.Printf("%-8s INTERRUPTED before start\n", name)
+			continue
+		}
 		co.TaskStarted(i)
 		start := time.Now()
-		rep, err := c3.Verify(name, cfg)
-		if err == nil {
-			// Small explorations finish under the progress stride; fold the
-			// final counts so the ledger's totals are never zero.
+		var rep *c3.VerifyReport
+		var err error
+		// Per-test retry loop: only wall-clock cuts retry (violations and
+		// interrupts are deterministic or deliberate).
+		for attempt := 1; ; attempt++ {
+			tcfg := cfg
+			if *taskTimeout > 0 {
+				tcfg.Deadline = time.Now().Add(*taskTimeout)
+			}
+			rep, err = c3.Verify(name, tcfg)
+			if errors.Is(err, c3.ErrCheckDeadline) && attempt <= *retries {
+				fmt.Fprintf(os.Stderr, "c3check: %s: attempt %d hit the %v budget, retrying\n",
+					name, attempt, *taskTimeout)
+				continue
+			}
+			break
+		}
+		if rep != nil {
+			// Small explorations finish under the progress stride — and
+			// aborted ones stop between strides; fold the final (possibly
+			// partial) counts so the ledger's totals are never stale.
 			co.progress(c3.CheckProgress{States: rep.States, Terminals: rep.Terminals,
 				Builds: rep.Builds, Clones: rep.Clones})
 		}
 		co.TaskDone(i, err)
-		if err != nil {
+		switch {
+		case err == nil:
+			status := "verified"
+			if rep.Truncated {
+				status = "bounded"
+			}
+			note := ""
+			if rep.ForbiddenSkipped {
+				note = " [forbidden predicate skipped: unsynced]"
+			}
+			if rep.MemSheds > 0 {
+				note += fmt.Sprintf(" [mem pressure: shed x%d, snapshot budget %d]",
+					rep.MemSheds, rep.SnapshotBudgetEnd)
+			}
+			fmt.Printf("%-8s %s: %d states, %d terminal, %d outcomes, %d builds + %d clones (%.1fs)%s\n",
+				name, status, rep.States, rep.Terminals, rep.Outcomes, rep.Builds, rep.Clones,
+				time.Since(start).Seconds(), note)
+		case errors.Is(err, c3.ErrCheckInterrupted):
+			interrupted = true
+			fmt.Printf("%-8s INTERRUPTED after %d states (%.1fs): partial, no verdict\n",
+				name, rep.States, time.Since(start).Seconds())
+		case errors.Is(err, c3.ErrCheckDeadline):
+			timedOut = true
+			fmt.Printf("%-8s TIMEOUT after %d states: every attempt exceeded the %v budget (%d attempts)\n",
+				name, rep.States, *taskTimeout, *retries+1)
+		default:
 			ok = false
 			fmt.Printf("%-8s FAIL: %v\n", name, err)
 			if ve, isVE := err.(*c3.VerifyError); isVE {
@@ -168,19 +269,7 @@ func main() {
 					printSteps(name, cfg, ve.Witness)
 				}
 			}
-			continue
 		}
-		status := "verified"
-		if rep.Truncated {
-			status = "bounded"
-		}
-		note := ""
-		if rep.ForbiddenSkipped {
-			note = " [forbidden predicate skipped: unsynced]"
-		}
-		fmt.Printf("%-8s %s: %d states, %d terminal, %d outcomes, %d builds + %d clones (%.1fs)%s\n",
-			name, status, rep.States, rep.Terminals, rep.Outcomes, rep.Builds, rep.Clones,
-			time.Since(start).Seconds(), note)
 	}
 	if stopHeartbeat != nil {
 		stopHeartbeat()
@@ -189,9 +278,17 @@ func main() {
 		server.Close()
 	}
 
-	verdict, exit := obs.VerdictPass, 0
-	if !ok {
-		verdict, exit = obs.VerdictViolation, 1
+	// Verdict precedence: a found violation outranks the shutdown that
+	// may have followed it; an interrupt outranks a timeout because its
+	// result is deliberately partial, not a budget failure.
+	verdict, exit := obs.VerdictPass, obs.ExitPass
+	switch {
+	case !ok:
+		verdict, exit = obs.VerdictViolation, obs.ExitFail
+	case interrupted:
+		verdict, exit = obs.VerdictInterrupted, obs.ExitResumable
+	case timedOut:
+		verdict, exit = obs.VerdictTimeout, obs.ExitFail
 	}
 	if *ledger != "" {
 		var metrics bytes.Buffer

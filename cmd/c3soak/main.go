@@ -12,9 +12,24 @@
 //	c3soak -plans drop=0.02,dup=0.02 -seeds 1,2,3 -j 4
 //	c3soak -plans "crash;crash-rejoin" -timeout 5m  # host-crash sweep
 //	c3soak -statusz :8080 -heartbeat 10s            # live introspection
+//	c3soak -task-timeout 2m -retries 3              # per-campaign budgets
+//	c3soak -resume                                  # skip checkpointed rows
 //	c3soak -list-plans
 //
 // -plans entries are separated by ';' (a plan spec itself uses commas).
+//
+// Resilience: every completed campaign row is checkpointed to the run
+// ledger as it finishes, so a sweep killed at any point — SIGKILL, OOM,
+// power loss — finishes correctly on restart: -resume replays the
+// ledger, skips every (spec, seed, code-version) row already verdicted,
+// re-runs the rest, and emits a report byte-identical to an
+// uninterrupted run. SIGINT/SIGTERM shut down gracefully: in-flight
+// campaigns stop at their next poll, the partial report and ledger
+// checkpoint flush, and the process exits 3 (resumable); a second
+// signal kills immediately. -task-timeout bounds each campaign attempt,
+// with -retries extra attempts under capped exponential backoff before
+// the row is recorded as TIMEOUT. By default a failing campaign never
+// cancels its siblings; -fail-fast restores first-error-cancel.
 //
 // Observability: -statusz serves a JSON run snapshot (plus pprof and
 // expvar) while the sweep runs, -heartbeat prints a progress line to
@@ -23,21 +38,25 @@
 // empty disables). None of these change the report: its bytes are
 // identical with and without them, at any worker count.
 //
-// Exit status 0 means the soak contract held; 1 means a silent
-// coherence violation, an aborted campaign, or a sweep timeout (the
-// report shows which, and the ledger verdict distinguishes "timeout"
-// from "fail").
+// Exit status: 0 the soak contract held; 1 a silent coherence
+// violation, an aborted campaign, or a sweep timeout (the report shows
+// which, and the ledger verdict distinguishes "timeout" from "fail");
+// 2 usage error; 3 interrupted by SIGINT/SIGTERM with completed rows
+// checkpointed — rerun with -resume to finish.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"c3"
@@ -59,10 +78,14 @@ func main() {
 	workers := flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS; reports are identical for any count)")
 	flag.IntVar(workers, "workers", 0, "alias for -j")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the whole sweep, e.g. 5m (0 = none)")
+	taskTimeout := flag.Duration("task-timeout", 0, "wall-clock bound per campaign attempt (0 = none); expired attempts retry, then the row records TIMEOUT")
+	retries := flag.Int("retries", 2, "extra attempts a timed-out or panicked campaign gets (capped exponential backoff between attempts)")
+	failFast := flag.Bool("fail-fast", false, "first campaign abort cancels the sweep (default: isolate failures as report rows)")
+	resume := flag.Bool("resume", false, "skip campaigns already checkpointed in the ledger (same spec, seed and code version)")
 	listPlans := flag.Bool("list-plans", false, "list the named fault-plan presets")
 	statusz := flag.String("statusz", "", "serve live introspection (/statusz JSON, /metricsz, pprof, expvar) on this address, e.g. :8080 or 127.0.0.1:0")
 	heartbeat := flag.Duration("heartbeat", 0, "print a progress line to stderr at this interval (0 = off)")
-	ledger := flag.String("ledger", obs.DefaultLedgerPath(), "append a JSONL run record to this file (empty = off)")
+	ledger := flag.String("ledger", obs.DefaultLedgerPath(), "append JSONL run and row-checkpoint records to this file (empty = off)")
 	flag.Parse()
 
 	if *listPlans {
@@ -73,19 +96,27 @@ func main() {
 		return
 	}
 
-	if *timeout < 0 {
-		fmt.Fprintf(os.Stderr, "c3soak: -timeout must be non-negative (got %v)\n", *timeout)
-		os.Exit(2)
+	if *timeout < 0 || *taskTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "c3soak: -timeout and -task-timeout must be non-negative")
+		os.Exit(obs.ExitUsage)
+	}
+	if *retries < 0 {
+		fmt.Fprintln(os.Stderr, "c3soak: -retries must be non-negative")
+		os.Exit(obs.ExitUsage)
+	}
+	if *resume && *ledger == "" {
+		fmt.Fprintln(os.Stderr, "c3soak: -resume needs a ledger (-ledger)")
+		os.Exit(obs.ExitUsage)
 	}
 
 	if !c3.ValidGlobalProtocol(*global) {
 		fmt.Fprintf(os.Stderr, "c3soak: unknown global protocol %q (want cxl|hmesi)\n", *global)
-		os.Exit(2)
+		os.Exit(obs.ExitUsage)
 	}
 	for _, l := range []struct{ flag, val string }{{"-local0", *local0}, {"-local1", *local1}} {
 		if !c3.ValidLocalProtocol(l.val) {
 			fmt.Fprintf(os.Stderr, "c3soak: unknown %s protocol %q (want mesi|moesi|mesif|rcc)\n", l.flag, l.val)
-			os.Exit(2)
+			os.Exit(obs.ExitUsage)
 		}
 	}
 	m0, err := c3.ParseMCM(*mcm0)
@@ -94,29 +125,67 @@ func main() {
 	failUsage(err)
 
 	cfg := c3.SoakConfig{
-		Tests:   csv(*tests),
-		Plans:   split(*plans, ";"),
-		Iters:   *iters,
-		Locals:  [2]string{*local0, *local1},
-		Global:  *global,
-		MCMs:    [2]c3.MCM{m0, m1},
-		Workers: *workers,
-		Timeout: *timeout,
+		Tests:       csv(*tests),
+		Plans:       split(*plans, ";"),
+		Iters:       *iters,
+		Locals:      [2]string{*local0, *local1},
+		Global:      *global,
+		MCMs:        [2]c3.MCM{m0, m1},
+		Workers:     *workers,
+		Timeout:     *timeout,
+		TaskTimeout: *taskTimeout,
+		Retries:     *retries,
+		FailFast:    *failFast,
 	}
 	for _, s := range csv(*seeds) {
 		v, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "c3soak: bad seed %q\n", s)
-			os.Exit(2)
+			os.Exit(obs.ExitUsage)
 		}
 		cfg.Seeds = append(cfg.Seeds, v)
+	}
+
+	// rowSuffix scopes checkpoint keys to everything that shapes a row's
+	// result: the run configuration and the code version. A resumed sweep
+	// only trusts rows whose suffix matches its own, so changing a flag or
+	// rebuilding at a different revision invalidates the cache naturally.
+	suffix := rowSuffix(cfg)
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the interrupt
+	// channel — in-flight campaigns stop at their next poll, the partial
+	// report and checkpoints flush, and the exit code says "resumable".
+	// signal.Stop restores default disposition, so a second signal kills.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "c3soak: %v: stopping gracefully, checkpointing completed rows (send again to kill)\n", sig)
+		signal.Stop(sigc)
+		close(interrupt)
+	}()
+	cfg.Interrupt = interrupt
+
+	if *resume {
+		completed, err := loadCheckpoint(*ledger, suffix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3soak: -resume: %v\n", err)
+			os.Exit(obs.ExitUsage)
+		}
+		fmt.Fprintf(os.Stderr, "c3soak: resume: %d completed rows loaded from %s\n", len(completed), *ledger)
+		cfg.Completed = completed
 	}
 
 	// Live introspection: the tracker follows the campaign pool, the
 	// registry aggregates atomically maintained sweep counters (safe to
 	// render from HTTP goroutines mid-run), and the optional server and
-	// heartbeat read both. None of it touches the report.
-	so := newSoakObserver()
+	// heartbeat read both. None of it touches the report. The observer
+	// also checkpoints each completed row to the ledger as it finishes.
+	so := newSoakObserver(*ledger, suffix)
 	cfg.Observer = so
 	var server *obs.Server
 	if *statusz != "" {
@@ -127,7 +196,7 @@ func main() {
 	}
 	var stopHeartbeat func()
 	if *heartbeat > 0 {
-		stopHeartbeat = obs.Heartbeat(os.Stderr, *heartbeat, "c3soak", so.Tracker)
+		stopHeartbeat = obs.Heartbeat(context.Background(), os.Stderr, *heartbeat, "c3soak", so.Tracker)
 	}
 
 	start := time.Now()
@@ -138,18 +207,32 @@ func main() {
 	if server != nil {
 		server.Close()
 	}
+	signal.Stop(sigc)
+	close(sigc)
 	if err != nil {
-		appendLedger(*ledger, so, cfg, start, obs.VerdictError, 2, map[string]any{"error": err.Error()})
+		appendLedger(*ledger, so, cfg, start, obs.VerdictError, obs.ExitUsage, map[string]any{"error": err.Error()})
 		failUsage(err)
 	}
 
 	fmt.Print(rep.Render())
-	exit := 0
-	if !rep.OK() {
-		exit = 1
+	verdict := rep.Verdict()
+	exit := obs.ExitPass
+	switch verdict {
+	case "pass":
+	case obs.VerdictInterrupted:
+		exit = obs.ExitResumable
+	default:
+		exit = obs.ExitFail
 	}
-	appendLedger(*ledger, so, cfg, start, rep.Verdict(), exit, map[string]any{
+	resumed := 0
+	for _, r := range rep.Runs {
+		if r.Resumed {
+			resumed++
+		}
+	}
+	appendLedger(*ledger, so, cfg, start, verdict, exit, map[string]any{
 		"campaigns": len(rep.Runs),
+		"resumed":   resumed,
 		"forbidden": so.forbidden.Load(),
 		"poisoned":  so.poisoned.Load(),
 		"crashed":   so.crashed.Load(),
@@ -159,13 +242,70 @@ func main() {
 	os.Exit(exit)
 }
 
+// rowSuffix renders the configuration-and-code fingerprint appended to
+// every row checkpoint key. Flags that cannot change a row's bytes
+// (workers, timeouts, observability) are deliberately absent.
+func rowSuffix(cfg c3.SoakConfig) string {
+	v := obs.Version()
+	dirty := ""
+	if v.Dirty {
+		dirty = "+dirty"
+	}
+	return fmt.Sprintf("locals=%s,%s global=%s mcms=%s,%s iters=%d %s/%s%s",
+		cfg.Locals[0], cfg.Locals[1], cfg.Global, cfg.MCMs[0], cfg.MCMs[1],
+		cfg.Iters, v.Go, v.Revision, dirty)
+}
+
+// loadCheckpoint replays the ledger and returns the completed rows whose
+// checkpoint key matches suffix — the resume cache. The lenient reader
+// tolerates a torn final line (the crash that motivated the resume);
+// TIMEOUT/ERROR/interrupted rows are left out so they re-run.
+func loadCheckpoint(path, suffix string) (map[string]c3.SoakRun, error) {
+	recs, warnings, err := obs.ReadLedgerLenient(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "c3soak: resume: no ledger at %s, starting fresh\n", path)
+			return nil, nil
+		}
+		return nil, err
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "c3soak: resume:", w)
+	}
+	completed := make(map[string]c3.SoakRun)
+	for _, rec := range recs {
+		if rec.Tool != "c3soak" || rec.RowKey == "" || len(rec.Row) == 0 {
+			continue
+		}
+		label, recSuffix, ok := strings.Cut(rec.RowKey, "|")
+		if !ok || recSuffix != suffix {
+			continue
+		}
+		var row c3.SoakRun
+		if err := json.Unmarshal(rec.Row, &row); err != nil {
+			fmt.Fprintf(os.Stderr, "c3soak: resume: skipping undecodable row %s: %v\n", rec.RowKey, err)
+			continue
+		}
+		if row.Err != "" || row.Interrupted {
+			continue // no verdict: re-run
+		}
+		completed[label] = row
+	}
+	return completed, nil
+}
+
 // soakObserver aggregates the sweep live: the embedded Tracker follows
 // pool scheduling, and the atomic tallies (fed by CampaignDone, read by
 // the statusz registry) expose the robustness counters — including the
-// watchdog firings — while the sweep runs.
+// watchdog firings — while the sweep runs. When a ledger is configured
+// it also checkpoints every completed row as a c3-run/v1 record, which
+// is what -resume replays.
 type soakObserver struct {
 	*obs.Tracker
 	registry *trace.Registry
+
+	ledgerPath string
+	rowSuffix  string
 
 	forbidden atomic.Uint64
 	poisoned  atomic.Uint64
@@ -175,8 +315,11 @@ type soakObserver struct {
 	errors    atomic.Uint64
 }
 
-func newSoakObserver() *soakObserver {
-	o := &soakObserver{Tracker: obs.NewTracker(), registry: trace.NewRegistry()}
+func newSoakObserver(ledgerPath, rowSuffix string) *soakObserver {
+	o := &soakObserver{
+		Tracker: obs.NewTracker(), registry: trace.NewRegistry(),
+		ledgerPath: ledgerPath, rowSuffix: rowSuffix,
+	}
 	o.registry.Counter("soak.forbidden", o.forbidden.Load)
 	o.registry.Counter("soak.poisoned", o.poisoned.Load)
 	o.registry.Counter("soak.crashed", o.crashed.Load)
@@ -187,7 +330,8 @@ func newSoakObserver() *soakObserver {
 }
 
 // CampaignDone implements litmus.SoakRowObserver; it runs concurrently
-// from pool workers.
+// from pool workers (AppendLedger's single O_APPEND write keeps
+// concurrent checkpoints whole).
 func (o *soakObserver) CampaignDone(_ int, row litmus.SoakRun) {
 	o.forbidden.Add(uint64(row.Forbidden))
 	o.poisoned.Add(uint64(row.Poisoned))
@@ -195,8 +339,37 @@ func (o *soakObserver) CampaignDone(_ int, row litmus.SoakRun) {
 	o.hangs.Add(uint64(row.Hangs))
 	if row.TimedOut {
 		o.timeouts.Add(1)
-	} else if row.Err != "" {
+	} else if row.Err != "" && !row.Interrupted {
 		o.errors.Add(1)
+	}
+	// Checkpoint executed rows only: resumed rows are already in the
+	// ledger, interrupted rows have no verdict to cache.
+	if o.ledgerPath == "" || row.Resumed || row.Interrupted {
+		return
+	}
+	payload, err := json.Marshal(row)
+	if err != nil {
+		return
+	}
+	verdict := obs.VerdictPass
+	switch {
+	case row.TimedOut:
+		verdict = obs.VerdictTimeout
+	case row.Err != "":
+		verdict = obs.VerdictError
+	case row.Forbidden > 0:
+		verdict = obs.VerdictFail
+	}
+	rec := &obs.Record{
+		Tool:    "c3soak",
+		RowKey:  litmus.RowLabel(row.Test, row.Plan, row.Seed) + "|" + o.rowSuffix,
+		Row:     json.RawMessage(payload),
+		Seeds:   []int64{row.Seed},
+		Version: obs.Version(),
+		Verdict: verdict,
+	}
+	if err := obs.AppendLedger(o.ledgerPath, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "c3soak: checkpoint: %v\n", err)
 	}
 }
 
@@ -213,7 +386,7 @@ func appendLedger(path string, so *soakObserver, cfg c3.SoakConfig, start time.T
 	}
 	rec := &obs.Record{
 		Tool:    "c3soak",
-		Spec:    obs.SpecFromFlags("statusz", "heartbeat", "ledger"),
+		Spec:    obs.SpecFromFlags("statusz", "heartbeat", "ledger", "resume"),
 		Seeds:   cfg.Seeds,
 		Workers: cfg.Workers,
 		Version: obs.Version(),
@@ -247,6 +420,6 @@ func split(s, sep string) []string {
 func failUsage(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "c3soak:", err)
-		os.Exit(2)
+		os.Exit(obs.ExitUsage)
 	}
 }

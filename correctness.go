@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"c3/internal/cpu"
 	"c3/internal/faults"
@@ -184,7 +185,27 @@ type VerifyConfig struct {
 	// live-introspection feed behind c3check -statusz. It runs serially
 	// on the exploration goroutine and cannot influence the exploration.
 	OnProgress func(CheckProgress)
+	// Deadline bounds the exploration's wall clock (zero = none): when it
+	// passes, Verify returns the partial report so far alongside an error
+	// wrapping ErrCheckDeadline.
+	Deadline time.Time
+	// Interrupt, when non-nil, requests graceful shutdown once closed:
+	// Verify stops at the next poll and returns the partial report
+	// alongside an error wrapping ErrCheckInterrupted.
+	Interrupt <-chan struct{}
+	// MemBudget is a soft heap budget in bytes (0 = none): over budget the
+	// checker degrades — tightening its snapshot budget down to
+	// replay-from-root — instead of OOMing. Degradation is recorded in
+	// VerifyReport.MemSheds and never changes the exploration result.
+	MemBudget uint64
 }
+
+// Abort sentinels Verify wraps when an exploration is cut short; both
+// come back alongside the partial report accumulated so far.
+var (
+	ErrCheckDeadline    = verif.ErrCheckDeadline
+	ErrCheckInterrupted = verif.ErrCheckInterrupted
+)
 
 // CheckProgress is a mid-exploration snapshot (VerifyConfig.OnProgress):
 // states visited, terminals, snapshot builds/clones, frontier size, and
@@ -212,6 +233,11 @@ type VerifyReport struct {
 	// copies (the snapshot checker's cost profile).
 	Builds uint64
 	Clones uint64
+	// MemSheds counts memory-pressure degradation events (see
+	// VerifyConfig.MemBudget); SnapshotBudgetEnd is the snapshot budget in
+	// force when exploration ended (0 = the tail ran replay-from-root).
+	MemSheds          uint64
+	SnapshotBudgetEnd int
 }
 
 // VerifyError is the structured violation Verify returns: the failure
@@ -278,6 +304,9 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 		Workers:        cfg.Workers,
 		ReplayFromRoot: cfg.ReplayFromRoot,
 		CheckForbidden: cfg.CheckForbidden,
+		Deadline:       cfg.Deadline,
+		Interrupt:      cfg.Interrupt,
+		MemBudget:      cfg.MemBudget,
 	}
 	if cfg.OnProgress != nil {
 		hook := cfg.OnProgress
@@ -299,14 +328,24 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 				Minimized: cex.Minimized, cex: cex,
 			}
 		}
+		// Deadline and interrupt aborts carry the partial exploration so
+		// callers can still render what was covered before the cut.
+		if rep != nil && (errors.Is(err, ErrCheckDeadline) || errors.Is(err, ErrCheckInterrupted)) {
+			return verifyReport(test, rep), err
+		}
 		return nil, err
 	}
+	return verifyReport(test, rep), nil
+}
+
+func verifyReport(test string, rep *verif.Report) *VerifyReport {
 	return &VerifyReport{
 		Test: test, States: rep.States, Terminals: rep.Terminals,
 		Outcomes: len(rep.Outcomes), Truncated: rep.Truncated,
 		ForbiddenSkipped: rep.ForbiddenSkipped,
 		Builds:           rep.Builds, Clones: rep.Clones,
-	}, nil
+		MemSheds:         rep.MemSheds, SnapshotBudgetEnd: rep.SnapshotBudgetEnd,
+	}
 }
 
 // ReplayReport describes what re-executing a witness did.

@@ -2,9 +2,11 @@ package litmus
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"time"
 
 	"c3/internal/cpu"
 	"c3/internal/faults"
@@ -15,6 +17,22 @@ import (
 	"c3/internal/system"
 	"c3/internal/trace"
 )
+
+// Abort classifications for campaigns cut off from the outside. Both
+// are wrapped (errors.Is) into the error Run returns, so harnesses can
+// tell a retryable wall-clock cut (ErrTaskDeadline) or a graceful
+// shutdown (ErrInterrupted) from a deterministic wedge.
+var (
+	ErrTaskDeadline = errors.New("task deadline exceeded")
+	ErrInterrupted  = errors.New("interrupted")
+)
+
+// pollStride is how many kernel steps an iteration executes between
+// deadline/interrupt polls. Polling costs one time.Now() (and one
+// non-blocking channel read) per stride; at 4096 steps that is noise,
+// while still bounding abort latency to well under a millisecond of
+// simulated work.
+const pollStride = 4096
 
 // RunnerConfig describes one litmus campaign: a two-cluster system, an
 // MCM per cluster, and how synchronization is treated.
@@ -54,6 +72,33 @@ type RunnerConfig struct {
 	// traced one); firings are classified and counted in Result.Hangs /
 	// Result.HangClasses instead of panicking.
 	HangWatch bool
+	// Deadline, when non-zero, bounds the campaign's wall clock: the
+	// iteration step loops poll it every pollStride kernel steps and the
+	// campaign aborts with an error wrapping ErrTaskDeadline. The cut
+	// discards only in-flight work — every completed computation is
+	// deterministic — so a retried campaign reproduces a first-try run
+	// byte for byte.
+	Deadline time.Time
+	// Interrupt, when non-nil, aborts the campaign at the next poll once
+	// the channel is closed (the graceful-shutdown path); the returned
+	// error wraps ErrInterrupted.
+	Interrupt <-chan struct{}
+}
+
+// pollAbort checks the campaign's external cut conditions; it is called
+// from iteration step loops every pollStride steps.
+func pollAbort(t Test, cfg *RunnerConfig, it int) error {
+	if cfg.Interrupt != nil {
+		select {
+		case <-cfg.Interrupt:
+			return fmt.Errorf("litmus %s: iteration %d: %w", t.Name, it, ErrInterrupted)
+		default:
+		}
+	}
+	if !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline) {
+		return fmt.Errorf("litmus %s: iteration %d: %w", t.Name, it, ErrTaskDeadline)
+	}
+	return nil
 }
 
 // Result aggregates a campaign.
@@ -162,6 +207,11 @@ func Run(t Test, cfg RunnerConfig) (*Result, error) {
 		sr := shard{outcomes: make(map[string]int), poisonedVars: make(map[string]int),
 			hangClasses: make(map[string]int)}
 		for it := lo; it < hi; it++ {
+			// Iteration-boundary poll: catches sweeps of many fast
+			// iterations between the step-loop polls inside each one.
+			if err := pollAbort(t, &cfg, it); err != nil {
+				return sr, err
+			}
 			o, info, err := runIteration(t, &cfg, it, offsets[it*nt:(it+1)*nt])
 			if err != nil {
 				return sr, err
@@ -327,7 +377,14 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 		sys.K.Schedule(starts[i], func() { c.Start() })
 	}
 	limit := sys.K.Stepped + 3_000_000
+	countdown := pollStride
 	for !allDone(cores) {
+		if countdown--; countdown <= 0 {
+			countdown = pollStride
+			if err := pollAbort(t, cfg, it); err != nil {
+				return nil, info, err
+			}
+		}
 		if sys.K.Stepped >= limit || !sys.K.Step() {
 			return nil, info, fmt.Errorf("litmus %s: iteration %d wedged", t.Name, it)
 		}
@@ -357,7 +414,14 @@ func runIteration(t Test, cfg *RunnerConfig, it int, starts []sim.Time) (Outcome
 	}
 	cc.Start()
 	limit = sys.K.Stepped + 1_000_000
+	countdown = pollStride
 	for !cc.Finished() {
+		if countdown--; countdown <= 0 {
+			countdown = pollStride
+			if err := pollAbort(t, cfg, it); err != nil {
+				return nil, info, err
+			}
+		}
 		if sys.K.Stepped >= limit || !sys.K.Step() {
 			return nil, info, fmt.Errorf("litmus %s: collector wedged", t.Name)
 		}

@@ -2,6 +2,7 @@ package litmus
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -102,11 +103,62 @@ type SoakConfig struct {
 	// partial result and record a "timeout" verdict instead of exiting
 	// silently.
 	Timeout time.Duration
+	// TaskTimeout bounds each campaign attempt's wall clock (0 = none):
+	// a single wedged seed then burns its own budget, not the sweep's.
+	// Expired attempts are retried (see Retries) and finally recorded as
+	// TIMEOUT rows.
+	TaskTimeout time.Duration
+	// Retries is how many extra attempts a timed-out or panicked
+	// campaign gets before its row is recorded as TIMEOUT/ERROR, with
+	// capped exponential backoff between attempts. Deterministic
+	// failures (wedges, silent violations) are never retried — rerunning
+	// the same seeds reproduces them exactly. Default 0.
+	Retries int
+	// FailFast restores first-error-cancel pool semantics: the first
+	// campaign abort (non-timeout error row) cancels unstarted siblings
+	// and RunSoak returns the error. The default (false) is isolation
+	// mode — a failing campaign becomes a report row and every sibling
+	// still runs.
+	FailFast bool
+	// Interrupt, when non-nil, requests graceful shutdown once closed:
+	// in-flight campaigns stop at their next poll, unstarted ones never
+	// run, and both become INTERRUPTED rows in the flushed partial
+	// report (which callers can checkpoint and later resume).
+	Interrupt <-chan struct{}
+	// Completed seeds the sweep with rows checkpointed by a previous run
+	// (keyed by RowLabel): matching campaigns are not executed — the
+	// cached row lands in the report verbatim, marked Resumed. This is
+	// the -resume path; with every row cached the report is
+	// byte-identical to an uninterrupted run.
+	Completed map[string]SoakRun
 	// Observer, when non-nil, receives the campaign plan and per-campaign
 	// lifecycle events for live introspection (c3soak -statusz). Start/
 	// done events arrive concurrently from pool workers (see
 	// parallel.Observer); the observer can never affect the report.
 	Observer SoakObserver
+
+	// retryBackoff overrides the inter-attempt backoff base (tests; 0 =
+	// retryBackoffBase).
+	retryBackoff time.Duration
+	// failAttempt, when non-nil, injects an abort into campaign attempts
+	// before they execute — the deterministic stand-in for a wall-clock
+	// cut in retry tests. Attempts are numbered from 1.
+	failAttempt func(label string, attempt int) error
+}
+
+// Retry backoff: base * 2^(attempt-1), capped. The backoff only delays
+// the retry (timing is not part of any result), so the cap can be
+// generous without risking determinism.
+const (
+	retryBackoffBase = 100 * time.Millisecond
+	retryBackoffCap  = 5 * time.Second
+)
+
+// RowLabel renders the stable identity of one campaign row within a
+// sweep ("MP/light/seed1") — the key the observer plan, the report,
+// and checkpoint resume all share.
+func RowLabel(test, plan string, seed int64) string {
+	return fmt.Sprintf("%s/%s/seed%d", test, plan, seed)
 }
 
 // SoakObserver observes a soak sweep from the outside: Plan announces
@@ -139,9 +191,23 @@ type SoakRun struct {
 	Hangs     int // watchdog firings (classified, not fatal)
 	Classes   string
 	Err       string // campaign abort (wedge or captured panic)
-	// TimedOut marks a campaign the sweep's wall-clock bound cut off
-	// before it started (Err carries the detail).
+	// TimedOut marks a campaign a wall-clock bound cut off — either the
+	// sweep's Timeout before it started, or its own TaskTimeout after
+	// exhausting Retries (Err carries the detail).
 	TimedOut bool
+	// Interrupted marks a row a graceful shutdown cut off before it
+	// completed. The row was not executed to a verdict, so checkpoint
+	// writers skip it and -resume re-runs it.
+	Interrupted bool
+	// Attempts counts executions of the campaign (1 = first try
+	// produced the verdict; >1 = the retry path ran). Deliberately
+	// absent from Render so a retried row reads byte-identical to a
+	// first-try row.
+	Attempts int
+	// Resumed marks a row injected from a previous run's checkpoint
+	// (SoakConfig.Completed) rather than executed; checkpoint writers
+	// must not re-ledger it. Never rendered.
+	Resumed bool `json:",omitempty"`
 }
 
 // ok reports whether the run upheld the robustness contract: it finished
@@ -175,21 +241,35 @@ func (r *SoakReport) TimedOut() bool {
 	return false
 }
 
+// Interrupted reports whether a graceful shutdown cut off any campaign
+// (the report is a resumable partial).
+func (r *SoakReport) Interrupted() bool {
+	for i := range r.Runs {
+		if r.Runs[i].Interrupted {
+			return true
+		}
+	}
+	return false
+}
+
 // Verdict maps the report onto the run-ledger verdict vocabulary:
 // "fail" on a silent violation or an aborted (non-timeout) campaign,
+// "interrupted" when a graceful shutdown flushed a resumable partial,
 // "timeout" when the only failures are wall-clock cutoffs (the partial
 // report is still rendered), "pass" otherwise.
 func (r *SoakReport) Verdict() string {
 	verdict := "pass"
 	for i := range r.Runs {
 		run := &r.Runs[i]
-		if run.ok() {
-			continue
-		}
-		if !run.TimedOut {
+		switch {
+		case run.ok():
+		case run.Interrupted:
+			verdict = "interrupted"
+		case !run.TimedOut:
 			return "fail"
+		case verdict == "pass":
+			verdict = "timeout"
 		}
-		verdict = "timeout"
 	}
 	return verdict
 }
@@ -203,6 +283,8 @@ func (r *SoakReport) Render() string {
 		run := &r.Runs[i]
 		status := "ok"
 		switch {
+		case run.Interrupted:
+			status = "INTERRUPTED: " + run.Err
 		case run.TimedOut:
 			status = "TIMEOUT: " + run.Err
 		case run.Err != "":
@@ -226,6 +308,8 @@ func (r *SoakReport) Render() string {
 		b.WriteString("SOAK PASS: every run passed coherence checks or reported detected degradation\n")
 	case "timeout":
 		b.WriteString("SOAK TIMEOUT: wall-clock bound cut the sweep short; completed rows above are valid\n")
+	case "interrupted":
+		b.WriteString("SOAK INTERRUPTED: graceful shutdown flushed this partial report; completed rows are checkpointed — rerun with -resume to finish\n")
 	default:
 		b.WriteString("SOAK FAIL: silent coherence violation or aborted campaign above\n")
 	}
@@ -303,7 +387,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if cfg.Observer != nil {
 		labels := make([]string, len(jobs))
 		for i, j := range jobs {
-			labels[i] = fmt.Sprintf("%s/%s/seed%d", j.test.Name, j.plan.Name, j.seed)
+			labels[i] = RowLabel(j.test.Name, j.plan.Name, j.seed)
 		}
 		cfg.Observer.Plan(labels)
 		ctx = parallel.WithObserver(ctx, cfg.Observer)
@@ -316,48 +400,190 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		return row
 	}
 
+	// Graceful shutdown: the interrupt channel cancels the pool context
+	// so unstarted campaigns are skipped instantly; in-flight campaigns
+	// see the same channel through RunnerConfig.Interrupt and stop at
+	// their next step-loop poll. The watcher goroutine is joined by the
+	// deferred close, never leaked.
+	if cfg.Interrupt != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		stopc := make(chan struct{})
+		defer close(stopc)
+		go func() {
+			select {
+			case <-cfg.Interrupt:
+				cancel()
+			case <-stopc:
+				cancel()
+			}
+		}()
+	}
+
+	interrupted := func() bool {
+		if cfg.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-cfg.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
+	backoffBase := cfg.retryBackoff
+	if backoffBase <= 0 {
+		backoffBase = retryBackoffBase
+	}
+
+	// runCampaign produces one row, retrying wall-clock and panic aborts
+	// with capped exponential backoff. Every attempt is a full, fresh,
+	// deterministic campaign, so a success on attempt k is byte-identical
+	// to a first-try success.
+	runCampaign := func(i int) SoakRun {
+		job := jobs[i]
+		label := RowLabel(job.test.Name, job.plan.Name, job.seed)
+		row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
+		if cached, ok := cfg.Completed[label]; ok {
+			// Checkpointed by a previous run: the ledger row is the
+			// verdict; nothing executes.
+			cached.Resumed = true
+			return cached
+		}
+		if interrupted() {
+			row.Interrupted = true
+			row.Err = "interrupted before campaign started"
+			return row
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			row.TimedOut = true
+			row.Err = fmt.Sprintf("timeout: sweep exceeded %v before campaign started", cfg.Timeout)
+			return row
+		}
+		for attempt := 1; ; attempt++ {
+			row.Attempts = attempt
+			var res *Result
+			err := error(nil)
+			if cfg.failAttempt != nil {
+				err = cfg.failAttempt(label, attempt)
+			}
+			if err == nil {
+				rcfg := RunnerConfig{
+					Locals:    cfg.Locals,
+					Global:    cfg.Global,
+					MCMs:      cfg.MCMs,
+					Iters:     cfg.Iters,
+					Sync:      SyncFull,
+					BaseSeed:  job.seed,
+					Workers:   1,
+					Faults:    &job.plan.Plan,
+					HangWatch: true,
+					Interrupt: cfg.Interrupt,
+				}
+				if cfg.TaskTimeout > 0 {
+					rcfg.Deadline = time.Now().Add(cfg.TaskTimeout)
+				}
+				res, err = runSoakCampaign(job.test, rcfg)
+			}
+			if err == nil {
+				row.Iters = res.Iters
+				row.Distinct = res.Distinct()
+				row.Forbidden = res.Forbidden
+				row.Poisoned = res.Poisoned
+				row.Crashed = res.Crashed
+				row.Hangs = res.Hangs
+				row.Classes = classesString(res.HangClasses)
+				return row
+			}
+			if errors.Is(err, ErrInterrupted) {
+				row.Interrupted = true
+				row.Err = err.Error()
+				return row
+			}
+			// Only nondeterministic aborts retry: a wall-clock cut or a
+			// panic. Wedges and violations are reproduced exactly by the
+			// same seeds, so rerunning them is pure waste.
+			retryable := errors.Is(err, ErrTaskDeadline) || errors.Is(err, errCampaignPanic)
+			if !retryable || attempt > cfg.Retries {
+				if errors.Is(err, ErrTaskDeadline) {
+					row.TimedOut = true
+					row.Err = fmt.Sprintf("%v (attempt %d of %d)", err, attempt, cfg.Retries+1)
+				} else {
+					row.Err = err.Error()
+				}
+				return row
+			}
+			backoff := backoffBase << (attempt - 1)
+			if backoff > retryBackoffCap {
+				backoff = retryBackoffCap
+			}
+			timer := time.NewTimer(backoff)
+			if cfg.Interrupt != nil {
+				select {
+				case <-timer.C:
+				case <-cfg.Interrupt:
+					timer.Stop()
+					row.Interrupted = true
+					row.Err = "interrupted during retry backoff"
+					return row
+				}
+			} else {
+				<-timer.C
+			}
+		}
+	}
+
 	// Parallelism lives at the campaign level; each campaign runs its
 	// iterations serially (Workers: 1) so the worker budget is not
 	// oversubscribed and every row is independent of scheduling.
-	runs, err := parallel.Map(ctx, parallel.Workers(cfg.Workers), len(jobs),
-		func(i int) (SoakRun, error) {
-			job := jobs[i]
-			row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				row.TimedOut = true
-				row.Err = fmt.Sprintf("timeout: sweep exceeded %v before campaign started", cfg.Timeout)
-				return report(i, row), nil
+	workers := parallel.Workers(cfg.Workers)
+	var runs []SoakRun
+	if cfg.FailFast {
+		// First-error-cancel: a campaign abort (error row) fails the
+		// pool, unstarted siblings never run, and RunSoak surfaces the
+		// lowest-index error.
+		var err error
+		runs, err = parallel.Map(ctx, workers, len(jobs), func(i int) (SoakRun, error) {
+			row := runCampaign(i)
+			if row.Err != "" && !row.Interrupted {
+				return row, fmt.Errorf("soak %s/%s/seed%d: %s", row.Test, row.Plan, row.Seed, row.Err)
 			}
-			plan := job.plan.Plan
-			res, err := runSoakCampaign(job.test, RunnerConfig{
-				Locals:    cfg.Locals,
-				Global:    cfg.Global,
-				MCMs:      cfg.MCMs,
-				Iters:     cfg.Iters,
-				Sync:      SyncFull,
-				BaseSeed:  job.seed,
-				Workers:   1,
-				Faults:    &plan,
-				HangWatch: true,
-			})
-			if err != nil {
-				row.Err = err.Error()
-				return report(i, row), nil
-			}
-			row.Iters = res.Iters
-			row.Distinct = res.Distinct()
-			row.Forbidden = res.Forbidden
-			row.Poisoned = res.Poisoned
-			row.Crashed = res.Crashed
-			row.Hangs = res.Hangs
-			row.Classes = classesString(res.HangClasses)
 			return report(i, row), nil
 		})
-	if err != nil {
-		return nil, err
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Isolation mode (default): every campaign runs no matter what
+		// its siblings do; pool-level failures (panics escaping the
+		// campaign recover, context cancellation) become rows.
+		results, errs := parallel.MapAll(ctx, workers, len(jobs), func(i int) (SoakRun, error) {
+			return report(i, runCampaign(i)), nil
+		})
+		runs = results
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			job := jobs[i]
+			row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
+			if errors.Is(err, context.Canceled) {
+				row.Interrupted = true
+				row.Err = "interrupted before campaign started"
+			} else {
+				row.Err = err.Error()
+			}
+			runs[i] = report(i, row)
+		}
 	}
 	return &SoakReport{Runs: runs}, nil
 }
+
+// errCampaignPanic classifies a panic captured inside a campaign; it is
+// retryable (panics can stem from transient conditions) unlike a
+// deterministic wedge.
+var errCampaignPanic = errors.New("campaign panicked")
 
 // runSoakCampaign shields a campaign behind a recover so one poisoned
 // code path can never take down the whole sweep: a panic becomes that
@@ -365,7 +591,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 func runSoakCampaign(t Test, cfg RunnerConfig) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("panic: %v", p)
+			res, err = nil, fmt.Errorf("%w: %v", errCampaignPanic, p)
 		}
 	}()
 	return Run(t, cfg)

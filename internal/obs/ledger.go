@@ -17,11 +17,21 @@ const LedgerSchema = "c3-run/v1"
 // Verdicts a record can carry. Tools map their exit conditions onto
 // these so ledgers from different commands diff uniformly.
 const (
-	VerdictPass      = "pass"      // the run's contract held
-	VerdictFail      = "fail"      // contract violated (soak FAIL, bench regression)
-	VerdictViolation = "violation" // checker found a counterexample
-	VerdictTimeout   = "timeout"   // sweep hit its wall-clock bound
-	VerdictError     = "error"     // infrastructure/usage failure
+	VerdictPass        = "pass"        // the run's contract held
+	VerdictFail        = "fail"        // contract violated (soak FAIL, bench regression)
+	VerdictViolation   = "violation"   // checker found a counterexample
+	VerdictTimeout     = "timeout"     // sweep hit its wall-clock bound
+	VerdictError       = "error"       // infrastructure/usage failure
+	VerdictInterrupted = "interrupted" // graceful shutdown; partial results checkpointed
+)
+
+// Exit codes the long-running commands share, so scripts and CI can
+// dispatch on them uniformly (see the README exit-code table).
+const (
+	ExitPass      = 0 // contract held
+	ExitFail      = 1 // contract violated / violation found / timeout
+	ExitUsage     = 2 // flag or configuration error
+	ExitResumable = 3 // interrupted by SIGINT/SIGTERM; rerun with -resume
 )
 
 // Record is one invocation's ledger entry: enough to re-run the sweep
@@ -54,6 +64,14 @@ type Record struct {
 	// Extra carries tool-specific results (soak row counts, checker
 	// state counts, bench stats).
 	Extra map[string]any `json:"extra,omitempty"`
+	// RowKey marks a per-row checkpoint record: the content-addressed
+	// (spec, seed, code-version) cache key of one completed sweep row,
+	// appended as the row finishes so an interrupted sweep can resume by
+	// skipping every key already present. Empty on whole-run records.
+	RowKey string `json:"row_key,omitempty"`
+	// Row is the tool-specific row payload a resume reloads verbatim
+	// (c3soak stores the litmus.SoakRun). Set only with RowKey.
+	Row json.RawMessage `json:"row,omitempty"`
 }
 
 // DefaultLedgerPath resolves where records go: $C3_LEDGER if set, else
@@ -121,14 +139,31 @@ func specFromSet(fs *flag.FlagSet, exclude []string) string {
 	return strings.Join(parts, " ")
 }
 
-// ReadLedger parses every record in the JSONL ledger at path.
+// ReadLedger parses every record in the JSONL ledger at path, failing
+// on the first malformed line. Resume paths, which must survive a crash
+// mid-append, use ReadLedgerLenient instead.
 func ReadLedger(path string) ([]Record, error) {
+	recs, _, err := readLedger(path, true)
+	return recs, err
+}
+
+// ReadLedgerLenient parses the ledger at path, skipping malformed lines
+// instead of failing. A process killed mid-append (SIGKILL, power loss)
+// leaves a torn final line — the O_APPEND whole-line write contract
+// guarantees every *earlier* line is intact, so a resume can trust what
+// parses and drop the tail. Each skipped line produces a warning.
+func ReadLedgerLenient(path string) (recs []Record, warnings []string, err error) {
+	return readLedger(path, false)
+}
+
+func readLedger(path string, strict bool) ([]Record, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	var out []Record
+	var warnings []string
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for ln := 1; sc.Scan(); ln++ {
@@ -137,12 +172,17 @@ func ReadLedger(path string) ([]Record, error) {
 		}
 		var r Record
 		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return nil, fmt.Errorf("obs: ledger %s line %d: %w", path, ln, err)
+			if strict {
+				return nil, nil, fmt.Errorf("obs: ledger %s line %d: %w", path, ln, err)
+			}
+			warnings = append(warnings,
+				fmt.Sprintf("obs: ledger %s line %d: skipping torn/corrupt record: %v", path, ln, err))
+			continue
 		}
 		out = append(out, r)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, warnings, nil
 }

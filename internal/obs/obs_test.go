@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -79,7 +80,7 @@ func TestHeartbeat(t *testing.T) {
 	tr.TaskStarted(1)
 
 	var buf lockedBuf
-	stop := Heartbeat(&buf, time.Millisecond, "c3soak", tr)
+	stop := Heartbeat(context.Background(), &buf, time.Millisecond, "c3soak", tr)
 	deadline := time.Now().Add(2 * time.Second)
 	for buf.String() == "" && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -162,10 +163,12 @@ func (s *ProgressSnapshot) line(tool string) string {
 
 // Heartbeat emits one progress line to w every interval — the headless-CI
 // counterpart of the statusz endpoint (a sweep inside a CI job is
-// otherwise silent until the final report). The returned stop function
-// halts the ticker, emits one final line, and waits for the emitting
-// goroutine to exit; it is safe to call once.
-func Heartbeat(w io.Writer, interval time.Duration, tool string, t *Tracker) (stop func()) {
+// otherwise silent until the final report). The goroutine terminates
+// when ctx is cancelled or when the returned stop function runs; both
+// paths join it before returning control (no leaked goroutines on
+// graceful shutdown). stop additionally emits one final line and is
+// safe to call more than once, including after ctx cancellation.
+func Heartbeat(ctx context.Context, w io.Writer, interval time.Duration, tool string, t *Tracker) (stop func()) {
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
@@ -180,6 +183,8 @@ func Heartbeat(w io.Writer, interval time.Duration, tool string, t *Tracker) (st
 			case <-tick.C:
 				s := t.Snapshot()
 				fmt.Fprintln(w, s.line(tool))
+			case <-ctx.Done():
+				return
 			case <-quit:
 				return
 			}

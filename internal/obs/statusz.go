@@ -50,6 +50,7 @@ type Server struct {
 	start   time.Time
 	ln      net.Listener
 	srv     *http.Server
+	served  chan struct{} // closed when the Serve goroutine exits
 
 	mu  sync.Mutex
 	reg *trace.Registry
@@ -63,7 +64,7 @@ func StartStatusz(addr, tool string, t *Tracker) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: statusz listen %s: %w", addr, err)
 	}
-	s := &Server{tool: tool, tracker: t, start: time.Now(), ln: ln}
+	s := &Server{tool: tool, tracker: t, start: time.Now(), ln: ln, served: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
@@ -74,7 +75,10 @@ func StartStatusz(addr, tool string, t *Tracker) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	go func() {
+		defer close(s.served)
+		s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	}()
 	return s, nil
 }
 
@@ -92,8 +96,14 @@ func (s *Server) SetRegistry(r *trace.Registry) {
 	s.reg = r
 }
 
-// Close stops serving.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops serving: it closes the listener and open connections and
+// waits for the accept goroutine to exit, so a shutdown leaks nothing
+// (the goroutine-audit contract graceful shutdown relies on).
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.served
+	return err
+}
 
 // metricsJSON renders the installed registry, or nil.
 func (s *Server) metricsJSON() json.RawMessage {

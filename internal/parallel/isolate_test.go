@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapAllIsolation: failing items never cancel siblings — every item
+// runs, results and errors land at their own index.
+func TestMapAllIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		results, errs := MapAll(context.Background(), workers, 10, func(i int) (int, error) {
+			ran.Add(1)
+			if i%3 == 0 {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i * i, nil
+		})
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: ran %d items, want all 10", workers, ran.Load())
+		}
+		for i := 0; i < 10; i++ {
+			if i%3 == 0 {
+				if errs[i] == nil {
+					t.Fatalf("workers=%d: item %d error lost", workers, i)
+				}
+				continue
+			}
+			if errs[i] != nil || results[i] != i*i {
+				t.Fatalf("workers=%d: item %d = (%d, %v), want (%d, nil)", workers, i, results[i], errs[i], i*i)
+			}
+		}
+	}
+}
+
+// TestMapAllPanicIsolation: a panicking item becomes its own PanicError
+// and the other items still run to completion.
+func TestMapAllPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		results, errs := MapAll(context.Background(), workers, 6, func(i int) (int, error) {
+			if i == 2 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(errs[2], &pe) || pe.Item != 2 {
+			t.Fatalf("workers=%d: item 2 error = %v, want PanicError{Item:2}", workers, errs[2])
+		}
+		for i := 0; i < 6; i++ {
+			if i == 2 {
+				continue
+			}
+			if errs[i] != nil || results[i] != i {
+				t.Fatalf("workers=%d: sibling %d = (%d, %v), want (%d, nil)", workers, i, results[i], errs[i], i)
+			}
+		}
+	}
+}
+
+// TestMapAllCtxCancel: cancellation stops claiming; items that never ran
+// report ctx.Err() while completed items keep their results.
+func TestMapAllCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	results, errs := MapAll(ctx, 1, 8, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			cancel() // items 3..7 must never start
+		}
+		return i + 100, nil
+	})
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d items, want 3 (0,1,2 before cancel)", got)
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil || results[i] != i+100 {
+			t.Fatalf("completed item %d = (%d, %v)", i, results[i], errs[i])
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("unclaimed item %d error = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
+// TestMapAllObserver: lifecycle events fire for executed items only.
+func TestMapAllObserver(t *testing.T) {
+	obs := &countObserver{}
+	ctx := WithObserver(context.Background(), obs)
+	_, errs := MapAll(ctx, 4, 12, func(i int) (int, error) {
+		if i%2 == 0 {
+			return 0, errors.New("even")
+		}
+		return i, nil
+	})
+	if obs.started.Load() != 12 || obs.done.Load() != 12 {
+		t.Fatalf("observer saw %d started / %d done, want 12/12", obs.started.Load(), obs.done.Load())
+	}
+	if obs.failed.Load() != 6 {
+		t.Fatalf("observer saw %d failures, want 6", obs.failed.Load())
+	}
+	for i, err := range errs {
+		if (err != nil) != (i%2 == 0) {
+			t.Fatalf("item %d err = %v", i, err)
+		}
+	}
+}
+
+type countObserver struct {
+	started, done, failed atomic.Int64
+}
+
+func (o *countObserver) TaskStarted(int) { o.started.Add(1) }
+func (o *countObserver) TaskDone(_ int, err error) {
+	o.done.Add(1)
+	if err != nil {
+		o.failed.Add(1)
+	}
+}

@@ -216,3 +216,78 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	})
 	return err
 }
+
+// MapAll is Map's isolation mode: a failing (or panicking) item never
+// cancels its siblings. Every item runs to completion and per-item
+// errors come back in a slice parallel to the results — errs[i] is nil
+// iff results[i] is valid. The only thing that stops the pool early is
+// ctx cancellation, which stops claiming new items; items it prevented
+// from starting report ctx.Err() (their fn never ran, and no observer
+// events fire for them). Long campaign sweeps use this so one wedged or
+// panicking row becomes a report row instead of killing the sweep;
+// first-error-cancel semantics stay available through Map.
+func MapAll[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	obs := observerFrom(ctx)
+	call := func(i int) (err error) {
+		if obs != nil {
+			obs.TaskStarted(i)
+			defer func() { obs.TaskDone(i, err) }()
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Item: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		v, err := fn(i)
+		if err == nil {
+			results[i] = v
+		}
+		return err
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = call(i)
+		}
+		return results, errs
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// A cancelled context drains the remaining indexes without
+				// running them, so every item is accounted for in errs.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = call(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}

@@ -2,11 +2,25 @@ package verif
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"c3/internal/litmus"
 	"c3/internal/parallel"
+)
+
+// Abort sentinels: Check wraps these when an exploration is cut short by
+// its wall-clock budget or a graceful shutdown. Both returns carry the
+// partial Report accumulated so far, so callers can render what was
+// explored before the cut.
+var (
+	// ErrCheckDeadline: CheckerConfig.Deadline passed mid-exploration.
+	ErrCheckDeadline = errors.New("check deadline exceeded")
+	// ErrCheckInterrupted: CheckerConfig.Interrupt closed mid-exploration.
+	ErrCheckInterrupted = errors.New("check interrupted")
 )
 
 // Report summarizes one exhaustive exploration.
@@ -29,6 +43,16 @@ type Report struct {
 	// through Builds.
 	Builds uint64
 	Clones uint64
+	// MemSheds counts memory-pressure degradation events: each time the
+	// sampled heap crossed CheckerConfig.MemBudget the checker halved its
+	// snapshot budget and released frontier snapshots instead of risking
+	// an OOM kill. Shedding trades CPU (prefix replays) for memory; the
+	// exploration result is unaffected.
+	MemSheds uint64
+	// SnapshotBudgetEnd is the snapshot budget in force when exploration
+	// ended — equal to the configured budget unless shedding tightened it
+	// (0 = the tail ran in replay-from-root mode).
+	SnapshotBudgetEnd int
 }
 
 // CheckerConfig bounds the exploration.
@@ -70,6 +94,26 @@ type CheckerConfig struct {
 	// pre-COW checker's deep copies. Kept as a cross-check: COW and
 	// deep-copy exploration must produce identical Reports.
 	DeepCopySnapshots bool
+	// Deadline bounds the exploration's wall clock (zero = none). When it
+	// passes, Check returns the partial Report with an error wrapping
+	// ErrCheckDeadline.
+	Deadline time.Time
+	// Interrupt, when non-nil, requests graceful shutdown once closed:
+	// Check stops at the next poll and returns the partial Report with an
+	// error wrapping ErrCheckInterrupted.
+	Interrupt <-chan struct{}
+	// MemBudget is a soft heap budget in bytes (0 = none). The checker
+	// samples the heap periodically; over budget it degrades instead of
+	// OOMing — halving SnapshotBudget, releasing frontier snapshots from
+	// the tail, and falling back to replay-from-root when the budget
+	// reaches zero. Degradation is recorded in Report.MemSheds and never
+	// changes States/Terminals/Outcomes, only the Builds/Clones cost
+	// profile.
+	MemBudget uint64
+	// MemSampleEvery is the heap sampling period in frontier pops
+	// (0 -> 256). Sampling stops the world, so it is strided; small
+	// values are for tests and tiny state spaces.
+	MemSampleEvery int
 }
 
 // Progress is a mid-exploration snapshot for live introspection.
@@ -180,7 +224,60 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 	}
 	var lastProgress uint64
 
+	// SnapshotBudgetEnd reflects the budget in force at exit on every
+	// return path, including violations and aborts.
+	defer func() { rep.SnapshotBudgetEnd = ccfg.SnapshotBudget }()
+
+	// Memory pressure is sampled on a stride because ReadMemStats stops
+	// the world; deadline and interrupt polls are O(ns) per pop (vDSO
+	// clock read + non-blocking select), negligible next to an expansion.
+	memSampleStride := ccfg.MemSampleEvery
+	if memSampleStride <= 0 {
+		memSampleStride = 256
+	}
+	popsSinceSample := 0
+
 	for len(frontier) > 0 {
+		if ccfg.Interrupt != nil {
+			select {
+			case <-ccfg.Interrupt:
+				return rep, fmt.Errorf("verif: %s: %w after %d states",
+					mcfg.Test.Name, ErrCheckInterrupted, rep.States)
+			default:
+			}
+		}
+		if !ccfg.Deadline.IsZero() && time.Now().After(ccfg.Deadline) {
+			return rep, fmt.Errorf("verif: %s: %w after %d states",
+				mcfg.Test.Name, ErrCheckDeadline, rep.States)
+		}
+		if ccfg.MemBudget > 0 {
+			if popsSinceSample++; popsSinceSample >= memSampleStride {
+				popsSinceSample = 0
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				// Shed while there is still something to shed: each event
+				// halves the snapshot budget (to zero below 32 — at that
+				// point replaying beats thrashing) and strips frontier
+				// snapshots from the tail, where entries wait longest
+				// before being popped. The exploration itself is untouched:
+				// stripped entries rebuild by prefix replay when popped.
+				if ms.HeapAlloc > ccfg.MemBudget && (ccfg.SnapshotBudget > 0 || live > 0) {
+					rep.MemSheds++
+					ccfg.SnapshotBudget /= 2
+					if ccfg.SnapshotBudget < 32 {
+						ccfg.SnapshotBudget = 0
+					}
+					for i := len(frontier) - 1; i >= 0 && live > ccfg.SnapshotBudget; i-- {
+						if frontier[i].m != nil {
+							frontier[i].m.Release()
+							frontier[i].m = nil
+							live--
+						}
+					}
+					runtime.GC()
+				}
+			}
+		}
 		if ccfg.OnProgress != nil && rep.States-lastProgress >= progressEvery {
 			lastProgress = rep.States
 			ccfg.OnProgress(Progress{

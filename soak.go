@@ -62,10 +62,40 @@ type SoakConfig struct {
 	MCMs    [2]MCM
 	Workers int           // campaign fan-out (0 = GOMAXPROCS); reports are identical
 	Timeout time.Duration // wall-clock bound for the sweep (0 = none)
+	// TaskTimeout bounds each campaign attempt's wall clock; expired
+	// attempts are retried up to Retries times, then recorded as TIMEOUT
+	// rows (0 = none).
+	TaskTimeout time.Duration
+	// Retries is how many extra attempts a timed-out or panicked campaign
+	// gets before its row is recorded as TIMEOUT/ERROR. Attempts are
+	// separated by capped exponential backoff.
+	Retries int
+	// FailFast restores first-error-cancel semantics: the first campaign
+	// abort cancels the sweep and RunSoak returns the error. The default
+	// is isolation — every campaign runs and errors become report rows.
+	FailFast bool
+	// Interrupt, when non-nil, requests graceful shutdown once closed:
+	// running campaigns stop at their next poll, unstarted ones are
+	// skipped, and the report marks the cut rows INTERRUPTED.
+	Interrupt <-chan struct{}
+	// Completed seeds the sweep with rows checkpointed by a previous run,
+	// keyed by RowLabel — the c3soak -resume path. Matching campaigns are
+	// not executed; the cached row lands in the report marked Resumed.
+	Completed map[string]SoakRun
 	// Observer, when non-nil, receives the campaign plan and lifecycle
 	// events for live introspection (obs.Tracker implements it; see
 	// c3soak -statusz). It can never affect the report.
 	Observer SoakObserver
+}
+
+// SoakRun is one campaign row of a SoakReport.
+type SoakRun = litmus.SoakRun
+
+// RowLabel renders the stable identity of one campaign row
+// ("MP/light/seed1") — the key of SoakConfig.Completed and the prefix of
+// the ledger's row checkpoint keys.
+func RowLabel(test, plan string, seed int64) string {
+	return litmus.RowLabel(test, plan, seed)
 }
 
 // SoakObserver observes a soak sweep for live introspection: the
@@ -93,15 +123,20 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		plans = append(plans, litmus.NamedPlan{Name: spec, Plan: plan})
 	}
 	return litmus.RunSoak(litmus.SoakConfig{
-		Tests:   cfg.Tests,
-		Plans:   plans,
-		Seeds:   cfg.Seeds,
-		Iters:   cfg.Iters,
-		Locals:  cfg.Locals,
-		Global:  cfg.Global,
-		MCMs:     [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
-		Workers:  cfg.Workers,
-		Timeout:  cfg.Timeout,
-		Observer: cfg.Observer,
+		Tests:       cfg.Tests,
+		Plans:       plans,
+		Seeds:       cfg.Seeds,
+		Iters:       cfg.Iters,
+		Locals:      cfg.Locals,
+		Global:      cfg.Global,
+		MCMs:        [2]cpu.MCM{cfg.MCMs[0], cfg.MCMs[1]},
+		Workers:     cfg.Workers,
+		Timeout:     cfg.Timeout,
+		TaskTimeout: cfg.TaskTimeout,
+		Retries:     cfg.Retries,
+		FailFast:    cfg.FailFast,
+		Interrupt:   cfg.Interrupt,
+		Completed:   cfg.Completed,
+		Observer:    cfg.Observer,
 	})
 }
