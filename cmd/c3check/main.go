@@ -18,6 +18,18 @@
 //	c3check -test MP -unsynced -witness   # witness a relaxed outcome
 //	c3check -test MP -unsynced -replay 1,0,2
 //	c3check -statusz :8080           # watch a long exploration live
+//	c3check -test MP+3W -max 10000   # reductions let this complete
+//	c3check -canon=off -por=off      # legacy raw-dump hashing, no reductions
+//	c3check -crosscheck -test MP     # audit the reductions' soundness
+//	c3check -outcomes -test MP       # print the terminal-outcome set
+//
+// State-space reduction: the checker hashes a canonicalized state dump
+// (bookkeeping excluded, interchangeable hosts and addresses renamed to
+// a canonical form) and prunes interleavings of independent deliveries
+// (partial-order reduction). -canon=off and -por=off disable the layers
+// individually — with both off the checker reproduces the pre-reduction
+// state counts exactly. -crosscheck runs every test both ways and fails
+// on any disagreement; -outcomes prints the outcome sets it compares.
 //
 // Observability: -statusz serves live exploration counters (states,
 // frontier, depth) as JSON plus pprof/expvar, -heartbeat prints a
@@ -80,6 +92,13 @@ func main() {
 		"re-execute a comma-separated witness path against -test instead of exploring")
 	replayRoot := flag.Bool("replay-from-root", false,
 		"explore by prefix re-execution instead of snapshot cloning (cross-check mode)")
+	canon := flag.String("canon", "on",
+		"canonical hashing + symmetry reduction: on|off (off = legacy raw-dump hashing, exact seed state counts)")
+	por := flag.String("por", "on", "partial-order reduction: on|off")
+	crossCheck := flag.Bool("crosscheck", false,
+		"run each test reduced AND unreduced and fail unless verdicts agree and the reduced outcome set covers the unreduced one (soundness audit; slow)")
+	outcomes := flag.Bool("outcomes", false,
+		"print each test's sorted terminal-outcome set, one 'outcome:' line per outcome (for reduction-soundness diffs)")
 	taskTimeout := flag.Duration("task-timeout", 0, "wall-clock bound per test exploration (0 = none); expired attempts retry, then the test records TIMEOUT")
 	retries := flag.Int("retries", 1, "extra attempts a timed-out test exploration gets")
 	memBudgetMB := flag.Int("mem-budget-mb", 0, "soft heap budget in MiB (0 = none): sets the runtime memory limit and sheds checker snapshots at 80% of it instead of OOMing")
@@ -94,6 +113,10 @@ func main() {
 
 	if *taskTimeout < 0 || *retries < 0 || *memBudgetMB < 0 {
 		fmt.Fprintln(os.Stderr, "c3check: -task-timeout, -retries and -mem-budget-mb must be non-negative")
+		os.Exit(obs.ExitUsage)
+	}
+	if (*canon != "on" && *canon != "off") || (*por != "on" && *por != "off") {
+		fmt.Fprintln(os.Stderr, "c3check: -canon and -por take on|off")
 		os.Exit(obs.ExitUsage)
 	}
 
@@ -112,6 +135,9 @@ func main() {
 		Unsynced:       *unsynced,
 		CheckForbidden: *unsynced,
 		ReplayFromRoot: *replayRoot,
+		CanonOff:       *canon == "off",
+		POROff:         *por == "off",
+		CrossCheck:     *crossCheck,
 		OnProgress:     co.progress,
 	}
 
@@ -230,7 +256,8 @@ func main() {
 			// aborted ones stop between strides; fold the final (possibly
 			// partial) counts so the ledger's totals are never stale.
 			co.progress(c3.CheckProgress{States: rep.States, Terminals: rep.Terminals,
-				Builds: rep.Builds, Clones: rep.Clones})
+				Builds: rep.Builds, Clones: rep.Clones,
+				SymmetryMerges: rep.SymmetryMerges, PORSkips: rep.PORSkips})
 		}
 		co.TaskDone(i, err)
 		switch {
@@ -247,9 +274,18 @@ func main() {
 				note += fmt.Sprintf(" [mem pressure: shed x%d, snapshot budget %d]",
 					rep.MemSheds, rep.SnapshotBudgetEnd)
 			}
+			if rep.SymmetryMerges > 0 || rep.PORSkips > 0 {
+				note += fmt.Sprintf(" [reduced: %d symmetry merges, %d POR skips]",
+					rep.SymmetryMerges, rep.PORSkips)
+			}
 			fmt.Printf("%-8s %s: %d states, %d terminal, %d outcomes, %d builds + %d clones (%.1fs)%s\n",
 				name, status, rep.States, rep.Terminals, rep.Outcomes, rep.Builds, rep.Clones,
 				time.Since(start).Seconds(), note)
+			if *outcomes {
+				for _, o := range rep.OutcomeList {
+					fmt.Printf("outcome: %s | %s\n", name, o)
+				}
+			}
 		case errors.Is(err, c3.ErrCheckInterrupted):
 			interrupted = true
 			fmt.Printf("%-8s INTERRUPTED after %d states (%.1fs): partial, no verdict\n",
@@ -306,8 +342,10 @@ func main() {
 			Exit:    exit,
 			Metrics: json.RawMessage(metrics.Bytes()),
 			Extra: map[string]any{
-				"tests":  tests,
-				"states": co.states.Load(),
+				"tests":           tests,
+				"states":          co.states.Load(),
+				"symmetry_merges": co.symmMerges.Load(),
+				"por_skips":       co.porSkips.Load(),
 			},
 		}
 		if err := obs.AppendLedger(*ledger, rec); err != nil {
@@ -326,10 +364,12 @@ type checkObserver struct {
 	registry *trace.Registry
 
 	states, terminals, builds, clones atomic.Uint64
+	symmMerges, porSkips              atomic.Uint64
 	frontier, depth                   atomic.Int64
 	// base* carry the totals of completed tests, since each Verify call's
 	// Progress counts restart from zero.
 	baseStates, baseTerminals, baseBuilds, baseClones atomic.Uint64
+	baseSymmMerges, basePorSkips                      atomic.Uint64
 }
 
 func newCheckObserver() *checkObserver {
@@ -338,6 +378,8 @@ func newCheckObserver() *checkObserver {
 	o.registry.Counter("check.terminals", o.terminals.Load)
 	o.registry.Counter("check.builds", o.builds.Load)
 	o.registry.Counter("check.clones", o.clones.Load)
+	o.registry.Counter("check.symmetry_merges", o.symmMerges.Load)
+	o.registry.Counter("check.por_skips", o.porSkips.Load)
 	o.registry.Gauge("check.frontier", func() float64 { return float64(o.frontier.Load()) })
 	o.registry.Gauge("check.depth", func() float64 { return float64(o.depth.Load()) })
 	return o
@@ -348,6 +390,8 @@ func (o *checkObserver) progress(p c3.CheckProgress) {
 	o.terminals.Store(o.baseTerminals.Load() + p.Terminals)
 	o.builds.Store(o.baseBuilds.Load() + p.Builds)
 	o.clones.Store(o.baseClones.Load() + p.Clones)
+	o.symmMerges.Store(o.baseSymmMerges.Load() + p.SymmetryMerges)
+	o.porSkips.Store(o.basePorSkips.Load() + p.PORSkips)
 	o.frontier.Store(int64(p.Frontier))
 	o.depth.Store(int64(p.Depth))
 }
@@ -359,6 +403,8 @@ func (o *checkObserver) TaskDone(i int, err error) {
 	o.baseTerminals.Store(o.terminals.Load())
 	o.baseBuilds.Store(o.builds.Load())
 	o.baseClones.Store(o.clones.Load())
+	o.baseSymmMerges.Store(o.symmMerges.Load())
+	o.basePorSkips.Store(o.porSkips.Load())
 	o.frontier.Store(0)
 	o.Tracker.TaskDone(i, err)
 }

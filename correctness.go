@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -180,6 +181,20 @@ type VerifyConfig struct {
 	// ReplayFromRoot reconstructs every state by re-executing its delivery
 	// prefix instead of snapshot cloning (cross-check / low-memory mode).
 	ReplayFromRoot bool
+	// CanonOff disables canonical hashing and symmetry reduction, falling
+	// back to the raw state dump the pre-reduction checker hashed
+	// (c3check -canon=off). State counts then match the legacy checker
+	// exactly.
+	CanonOff bool
+	// POROff disables the partial-order reduction (c3check -por=off):
+	// every enabled delivery is expanded at every state.
+	POROff bool
+	// CrossCheck runs the exploration twice — reduced, then with both
+	// reductions off — and fails unless the violation verdicts agree and
+	// every unreduced outcome appears in the reduced outcome set. The
+	// returned report is the reduced run's (with both runs' build/clone
+	// costs folded in). Expensive; a soundness audit, not a normal mode.
+	CrossCheck bool
 	// OnProgress, when non-nil, receives a periodic exploration snapshot
 	// (roughly every couple thousand states) from the checker loop — the
 	// live-introspection feed behind c3check -statusz. It runs serially
@@ -217,6 +232,10 @@ type CheckProgress struct {
 	Clones    uint64
 	Frontier  int
 	Depth     int
+	// SymmetryMerges / PORSkips are the state-space reduction counters so
+	// far (zero when the reductions are disabled).
+	SymmetryMerges uint64
+	PORSkips       uint64
 }
 
 // VerifyReport summarizes an exhaustive exploration.
@@ -238,6 +257,15 @@ type VerifyReport struct {
 	// force when exploration ended (0 = the tail ran replay-from-root).
 	MemSheds          uint64
 	SnapshotBudgetEnd int
+	// SymmetryMerges counts successors that folded onto a visited state
+	// through a non-identity host/address renaming; PORSkips counts
+	// successor expansions the partial-order reduction proved redundant.
+	// Both are zero when the corresponding reduction is disabled.
+	SymmetryMerges uint64
+	PORSkips       uint64
+	// OutcomeList is the sorted set of terminal litmus outcomes — the
+	// basis of reduction-soundness diffs (c3check -outcomes).
+	OutcomeList []string
 }
 
 // VerifyError is the structured violation Verify returns: the failure
@@ -303,6 +331,9 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 		MaxDepth:       cfg.MaxDepth,
 		Workers:        cfg.Workers,
 		ReplayFromRoot: cfg.ReplayFromRoot,
+		CanonOff:       cfg.CanonOff,
+		POROff:         cfg.POROff,
+		CrossCheck:     cfg.CrossCheck,
 		CheckForbidden: cfg.CheckForbidden,
 		Deadline:       cfg.Deadline,
 		Interrupt:      cfg.Interrupt,
@@ -315,6 +346,7 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 				States: p.States, Terminals: p.Terminals,
 				Builds: p.Builds, Clones: p.Clones,
 				Frontier: p.Frontier, Depth: p.Depth,
+				SymmetryMerges: p.SymmetryMerges, PORSkips: p.PORSkips,
 			})
 		}
 	}
@@ -339,12 +371,19 @@ func Verify(test string, cfg VerifyConfig) (*VerifyReport, error) {
 }
 
 func verifyReport(test string, rep *verif.Report) *VerifyReport {
+	outs := make([]string, 0, len(rep.Outcomes))
+	for o := range rep.Outcomes {
+		outs = append(outs, o)
+	}
+	sort.Strings(outs)
 	return &VerifyReport{
 		Test: test, States: rep.States, Terminals: rep.Terminals,
 		Outcomes: len(rep.Outcomes), Truncated: rep.Truncated,
 		ForbiddenSkipped: rep.ForbiddenSkipped,
 		Builds:           rep.Builds, Clones: rep.Clones,
 		MemSheds:         rep.MemSheds, SnapshotBudgetEnd: rep.SnapshotBudgetEnd,
+		SymmetryMerges:   rep.SymmetryMerges, PORSkips: rep.PORSkips,
+		OutcomeList:      outs,
 	}
 }
 

@@ -55,6 +55,71 @@ func (c *C3) DumpState(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// DumpCanon writes the canonical (reduction-aware) rendering of the C3
+// for the model checker's canonical hash: line addresses render through
+// rnLine and host ids through rnNode (entries re-sorted by renamed
+// address so symmetric renamings fingerprint identically), stale LLC
+// payloads are masked, and pure default entries — an untouched local
+// directory line, or (when skipInvalid allows) an LLC frame invalidated
+// back to state 0 — are dropped so "absent" and "present but reset"
+// merge. The controller's own id stays literal: C3s are per-cluster and
+// never permute.
+func (c *C3) DumpCanon(w io.Writer, rnLine func(mem.LineAddr) mem.LineAddr, rnNode func(msg.NodeID) msg.NodeID, skipInvalid bool) {
+	fmt.Fprintf(w, "C3[%d]", c.cfg.ID)
+	type ent struct {
+		a mem.LineAddr
+		s int
+		d mem.Data
+		v bool
+	}
+	var es []ent
+	c.llc.ForEachRO(func(e *cache.Entry) {
+		if skipInvalid && e.State == 0 {
+			return
+		}
+		d := e.Data
+		if !e.DataValid {
+			d = mem.Data{}
+		}
+		es = append(es, ent{rnLine(e.Addr), e.State, d, e.DataValid})
+	})
+	sort.Slice(es, func(i, j int) bool { return es[i].a < es[j].a })
+	for _, e := range es {
+		fmt.Fprintf(w, "l%x:%d:%v:%v;", uint64(e.a), e.s, e.d, e.v)
+	}
+	lines := make([]mem.LineAddr, 0, len(c.dirs))
+	orig := make(map[mem.LineAddr]mem.LineAddr, len(c.dirs))
+	for a, d := range c.dirs {
+		if d.class == c.initialLocal() && d.owner == msg.None && d.fwd == msg.None &&
+			d.sharers.Empty() {
+			continue
+		}
+		r := rnLine(a)
+		lines = append(lines, r)
+		orig[r] = a
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, r := range lines {
+		d := c.dirs[orig[r]]
+		fmt.Fprintf(w, "d%x:%s:%d:%d:%v;", uint64(r), d.class, rnNode(d.owner),
+			rnNode(d.fwd), d.sharers.Rename(rnNode))
+	}
+	lines = lines[:0]
+	for a := range c.tbes {
+		r := rnLine(a)
+		lines = append(lines, r)
+		orig[r] = a
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, r := range lines {
+		t := c.tbes[orig[r]]
+		fmt.Fprintf(w, "t%x:%d:%d:%d:%d:%v:%v:%d:%d:%d;", uint64(r), t.kind, t.ph,
+			t.pendingRsp, t.pendingAcks, t.conflict != nil, t.heldCmp != nil,
+			t.haveAcks, t.needAcks, len(t.stalled))
+	}
+	fmt.Fprintln(w)
+}
+
 // CompoundOf reports the stable compound state of a line (local class,
 // global class) and whether a transaction is in flight — the hook the
 // model checker uses to assert that Rule I's forbidden state pairs are

@@ -3,6 +3,8 @@ package cpu
 import (
 	"fmt"
 	"io"
+
+	"c3/internal/mem"
 )
 
 // DumpState writes a canonical rendering of the core's microarchitectural
@@ -17,4 +19,47 @@ func (c *Core) DumpState(w io.Writer) {
 		fmt.Fprintf(w, "b%x:%d:%v:%v;", uint64(s.addr), s.val, s.rel, s.draining)
 	}
 	fmt.Fprintf(w, "o%d\n", c.outstanding)
+}
+
+// DumpCanon writes the canonical (reduction-aware) rendering of the core
+// for the model checker's canonical hash: the header carries the
+// canonical slot instead of the core id, and every line address renders
+// through rnAddr, so symmetric threads and addresses fingerprint
+// identically. It is strictly finer than DumpState on real state — the
+// destination register, annotations, and issue breadcrumbs (forwards,
+// warmed) are included, since they steer future behavior — while
+// sequence numbers and cost counters stay excluded as pure bookkeeping.
+func (c *Core) DumpCanon(w io.Writer, slot int, rnAddr func(mem.Addr) mem.Addr) {
+	fmt.Fprintf(w, "CPU[%d]f%v:s%v:fin%v|", slot, c.fetchOK, c.srcDone, c.finished)
+	for _, u := range c.window {
+		a := u.in.Addr
+		if u.in.Kind.IsMem() {
+			a = rnAddr(a)
+		}
+		fmt.Fprintf(w, "w%d:%x:%d:%d:%v%v%v:%v:%v:%d:%v%v;", u.in.Kind, uint64(a), u.in.Val,
+			u.in.Reg, u.in.Acq, u.in.Rel, u.in.CtrlDep, u.issued, u.done, u.val,
+			u.forwards, u.warmed)
+	}
+	for _, s := range c.sb {
+		fmt.Fprintf(w, "b%x:%d:%v:%v;", uint64(rnAddr(s.addr)), s.val, s.rel, s.draining)
+	}
+	fmt.Fprintf(w, "o%d\n", c.outstanding)
+}
+
+// FutureLines visits the line address of every memory operation the core
+// may still perform from in-flight state: window entries (issued or not
+// — an issued op can still complete and unblock younger ones) and
+// store-buffer entries awaiting drain. Instructions not yet fetched from
+// the source are the caller's to account (see SliceSource.FutureLines).
+// The model checker's partial-order reduction uses the union to decide
+// whether delivering a message can ripple onto other lines.
+func (c *Core) FutureLines(visit func(mem.LineAddr)) {
+	for _, u := range c.window {
+		if u.in.Kind.IsMem() {
+			visit(u.in.Addr.Line())
+		}
+	}
+	for _, s := range c.sb {
+		visit(s.addr.Line())
+	}
 }

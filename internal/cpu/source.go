@@ -1,5 +1,7 @@
 package cpu
 
+import "c3/internal/mem"
+
 // SliceSource is a Source over a fixed program, recording loaded values
 // into a register file. It is the execution vehicle for litmus threads.
 type SliceSource struct {
@@ -27,6 +29,22 @@ func (s *SliceSource) Next() (Instr, bool) {
 func (s *SliceSource) Complete(in Instr, loaded uint64) {
 	if in.Kind == Load || in.Kind.IsRMW() {
 		s.Regs[in.Reg] = loaded
+	}
+}
+
+// Pos reports how many instructions have been fetched. The model
+// checker's canonical hash includes it (together with Regs) so states
+// that differ only in unfetched program tail never merge.
+func (s *SliceSource) Pos() int { return s.pos }
+
+// FutureLines visits the line address of every not-yet-fetched memory
+// instruction (the complement of Core.FutureLines, which covers fetched
+// in-flight state).
+func (s *SliceSource) FutureLines(visit func(mem.LineAddr)) {
+	for _, in := range s.Prog[s.pos:] {
+		if in.Kind.IsMem() {
+			visit(in.Addr.Line())
+		}
 	}
 }
 

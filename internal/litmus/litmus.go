@@ -300,6 +300,31 @@ func Tests() []Test {
 			},
 			Observable: func(m []cpu.MCM) bool { return weak(m[1]) || weak(m[2]) },
 		},
+		{
+			// MP+3W: message passing surrounded by three independent
+			// single-store writers on fresh variables. The MP core (t0,
+			// t1) is unchanged; t2/t4 write z from cluster 0 and t3
+			// writes w from cluster 1, so the checker's reduction layer
+			// has real structure to exploit — t2 and t4 are
+			// interchangeable (same cluster, same program), and the
+			// extra stores commute with everything outside their own
+			// line. Unreduced, the interleaving space is far beyond the
+			// Table IV shapes; it is the model checker's reduction
+			// acceptance test, not part of Table IV.
+			Name: "MP+3W",
+			Vars: []Var{"x", "y", "z", "w"},
+			Threads: []Thread{
+				{St("x", 1), StRel("y", 1)},
+				{LdAcq("y", 0), Ld("x", 1)},
+				{St("z", 1)},
+				{St("w", 1)},
+				{St("z", 1)},
+			},
+			Forbidden: func(o Outcome) bool {
+				return o[Key(1, 0)] == 1 && o[Key(1, 1)] == 0
+			},
+			Observable: func(m []cpu.MCM) bool { return weak(m[0]) || weak(m[1]) },
+		},
 	}
 }
 

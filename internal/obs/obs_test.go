@@ -54,6 +54,40 @@ func TestTrackerAnonymousLabels(t *testing.T) {
 	}
 }
 
+// Plan and SetTotal must both restart the ETA clock: a tracker built
+// long before the sweep starts (config parsing, model builds) must not
+// report that setup time as elapsed sweep time — it inflates ElapsedMS
+// directly and ETAMS through the per-item extrapolation.
+func TestTrackerClockRestart(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		announce func(tr *Tracker)
+	}{
+		{"Plan", func(tr *Tracker) { tr.Plan([]string{"a", "b"}) }},
+		{"SetTotal", func(tr *Tracker) { tr.SetTotal(2) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTracker()
+			// Simulate a tracker constructed an hour before the sweep.
+			tr.mu.Lock()
+			tr.started = time.Now().Add(-time.Hour)
+			tr.mu.Unlock()
+			tc.announce(tr)
+			tr.TaskStarted(0)
+			tr.TaskDone(0, nil)
+			s := tr.Snapshot()
+			if s.ElapsedMS > 10_000 {
+				t.Fatalf("%s did not restart the clock: ElapsedMS = %d", tc.name, s.ElapsedMS)
+			}
+			// One of two items done almost instantly: the linear ETA must
+			// be of the same magnitude, not the backdated hour.
+			if s.ETAMS > 10_000 {
+				t.Fatalf("%s: ETAMS = %d, extrapolated from a stale clock", tc.name, s.ETAMS)
+			}
+		})
+	}
+}
+
 // lockedBuf lets the heartbeat goroutine and the test share a buffer.
 type lockedBuf struct {
 	mu sync.Mutex

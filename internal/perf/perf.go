@@ -98,15 +98,43 @@ func Benchmarks() []Benchmark {
 		{
 			// One bounded exhaustive exploration of the CXL MP shape by
 			// snapshot cloning (mirrors internal/verif
-			// BenchmarkCheckerExpand at a smaller state budget).
+			// BenchmarkCheckerExpand at a smaller state budget). Both
+			// reductions are pinned off so the measurement tracks the raw
+			// expansion engine across baselines — the reduced path has its
+			// own micro below.
 			Name: "checker-expand", Ops: 1,
 			Setup: func(int) func() {
 				mcfg := mpModel()
 				return func() {
 					if _, err := verif.Check(mcfg, verif.CheckerConfig{
-						MaxStates: 20_000, Workers: 1,
+						MaxStates: 20_000, Workers: 1, CanonOff: true, POROff: true,
 					}); err != nil {
 						panic(fmt.Sprintf("perf: checker-expand: %v", err))
+					}
+				}
+			},
+		},
+		{
+			// The same exploration with the reduction layer on — canonical
+			// hashing, symmetry, and partial-order reduction — over the
+			// MP+3W shape, whose interchangeable writer threads and
+			// independent store lines give the reductions real structure.
+			// Wall time pins the net win: the reduced run visits ~2k of the
+			// shape's ~22k raw states despite hashing every state up to
+			// |group| times.
+			Name: "checker-reduced", Ops: 1,
+			Setup: func(int) func() {
+				mcfg := mpModel()
+				tc, ok := litmus.ByName("MP+3W")
+				if !ok {
+					panic("perf: no MP+3W litmus test")
+				}
+				mcfg.Test = tc
+				return func() {
+					if _, err := verif.Check(mcfg, verif.CheckerConfig{
+						MaxStates: 20_000, Workers: 1,
+					}); err != nil {
+						panic(fmt.Sprintf("perf: checker-reduced: %v", err))
 					}
 				}
 			},

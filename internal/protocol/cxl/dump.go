@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"c3/internal/mem"
+	"c3/internal/msg"
 )
 
 // DumpState writes a canonical rendering for model-checker hashing.
@@ -23,6 +24,39 @@ func (d *DCOH) DumpState(w io.Writer) {
 		fmt.Fprintf(w, "%x:%d:%d:%v", uint64(a), l.state, l.owner, l.sharers)
 		if l.cur != nil {
 			fmt.Fprintf(w, ":tx%d:%v:%v", l.cur.req.Src, l.cur.pending, l.cur.dirty)
+		}
+		fmt.Fprintf(w, ":q%d;", len(l.queue))
+	}
+	fmt.Fprintln(w)
+}
+
+// DumpCanon writes the canonical (reduction-aware) rendering for the
+// model checker's canonical hash: line addresses render through rnLine
+// and host ids through rnNode (entries re-sorted by renamed address so
+// symmetric renamings fingerprint identically), and untouched default
+// lines (invalid, unowned, no transaction, empty queue) are dropped so
+// "never referenced" and "referenced then fully released" merge.
+func (d *DCOH) DumpCanon(w io.Writer, rnLine func(mem.LineAddr) mem.LineAddr, rnNode func(msg.NodeID) msg.NodeID) {
+	fmt.Fprint(w, "DCOH")
+	lines := make([]mem.LineAddr, 0, len(d.lines))
+	orig := make(map[mem.LineAddr]mem.LineAddr, len(d.lines))
+	for a, l := range d.lines {
+		if l.state == dI && l.owner == msg.None && l.sharers.Empty() && l.cur == nil &&
+			len(l.queue) == 0 {
+			continue
+		}
+		r := rnLine(a)
+		lines = append(lines, r)
+		orig[r] = a
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, r := range lines {
+		l := d.lines[orig[r]]
+		fmt.Fprintf(w, "%x:%d:%d:%v", uint64(r), l.state, rnNode(l.owner),
+			l.sharers.Rename(rnNode))
+		if l.cur != nil {
+			fmt.Fprintf(w, ":tx%d:%v:%v", rnNode(l.cur.req.Src), l.cur.pending.Rename(rnNode),
+				l.cur.dirty)
 		}
 		fmt.Fprintf(w, ":q%d;", len(l.queue))
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"c3/internal/mem"
+	"c3/internal/msg"
 )
 
 // DumpState writes a canonical rendering for model-checker hashing.
@@ -22,6 +23,36 @@ func (d *Dir) DumpState(w io.Writer) {
 		l := d.lines[a]
 		fmt.Fprintf(w, "%x:%d:%d:%v:%v:%d:%d:q%d;", uint64(a), l.state, l.owner,
 			l.sharers, l.busy, l.copyBackFrom, l.pendingReq, len(l.queue))
+	}
+	fmt.Fprintln(w)
+}
+
+// DumpCanon writes the canonical (reduction-aware) rendering for the
+// model checker's canonical hash: line addresses render through rnLine
+// and host ids through rnNode (entries re-sorted by renamed address so
+// symmetric renamings fingerprint identically), and untouched default
+// lines are dropped so "never referenced" and "referenced then fully
+// released" merge. lastFwdFrom stays excluded, matching DumpState: it is
+// a crash-recovery breadcrumb, not protocol-visible state.
+func (d *Dir) DumpCanon(w io.Writer, rnLine func(mem.LineAddr) mem.LineAddr, rnNode func(msg.NodeID) msg.NodeID) {
+	fmt.Fprint(w, "HDIR")
+	lines := make([]mem.LineAddr, 0, len(d.lines))
+	orig := make(map[mem.LineAddr]mem.LineAddr, len(d.lines))
+	for a, l := range d.lines {
+		if l.state == hI && l.owner == msg.None && l.sharers.Empty() && !l.busy &&
+			l.copyBackFrom == msg.None && l.pendingReq == msg.None && len(l.queue) == 0 {
+			continue
+		}
+		r := rnLine(a)
+		lines = append(lines, r)
+		orig[r] = a
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, r := range lines {
+		l := d.lines[orig[r]]
+		fmt.Fprintf(w, "%x:%d:%d:%v:%v:%d:%d:q%d;", uint64(r), l.state, rnNode(l.owner),
+			l.sharers.Rename(rnNode), l.busy, rnNode(l.copyBackFrom),
+			rnNode(l.pendingReq), len(l.queue))
 	}
 	fmt.Fprintln(w)
 }

@@ -1,0 +1,394 @@
+package verif
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"c3/internal/cpu"
+	"c3/internal/litmus"
+	"c3/internal/mem"
+	"c3/internal/msg"
+)
+
+// This file implements the checker's state-space reductions: canonical
+// hashing (states differing only in transient bookkeeping merge) and
+// symmetry reduction (states differing only by a renaming of
+// interchangeable hosts and line addresses merge). Both act purely at
+// fingerprint time — the explored models are untouched, so witnesses,
+// invariant messages, and replays always describe concrete states.
+//
+// Soundness of the symmetry group (see DESIGN.md §14): a candidate
+// renaming pairs a permutation of threads with a permutation of
+// variables, and is admitted only if it is an automorphism of the
+// instantiated system —
+//
+//   - threads permute only within their cluster (clusters may differ in
+//     local protocol and MCM, so a cross-cluster swap is not an
+//     isomorphism);
+//   - pinned threads (any thread holding a register, i.e. with a load or
+//     RMW) never move: litmus outcomes key registers by thread index, so
+//     permuting a register-bearing thread would relabel outcomes;
+//   - per thread t, renaming the variables of t's effective program must
+//     reproduce, op for op, the program of the thread whose slot t takes.
+//
+// The admitted set is closed under composition and inversion (it is the
+// automorphism group of the labeled program structure), so taking the
+// minimum fingerprint over it picks one canonical representative per
+// orbit. Variable permutations (and the invalid-frame dropping in the
+// canonical dumps) additionally require that distinct variables can
+// never contend for a cache set — guaranteed when the test has at most
+// 16 variables (the L1 set count; LLC has 64 sets) and the LLC is not
+// shrunk by TinyLLC; otherwise variables stay pinned.
+
+// symPerm is one admitted renaming. perms[0] is always the identity.
+type symPerm struct {
+	identity bool
+	tperm    []int // original thread -> canonical slot
+	threadAt []int // canonical slot -> original thread
+	vperm    []int // original var index -> canonical var index
+	varAt    []int // canonical var index -> original var index
+}
+
+// symmetry carries the admitted renaming group plus the line-address
+// tables the renamings (and the partial-order reduction) index by.
+type symmetry struct {
+	perms    []symPerm
+	lineIdx  map[mem.LineAddr]int // variable line -> var index
+	varLines []mem.LineAddr      // var index -> line
+	vars     []litmus.Var
+	nThreads int
+	// porOK gates the partial-order reduction and the invalid-frame /
+	// variable-permutation reductions: false when set conflicts could
+	// couple distinct lines (TinyLLC, or more variables than L1 sets).
+	porOK bool
+}
+
+// maxSymCandidates bounds the renaming candidates enumerated; past it
+// the group degenerates to the identity (correct, just unreduced).
+const maxSymCandidates = 4096
+
+// newSymmetry computes the admitted renaming group for a model config.
+func newSymmetry(mcfg ModelConfig) *symmetry {
+	t := mcfg.Test
+	n := len(t.Threads)
+	s := &symmetry{
+		nThreads: n,
+		vars:     t.Vars,
+		lineIdx:  make(map[mem.LineAddr]int, len(t.Vars)),
+	}
+	for i, v := range t.Vars {
+		l := varAddrOf(t, v).Line()
+		s.varLines = append(s.varLines, l)
+		s.lineIdx[l] = i
+	}
+	s.porOK = !mcfg.TinyLLC && len(t.Vars) <= 16
+
+	// Effective programs exactly as Build instantiates them — symmetry
+	// must hold on what runs, not on the nominal test.
+	eff := make([]litmus.Thread, n)
+	for ti, th := range t.Threads {
+		switch mcfg.Sync {
+		case litmus.SyncFull:
+			eff[ti] = litmus.Refine(th, mcfg.MCMs[ti%2])
+		case litmus.SyncNone:
+			eff[ti] = litmus.Strip(th)
+		default:
+			eff[ti] = th
+		}
+	}
+	pinned := make([]bool, n)
+	for ti, th := range eff {
+		for _, op := range th {
+			if op.Kind == cpu.Load || op.Kind.IsRMW() {
+				pinned[ti] = true
+				break
+			}
+		}
+	}
+	vidx := make(map[litmus.Var]int, len(t.Vars))
+	for i, v := range t.Vars {
+		vidx[v] = i
+	}
+	// Free variables may permute: referenced by no pinned thread (a
+	// pinned thread's program could never match under the renaming
+	// anyway) and only when set conflicts are impossible.
+	varFree := make([]bool, len(t.Vars))
+	if s.porOK {
+		for i := range varFree {
+			varFree[i] = true
+		}
+		for ti, th := range eff {
+			if !pinned[ti] {
+				continue
+			}
+			for _, op := range th {
+				if op.Kind.IsMem() {
+					varFree[vidx[op.V]] = false
+				}
+			}
+		}
+	}
+
+	var uc [2][]int // unpinned threads per cluster
+	for ti := 0; ti < n; ti++ {
+		if !pinned[ti] {
+			uc[ti%2] = append(uc[ti%2], ti)
+		}
+	}
+	var freeV []int
+	for i, f := range varFree {
+		if f {
+			freeV = append(freeV, i)
+		}
+	}
+	if fact(len(uc[0]))*fact(len(uc[1]))*fact(len(freeV)) > maxSymCandidates {
+		uc[0], uc[1], freeV = nil, nil, nil
+	}
+
+	identPerm := func() symPerm {
+		p := symPerm{
+			tperm: make([]int, n), threadAt: make([]int, n),
+			vperm: make([]int, len(t.Vars)), varAt: make([]int, len(t.Vars)),
+		}
+		for i := 0; i < n; i++ {
+			p.tperm[i], p.threadAt[i] = i, i
+		}
+		for i := range t.Vars {
+			p.vperm[i], p.varAt[i] = i, i
+		}
+		return p
+	}
+	id := identPerm()
+	id.identity = true
+	s.perms = append(s.perms, id)
+
+	for _, p0 := range permutations(len(uc[0])) {
+		for _, p1 := range permutations(len(uc[1])) {
+			for _, pv := range permutations(len(freeV)) {
+				cand := identPerm()
+				for k, ti := range uc[0] {
+					cand.tperm[ti] = uc[0][p0[k]]
+				}
+				for k, ti := range uc[1] {
+					cand.tperm[ti] = uc[1][p1[k]]
+				}
+				for k, vi := range freeV {
+					cand.vperm[vi] = freeV[pv[k]]
+				}
+				ident := true
+				for i, v := range cand.tperm {
+					cand.threadAt[v] = i
+					if v != i {
+						ident = false
+					}
+				}
+				for i, v := range cand.vperm {
+					cand.varAt[v] = i
+					if v != i {
+						ident = false
+					}
+				}
+				if ident {
+					continue // already have the identity at perms[0]
+				}
+				// Admit only automorphisms: thread t's program, with its
+				// variables renamed, must equal the program of the thread
+				// whose slot it takes.
+				valid := true
+			check:
+				for ti := 0; ti < n; ti++ {
+					a, b := eff[ti], eff[cand.tperm[ti]]
+					if len(a) != len(b) {
+						valid = false
+						break
+					}
+					for oi := range a {
+						op := a[oi]
+						if op.Kind.IsMem() {
+							op.V = t.Vars[cand.vperm[vidx[op.V]]]
+						}
+						if op != b[oi] {
+							valid = false
+							break check
+						}
+					}
+				}
+				if valid {
+					s.perms = append(s.perms, cand)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func fact(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// permutations enumerates all permutations of [0,n) deterministically.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// identityNode and identityLine avoid per-dump closure allocations for
+// the (overwhelmingly common) identity renaming.
+func identityNode(id msg.NodeID) msg.NodeID   { return id }
+func identityLine(a mem.LineAddr) mem.LineAddr { return a }
+
+func (s *symmetry) rnNodeFn(p *symPerm) func(msg.NodeID) msg.NodeID {
+	if p.identity {
+		return identityNode
+	}
+	return func(id msg.NodeID) msg.NodeID {
+		if t := int(id) - 4; t >= 0 && t < s.nThreads {
+			return msg.NodeID(4 + p.tperm[t])
+		}
+		return id
+	}
+}
+
+func (s *symmetry) rnLineFn(p *symPerm) func(mem.LineAddr) mem.LineAddr {
+	if p.identity {
+		return identityLine
+	}
+	return func(a mem.LineAddr) mem.LineAddr {
+		if i, ok := s.lineIdx[a]; ok {
+			return s.varLines[p.vperm[i]]
+		}
+		return a
+	}
+}
+
+// HashCanon fingerprints the canonical representative of the model's
+// symmetry orbit: the minimum canonical-dump hash over the admitted
+// renaming group. The second return reports whether the minimum came
+// from a non-identity renaming — i.e. whether this state folded onto a
+// symmetric sibling rather than hashing as its own canonical form.
+func (m *Model) HashCanon(s *symmetry) (uint64, bool) {
+	h := fnv.New64a()
+	m.dumpCanon(h, s, &s.perms[0])
+	best := h.Sum64()
+	renamed := false
+	for i := 1; i < len(s.perms); i++ {
+		h := fnv.New64a()
+		m.dumpCanon(h, s, &s.perms[i])
+		if v := h.Sum64(); v < best {
+			best, renamed = v, true
+		}
+	}
+	return best, renamed
+}
+
+// dumpCanon renders the model's canonical dump under one renaming, in
+// Build's component order. Differences from the raw DumpState path:
+//
+//   - components render through the renaming (thread slots, node ids in
+//     sharer vectors and messages, line addresses);
+//   - pure bookkeeping is excluded (default directory entries,
+//     invalid cache frames where set conflicts are impossible, stale
+//     payloads of !DataValid frames);
+//   - protocol-relevant state the raw dump omits is ADDED — register
+//     files, source fetch positions, message VNet/Word/Mask/Acq/Rel/
+//     Poisoned — so the canonical hash is never coarser than real
+//     state where it matters.
+func (m *Model) dumpCanon(w io.Writer, s *symmetry, p *symPerm) {
+	rnLine := s.rnLineFn(p)
+	rnNode := s.rnNodeFn(p)
+	rnAddr := func(a mem.Addr) mem.Addr {
+		l := a.Line()
+		return mem.Addr(rnLine(l)) + (a - mem.Addr(l))
+	}
+	// Invalid-frame dropping is per-level: L1s have 16 sets, the LLC 64
+	// (unless TinyLLC shrinks it), so each gate needs set conflicts
+	// impossible at that level.
+	skipL1 := len(s.vars) <= 16
+	skipLLC := !m.cfg.TinyLLC && len(s.vars) <= 16
+	for slot := 0; slot < s.nThreads; slot++ {
+		ti := p.threadAt[slot]
+		m.cores[ti].DumpCanon(w, slot, rnAddr)
+		src := m.srcs[ti]
+		regs := make([]int, 0, len(src.Regs))
+		for r := range src.Regs {
+			regs = append(regs, r)
+		}
+		sort.Ints(regs)
+		fmt.Fprintf(w, "REG[%d]", slot)
+		for _, r := range regs {
+			fmt.Fprintf(w, "r%d=%d;", r, src.Regs[r])
+		}
+		fmt.Fprintf(w, "p%d\n", src.Pos())
+	}
+	for slot := 0; slot < s.nThreads; slot++ {
+		m.l1s[p.threadAt[slot]].l1.DumpCanon(w, msg.NodeID(4+slot), rnLine, skipL1)
+	}
+	for _, c3 := range m.c3s {
+		c3.DumpCanon(w, rnLine, rnNode, skipLLC)
+	}
+	if m.dcoh != nil {
+		m.dcoh.DumpCanon(w, rnLine, rnNode)
+	}
+	if m.hdir != nil {
+		m.hdir.DumpCanon(w, rnLine, rnNode)
+	}
+	// DRAM renders per canonical variable slot via Peek, which
+	// normalizes "line absent" and "line holding zeroes" — the raw dump
+	// distinguishes them even though reads cannot.
+	fmt.Fprint(w, "DRAM")
+	for slot := range s.varLines {
+		fmt.Fprintf(w, "%d:%v;", slot, m.dram.Peek(s.varLines[p.varAt[slot]]))
+	}
+	fmt.Fprintln(w)
+	m.Fabric.DumpCanon(w, rnLine, rnNode)
+}
+
+// outcomeOrbit returns the images of a terminal outcome under every
+// non-identity renaming in the group. When the checker merges symmetric
+// states it visits only one representative terminal per orbit; recording
+// the orbit images keeps Report.Outcomes (and the Forbidden evaluation)
+// identical to an unreduced exploration. Register keys are invariant —
+// only register-free threads permute — so only variable keys move.
+func (s *symmetry) outcomeOrbit(o litmus.Outcome) []litmus.Outcome {
+	if len(s.perms) == 1 {
+		return nil
+	}
+	out := make([]litmus.Outcome, 0, len(s.perms)-1)
+	for i := 1; i < len(s.perms); i++ {
+		p := &s.perms[i]
+		no := make(litmus.Outcome, len(o))
+		for k, v := range o {
+			no[k] = v
+		}
+		for vi := range s.vars {
+			if val, ok := o[string(s.vars[vi])]; ok {
+				no[string(s.vars[p.vperm[vi]])] = val
+			}
+		}
+		out = append(out, no)
+	}
+	return out
+}

@@ -53,6 +53,14 @@ type Report struct {
 	// ended — equal to the configured budget unless shedding tightened it
 	// (0 = the tail ran in replay-from-root mode).
 	SnapshotBudgetEnd int
+	// SymmetryMerges counts successor states that folded onto an
+	// already-visited state through a non-identity symmetry renaming —
+	// the observable yield of the symmetry reduction.
+	SymmetryMerges uint64
+	// PORSkips counts successor expansions the partial-order reduction
+	// skipped (enabled deliveries proven independent of the chosen
+	// ample delivery).
+	PORSkips uint64
 }
 
 // CheckerConfig bounds the exploration.
@@ -114,6 +122,18 @@ type CheckerConfig struct {
 	// (0 -> 256). Sampling stops the world, so it is strided; small
 	// values are for tests and tiny state spaces.
 	MemSampleEvery int
+	// CanonOff disables canonical hashing and symmetry reduction,
+	// fingerprinting states with the raw DumpState hash exactly as the
+	// pre-reduction checker did (the -canon=off escape hatch).
+	CanonOff bool
+	// POROff disables the partial-order reduction, expanding every
+	// enabled delivery at every state.
+	POROff bool
+	// CrossCheck runs the reduced and unreduced explorations back to
+	// back and errors unless their Outcomes and violation verdicts
+	// match — the DeepCopySnapshots-style proof harness for the
+	// reduction layer. Cost: both explorations run in full.
+	CrossCheck bool
 }
 
 // Progress is a mid-exploration snapshot for live introspection.
@@ -127,6 +147,10 @@ type Progress struct {
 	Clones    uint64
 	Frontier  int
 	Depth     int
+	// SymmetryMerges / PORSkips mirror the Report's reduction counters so
+	// far (zero when the reductions are disabled).
+	SymmetryMerges uint64
+	PORSkips       uint64
 }
 
 // Check exhaustively explores mcfg's state space and verifies all
@@ -148,6 +172,21 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 	if ccfg.SnapshotBudget == 0 {
 		ccfg.SnapshotBudget = 4096
 	}
+	if ccfg.CrossCheck {
+		return crossCheck(mcfg, ccfg)
+	}
+	// sym is the admitted renaming group (identity-only for asymmetric
+	// tests); the POR shares its line index and set-conflict gate.
+	sym := newSymmetry(mcfg)
+	// hashOf fingerprints a state: the canonical orbit-minimum hash, or
+	// the raw DumpState hash under -canon=off. The second return reports
+	// a non-identity renaming produced the minimum (a symmetry fold).
+	hashOf := func(m *Model) (uint64, bool) {
+		if ccfg.CanonOff {
+			return m.Hash(), false
+		}
+		return m.HashCanon(sym)
+	}
 	rep := &Report{Outcomes: map[string]bool{}}
 	// visited dedups states by their 64-bit FNV-1a fingerprint. Caveat:
 	// two distinct states that collide in 64 bits would silently merge,
@@ -162,7 +201,10 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		rep.ForbiddenSkipped = true
 	}
 
-	// fail wraps a violation into a replayable, minimized witness.
+	// fail wraps a violation into a replayable, minimized witness. The
+	// symmetry group rides along so minimization can match forbidden
+	// outcomes up to renaming (the recorded outcome may be an orbit
+	// image of the one the witness path concretely produces).
 	fail := func(kind ViolationKind, msgStr string, path []uint16) error {
 		cex := &Counterexample{
 			Kind: kind, Msg: msgStr,
@@ -170,7 +212,7 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 			OriginalLen: len(path),
 		}
 		if kind != VLivelock { // a livelock's path length is the failure
-			minimizeWitness(mcfg, cex, rep)
+			minimizeWitness(mcfg, sym, cex, rep)
 		}
 		return cex
 	}
@@ -200,18 +242,32 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 	}
 	var frontier []frontierEntry
 	live := 0
+	// Pool accounting: whatever path Check returns on — violation,
+	// truncation, deadline, interrupt — the snapshots still parked in
+	// the frontier must go back to their pools (frontier is captured by
+	// reference, so the closure sees the final slice).
+	defer func() {
+		for i := range frontier {
+			if frontier[i].m != nil {
+				frontier[i].m.Release()
+			}
+		}
+	}()
 
 	m0, err := replayPath(nil)
 	if err != nil {
 		return nil, err
 	}
 	rep.Builds++
-	visited[m0.Hash()] = struct{}{}
+	h0, _ := hashOf(m0)
+	visited[h0] = struct{}{}
 	rep.States++
 	if err := m0.checkInvariants(); err != nil {
+		m0.Release()
 		return rep, fail(VInvariant, err.Error(), nil)
 	}
 	if ccfg.ReplayFromRoot {
+		m0.Release()
 		frontier = append(frontier, frontierEntry{})
 	} else {
 		frontier = append(frontier, frontierEntry{m: m0})
@@ -284,6 +340,7 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 				States: rep.States, Terminals: rep.Terminals,
 				Builds: rep.Builds, Clones: rep.Clones,
 				Frontier: len(frontier), Depth: rep.MaxDepth,
+				SymmetryMerges: rep.SymmetryMerges, PORSkips: rep.PORSkips,
 			})
 		}
 		ent := frontier[0]
@@ -306,23 +363,92 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		acts := base.Fabric.Enabled()
 		if len(acts) == 0 {
 			if !base.AllFinished() {
+				base.Release()
 				return rep, fail(VDeadlock, "cores stuck with empty fabric", path)
 			}
 			rep.Terminals++
-			o := base.Outcome()
-			rep.Outcomes[o.String()] = true
-			if checkForbidden && mcfg.Test.Forbidden(o) {
-				return rep, fail(VForbidden, o.String(), path)
+			o, oerr := base.Outcome()
+			if oerr != nil {
+				// An incoherent terminal (conflicting exclusive owners,
+				// busy line, disagreeing copies) is an invariant breach
+				// the per-state checks cannot see — witness it instead
+				// of panicking.
+				base.Release()
+				return rep, fail(VInvariant, oerr.Error(), path)
 			}
 			base.Release()
+			// Under symmetry reduction this terminal stands in for every
+			// terminal in its orbit: record the orbit images too, so the
+			// outcome set (and the Forbidden verdict) matches an
+			// unreduced exploration.
+			outs := []litmus.Outcome{o}
+			if !ccfg.CanonOff {
+				outs = append(outs, sym.outcomeOrbit(o)...)
+			}
+			for _, oo := range outs {
+				rep.Outcomes[oo.String()] = true
+				if checkForbidden && mcfg.Test.Forbidden(oo) {
+					return rep, fail(VForbidden, oo.String(), path)
+				}
+			}
 			continue
 		}
 		if len(path) >= ccfg.MaxDepth {
+			base.Release()
 			return rep, fail(VLivelock, fmt.Sprintf("depth bound %d exceeded", ccfg.MaxDepth), path)
 		}
 		if len(acts) > math.MaxUint16+1 {
+			base.Release()
 			return rep, fmt.Errorf("verif: %d enabled actions at depth %d exceed the %d-entry path encoding",
 				len(acts), len(path), math.MaxUint16+1)
+		}
+		// Partial-order reduction: when one enabled delivery provably
+		// commutes with every other (see ampleAction), expand it alone.
+		// The ample successor must be new — an already-visited successor
+		// would let a cycle ignore the other deliveries forever (the
+		// cycle proviso), so that case falls through to full expansion.
+		// The probe is serial and deterministic, so reports stay
+		// byte-identical at every worker count.
+		if !ccfg.POROff && len(acts) > 1 {
+			if ample := base.ampleAction(sym, acts); ample >= 0 {
+				probe := base.Clone()
+				if ccfg.DeepCopySnapshots {
+					probe.Materialize()
+				}
+				rep.Clones++
+				probe.Step(acts[ample])
+				h, _ := hashOf(probe)
+				if _, seen := visited[h]; !seen {
+					rep.PORSkips += uint64(len(acts) - 1)
+					visited[h] = struct{}{}
+					rep.States++
+					np := make([]uint16, len(path)+1)
+					copy(np, path)
+					np[len(path)] = uint16(ample)
+					if err := probe.checkInvariants(); err != nil {
+						probe.Release()
+						base.Release()
+						return rep, fail(VInvariant, err.Error(), np)
+					}
+					if rep.States >= ccfg.MaxStates {
+						probe.Release()
+						base.Release()
+						rep.Truncated = true
+						return rep, nil
+					}
+					ent := frontierEntry{path: np}
+					if !ccfg.ReplayFromRoot && live < ccfg.SnapshotBudget {
+						ent.m = probe
+						live++
+					} else {
+						probe.Release()
+					}
+					frontier = append(frontier, ent)
+					base.Release()
+					continue
+				}
+				probe.Release()
+			}
 		}
 		// Expand all successors in parallel: each branch deep-copies the
 		// frontier snapshot (or, under ReplayFromRoot, re-executes the
@@ -336,9 +462,10 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		// eagerly here (even for states the merge will skip as already
 		// visited) changes nothing observable.
 		type successor struct {
-			hash   uint64
-			invErr error
-			m      *Model
+			hash    uint64
+			renamed bool
+			invErr  error
+			m       *Model
 		}
 		kids, err := parallel.Map(context.Background(), ccfg.Workers, len(acts),
 			func(ai int) (successor, error) {
@@ -355,13 +482,17 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 					}
 				}
 				m.Step(m.Fabric.Enabled()[ai])
-				s := successor{hash: m.Hash(), invErr: m.checkInvariants()}
-				if !ccfg.ReplayFromRoot {
+				s := successor{invErr: m.checkInvariants()}
+				s.hash, s.renamed = hashOf(m)
+				if ccfg.ReplayFromRoot {
+					m.Release()
+				} else {
 					s.m = m
 				}
 				return s, nil
 			})
 		if err != nil {
+			base.Release()
 			return rep, err
 		}
 		if ccfg.ReplayFromRoot {
@@ -373,8 +504,25 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		// holds its own references, so releasing the parent never frees
 		// a slab a successor still shares.
 		base.Release()
-		for ai, kid := range kids {
+		// releaseKids drains un-merged successors on an early return;
+		// merged entries hand their snapshot to the frontier (or release
+		// it themselves) and are nilled out, so the sweep is exact.
+		releaseKids := func(from int) {
+			for i := from; i < len(kids); i++ {
+				if kids[i].m != nil {
+					kids[i].m.Release()
+				}
+			}
+		}
+		for ai := range kids {
+			kid := kids[ai]
+			kids[ai].m = nil
 			if _, seen := visited[kid.hash]; seen {
+				if kid.renamed {
+					// The fold came from a non-identity renaming: this
+					// successor merged with a symmetric sibling.
+					rep.SymmetryMerges++
+				}
 				if kid.m != nil {
 					kid.m.Release()
 				}
@@ -386,9 +534,17 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 			copy(np, path)
 			np[len(path)] = uint16(ai)
 			if kid.invErr != nil {
+				if kid.m != nil {
+					kid.m.Release()
+				}
+				releaseKids(ai + 1)
 				return rep, fail(VInvariant, kid.invErr.Error(), np)
 			}
 			if rep.States >= ccfg.MaxStates {
+				if kid.m != nil {
+					kid.m.Release()
+				}
+				releaseKids(ai + 1)
 				rep.Truncated = true
 				return rep, nil
 			}
@@ -407,6 +563,65 @@ func Check(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// crossCheck runs the reduced and unreduced explorations back to back
+// and verifies the reduction lost nothing: every unreduced outcome must
+// appear in the reduced outcome set, and violations must agree in kind.
+// The reduced set may be a strict superset — the raw fingerprint omits
+// register files and fetch positions, so the unreduced checker can
+// merge states that differ only in loaded values and lose their
+// terminals (CoRR2 is the canonical example: 8 raw outcomes vs 18
+// real ones); the canonical hash includes both and recovers them.
+// Truncated runs are not comparable (the two checkers truncate at
+// different points of the space) and skip the comparison. The returned
+// Report is the reduced one with the unreduced run's build/clone costs
+// folded in.
+func crossCheck(mcfg ModelConfig, ccfg CheckerConfig) (*Report, error) {
+	red := ccfg
+	red.CrossCheck = false
+	unred := red
+	unred.CanonOff, unred.POROff = true, true
+	repR, errR := Check(mcfg, red)
+	repU, errU := Check(mcfg, unred)
+	if repR != nil && repU != nil {
+		repR.Builds += repU.Builds
+		repR.Clones += repU.Clones
+	}
+	// Aborts (deadline/interrupt) are not verdicts; surface them as-is.
+	for _, err := range []error{errR, errU} {
+		if errors.Is(err, ErrCheckDeadline) || errors.Is(err, ErrCheckInterrupted) {
+			return repR, err
+		}
+	}
+	var cexR, cexU *Counterexample
+	okR := errors.As(errR, &cexR)
+	okU := errors.As(errU, &cexU)
+	switch {
+	case errR != nil && !okR:
+		return repR, errR
+	case errU != nil && !okU:
+		return repR, errU
+	case okR != okU:
+		return repR, fmt.Errorf("verif: cross-check mismatch on %s: reduced says %v, unreduced says %v",
+			mcfg.Test.Name, errR, errU)
+	case okR && okU:
+		if cexR.Kind != cexU.Kind {
+			return repR, fmt.Errorf("verif: cross-check mismatch on %s: reduced violation %v, unreduced %v",
+				mcfg.Test.Name, cexR.Kind, cexU.Kind)
+		}
+		return repR, errR
+	}
+	if repR.Truncated || repU.Truncated {
+		return repR, nil
+	}
+	for o := range repU.Outcomes {
+		if !repR.Outcomes[o] {
+			return repR, fmt.Errorf("verif: cross-check mismatch on %s: unreduced outcome %q missing from reduced set",
+				mcfg.Test.Name, o)
+		}
+	}
+	return repR, nil
 }
 
 // checkInvariants runs the per-state checks.

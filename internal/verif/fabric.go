@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"c3/internal/mem"
 	"c3/internal/msg"
 	"c3/internal/network"
 )
@@ -281,6 +282,66 @@ func (f *ChoiceFabric) DumpState(w writerTo) {
 	}
 	sort.Strings(rs)
 	fmt.Fprintf(w, "bag%v\n", rs)
+}
+
+// DumpCanon renders in-flight messages for the canonical hash: line
+// addresses go through rnLine and node ids through rnNode, channels are
+// re-sorted by their renamed key, and every protocol-visible field is
+// included (VNet, Word, Mask, Acq/Rel, Poisoned — fields the raw dump
+// omits; the canonical hash must be at least as fine as real state).
+func (f *ChoiceFabric) DumpCanon(w writerTo, rnLine func(mem.LineAddr) mem.LineAddr, rnNode func(msg.NodeID) msg.NodeID) {
+	fmt.Fprint(w, "NET")
+	type rch struct {
+		key chKey
+		q   []*msg.Msg
+	}
+	rcs := make([]rch, 0, len(f.chans))
+	for i := range f.chans {
+		c := &f.chans[i]
+		if len(c.q) == 0 {
+			continue
+		}
+		rcs = append(rcs, rch{chKey{rnNode(c.key.src), rnNode(c.key.dst), c.key.vnet}, c.q})
+	}
+	sort.Slice(rcs, func(i, j int) bool { return rcs[i].key.less(rcs[j].key) })
+	for _, c := range rcs {
+		fmt.Fprintf(w, "[%d>%d.%d", c.key.src, c.key.dst, c.key.vnet)
+		for _, m := range c.q {
+			dumpMsgCanon(w, m, rnLine, rnNode)
+		}
+		fmt.Fprint(w, "]")
+	}
+	var rs []string
+	for _, m := range f.bag {
+		var b strings.Builder
+		dumpMsgCanon(&b, m, rnLine, rnNode)
+		rs = append(rs, b.String())
+	}
+	sort.Strings(rs)
+	fmt.Fprintf(w, "bag%v\n", rs)
+}
+
+// ForEachInFlight visits every in-flight message (channel entries and
+// bag). The partial-order reduction uses it to count per-line traffic.
+func (f *ChoiceFabric) ForEachInFlight(fn func(m *msg.Msg)) {
+	for i := range f.chans {
+		for _, m := range f.chans[i].q {
+			fn(m)
+		}
+	}
+	for _, m := range f.bag {
+		fn(m)
+	}
+}
+
+func dumpMsgCanon(w writerTo, m *msg.Msg, rnLine func(mem.LineAddr) mem.LineAddr, rnNode func(msg.NodeID) msg.NodeID) {
+	fmt.Fprintf(w, "{%d %x %d>%d.%d", m.Type, uint64(rnLine(m.Addr)), rnNode(m.Src),
+		rnNode(m.Dst), m.VNet)
+	if m.Data != nil {
+		fmt.Fprintf(w, " %v %v", *m.Data, m.Dirty)
+	}
+	fmt.Fprintf(w, " r%d a%d v%d w%d m%x %v%v %v}", rnNode(m.Req), m.Acks, m.Val,
+		m.Word, m.Mask, m.Acq, m.Rel, m.Poisoned)
 }
 
 type writerTo interface {

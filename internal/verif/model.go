@@ -52,6 +52,10 @@ type Model struct {
 	// Computed once at Build and shared (read-only) by every clone: the
 	// invariant checks walk it for each expanded state.
 	addrLines []mem.LineAddr
+
+	// released makes Release idempotent and keeps the modelsLive pool
+	// accounting exact even if a model reaches two release paths.
+	released bool
 }
 
 type hostL1 struct {
@@ -160,6 +164,7 @@ func Build(cfg ModelConfig) (*Model, error) {
 		m.addrLines = append(m.addrLines, varAddrOf(cfg.Test, v).Line())
 	}
 	sort.Slice(m.addrLines, func(i, j int) bool { return m.addrLines[i] < m.addrLines[j] })
+	modelsLive.Add(1)
 	return m, nil
 }
 
@@ -206,8 +211,11 @@ func (m *Model) Hash() uint64 {
 	return h.Sum64()
 }
 
-// Outcome gathers thread registers and final memory values.
-func (m *Model) Outcome() litmus.Outcome {
+// Outcome gathers thread registers and final memory values. An error
+// means the terminal state is incoherent (conflicting exclusive owners,
+// a line still busy, or disagreeing shared copies) — the checker
+// surfaces it as a VInvariant counterexample rather than panicking.
+func (m *Model) Outcome() (litmus.Outcome, error) {
 	o := litmus.Outcome{}
 	for i, src := range m.srcs {
 		for reg, val := range src.Regs {
@@ -218,11 +226,11 @@ func (m *Model) Outcome() litmus.Outcome {
 		addr := varAddrOf(m.cfg.Test, v)
 		val, err := m.finalValue(addr.Line())
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		o[string(v)] = val.Word(addr.WordIndex())
 	}
-	return o
+	return o, nil
 }
 
 // finalValue resolves the authoritative copy of a line at a terminal

@@ -1,0 +1,327 @@
+package verif
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"c3/internal/cpu"
+	"c3/internal/litmus"
+	"c3/internal/mem"
+)
+
+// wmoCXL builds the canonical reduction-test configuration: mesi hosts,
+// cxl global protocol, weakly ordered cores, full synchronization.
+func wmoCXL(t testing.TB, name string, sync litmus.SyncMode) ModelConfig {
+	tc, ok := litmus.ByName(name)
+	if !ok {
+		t.Fatalf("no %s test", name)
+	}
+	return ModelConfig{
+		Test:   tc,
+		Locals: [2]string{"mesi", "mesi"},
+		Global: "cxl",
+		MCMs:   [2]cpu.MCM{cpu.WMO, cpu.WMO},
+		Sync:   sync,
+	}
+}
+
+// TestReductionEquivalenceCorpus runs the cross-check mode over the full
+// litmus corpus on the canonical configuration: the reduced checker
+// (canonical hashing + symmetry + POR) must reach a superset of the
+// unreduced checker's outcomes and agree on every violation verdict.
+// CrossCheck performs both runs and the comparison internally.
+func TestReductionEquivalenceCorpus(t *testing.T) {
+	for _, lt := range litmus.Tests() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			mcfg := wmoCXL(t, lt.Name, litmus.SyncFull)
+			_, err := Check(mcfg, CheckerConfig{Workers: 1, MaxStates: 100_000, CrossCheck: true})
+			var cex *Counterexample
+			if err != nil && !errors.As(err, &cex) {
+				t.Fatalf("cross-check failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestReductionEquivalenceVariants cross-checks the reduction on
+// configurations that exercise its gating and fallback logic: an hmesi
+// global directory with mixed host protocols and MCMs (pre-existing
+// invariant violations — both sides must report the same kind), a
+// TinyLLC host (variable permutations and POR must disable themselves;
+// thread symmetry stays sound), and unsynchronized runs with forbidden
+// checking on (forbidden verdicts must agree). Both serial and parallel
+// expansions run to pin worker independence of the comparison.
+func TestReductionEquivalenceVariants(t *testing.T) {
+	type variant struct {
+		name           string
+		locals         [2]string
+		global         string
+		mcms           [2]cpu.MCM
+		sync           litmus.SyncMode
+		tiny           bool
+		checkForbidden bool
+	}
+	variants := []variant{
+		{"hmesi-mixed", [2]string{"moesi", "mesif"}, "hmesi", [2]cpu.MCM{cpu.TSO, cpu.WMO}, litmus.SyncFull, false, false},
+		{"tiny-llc", [2]string{"mesi", "mesi"}, "cxl", [2]cpu.MCM{cpu.WMO, cpu.WMO}, litmus.SyncFull, true, false},
+		{"unsynced-forbidden", [2]string{"mesi", "mesi"}, "cxl", [2]cpu.MCM{cpu.WMO, cpu.WMO}, litmus.SyncNone, false, true},
+	}
+	for _, v := range variants {
+		for _, name := range []string{"MP", "SB"} {
+			for _, workers := range []int{1, 8} {
+				v, name, workers := v, name, workers
+				t.Run(v.name+"/"+name, func(t *testing.T) {
+					lt, ok := litmus.ByName(name)
+					if !ok {
+						t.Fatalf("no %s test", name)
+					}
+					mcfg := ModelConfig{Test: lt, Locals: v.locals, Global: v.global,
+						MCMs: v.mcms, Sync: v.sync, TinyLLC: v.tiny}
+					ccfg := CheckerConfig{Workers: workers, MaxStates: 100_000,
+						CheckForbidden: v.checkForbidden, CrossCheck: true}
+					_, err := Check(mcfg, ccfg)
+					var cex *Counterexample
+					if err != nil && !errors.As(err, &cex) {
+						t.Fatalf("cross-check failed (workers=%d): %v", workers, err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCanonOffReproducesLegacyCounts pins the -canon=off -por=off escape
+// hatch: with both reductions disabled the checker must reproduce the
+// pre-reduction state counts exactly — same hash function, same visit
+// order, same truncation behavior as the seed checker.
+func TestCanonOffReproducesLegacyCounts(t *testing.T) {
+	want := map[string]uint64{
+		"MP":    198,
+		"SB":    219,
+		"WRC":   1180,
+		"IRIW":  6245,
+		"CoRR2": 1589,
+	}
+	for name, states := range want {
+		mcfg := wmoCXL(t, name, litmus.SyncFull)
+		rep, err := Check(mcfg, CheckerConfig{Workers: 1, MaxStates: 100_000, CanonOff: true, POROff: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.States != states {
+			t.Errorf("%s: canon=off por=off visited %d states, want legacy count %d", name, rep.States, states)
+		}
+		if rep.SymmetryMerges != 0 || rep.PORSkips != 0 {
+			t.Errorf("%s: reduction counters nonzero with reductions off: symm=%d por=%d",
+				name, rep.SymmetryMerges, rep.PORSkips)
+		}
+	}
+}
+
+// TestReductionCompletesFormerlyTruncated is the acceptance check from
+// the issue: MP+3W under a 10k-state budget truncates unreduced (22014
+// states exist) but completes exhaustively reduced, with both symmetry
+// and POR contributing, and the reduced run still reaches every outcome
+// the truncated unreduced run saw.
+func TestReductionCompletesFormerlyTruncated(t *testing.T) {
+	mcfg := wmoCXL(t, "MP+3W", litmus.SyncFull)
+	const budget = 10_000
+
+	raw, err := Check(mcfg, CheckerConfig{Workers: 1, MaxStates: budget, CanonOff: true, POROff: true})
+	if err != nil {
+		t.Fatalf("unreduced: %v", err)
+	}
+	if !raw.Truncated {
+		t.Fatalf("unreduced run was expected to truncate at %d states (visited %d)", budget, raw.States)
+	}
+
+	red, err := Check(mcfg, CheckerConfig{Workers: 1, MaxStates: budget})
+	if err != nil {
+		t.Fatalf("reduced: %v", err)
+	}
+	if red.Truncated {
+		t.Fatalf("reduced run still truncated: %d states", red.States)
+	}
+	if red.SymmetryMerges == 0 {
+		t.Error("reduced run reports no symmetry merges; MP+3W has interchangeable writer threads")
+	}
+	if red.PORSkips == 0 {
+		t.Error("reduced run reports no POR skips; MP+3W has independent single-store lines")
+	}
+	for o := range raw.Outcomes {
+		if !red.Outcomes[o] {
+			t.Errorf("outcome %q reached by the truncated unreduced run but not the reduced run", o)
+		}
+	}
+	t.Logf("unreduced truncated at %d states; reduced completed at %d (symm=%d, por=%d)",
+		raw.States, red.States, red.SymmetryMerges, red.PORSkips)
+}
+
+// TestReducedCheckerWorkerIndependence: the reduced checker's Report —
+// including the new reduction counters — must be identical at any worker
+// count, exactly like the unreduced checker's.
+func TestReducedCheckerWorkerIndependence(t *testing.T) {
+	mcfg := wmoCXL(t, "MP+3W", litmus.SyncFull)
+	want, err := Check(mcfg, CheckerConfig{Workers: 1, MaxStates: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Check(mcfg, CheckerConfig{Workers: workers, MaxStates: 100_000})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.States != want.States || got.Terminals != want.Terminals ||
+			got.MaxDepth != want.MaxDepth || got.Truncated != want.Truncated ||
+			got.SymmetryMerges != want.SymmetryMerges || got.PORSkips != want.PORSkips {
+			t.Errorf("workers=%d diverged: got states=%d terminals=%d depth=%d symm=%d por=%d, want %d/%d/%d/%d/%d",
+				workers, got.States, got.Terminals, got.MaxDepth, got.SymmetryMerges, got.PORSkips,
+				want.States, want.Terminals, want.MaxDepth, want.SymmetryMerges, want.PORSkips)
+		}
+		if len(got.Outcomes) != len(want.Outcomes) {
+			t.Errorf("workers=%d: %d outcomes, want %d", workers, len(got.Outcomes), len(want.Outcomes))
+		}
+		for o := range want.Outcomes {
+			if !got.Outcomes[o] {
+				t.Errorf("workers=%d missing outcome %q", workers, o)
+			}
+		}
+	}
+}
+
+// TestSymmetryGroups pins the admitted renaming groups: MP has no
+// nontrivial symmetry (both threads are register-bearing and pinned),
+// while MP+3W admits exactly one nontrivial renaming — swapping the two
+// interchangeable cluster-0 writer threads t2/t4 — and TinyLLC keeps
+// the thread swap while disabling variable permutations and POR.
+func TestSymmetryGroups(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		tiny  bool
+		perms int
+		porOK bool
+	}{
+		{"MP", false, 1, true},
+		{"CoRR2", false, 1, true},
+		{"MP+3W", false, 2, true},
+		{"MP+3W", true, 2, false},
+	} {
+		mcfg := wmoCXL(t, tc.name, litmus.SyncFull)
+		mcfg.TinyLLC = tc.tiny
+		sym := newSymmetry(mcfg)
+		if len(sym.perms) != tc.perms {
+			t.Errorf("%s (tiny=%v): %d admitted renamings, want %d", tc.name, tc.tiny, len(sym.perms), tc.perms)
+		}
+		if sym.porOK != tc.porOK {
+			t.Errorf("%s (tiny=%v): porOK=%v, want %v", tc.name, tc.tiny, sym.porOK, tc.porOK)
+		}
+	}
+}
+
+// TestCheckReleasesAllModels pins the snapshot-pool accounting across
+// every early-return path: violations, truncation, deadline, livelock,
+// and replay-from-root mode must all leave zero live models behind.
+// Before the leak fixes, each counterexample path abandoned the frontier
+// tail and the unmerged successor clones.
+func TestCheckReleasesAllModels(t *testing.T) {
+	base := ModelsLive()
+	run := func(name string, mcfg ModelConfig, ccfg CheckerConfig) {
+		t.Helper()
+		_, err := Check(mcfg, ccfg)
+		var cex *Counterexample
+		if err != nil && !errors.As(err, &cex) &&
+			!errors.Is(err, ErrCheckDeadline) {
+			t.Fatalf("%s: unexpected error: %v", name, err)
+		}
+		if n := ModelsLive(); n != base {
+			t.Errorf("%s: %d models leaked", name, n-base)
+		}
+	}
+
+	// Forbidden-outcome counterexample (VForbidden early return).
+	run("forbidden", wmoCXL(t, "MP", litmus.SyncNone),
+		CheckerConfig{Workers: 4, MaxStates: 100_000, CheckForbidden: true})
+	// Invariant violation mid-exploration (hmesi mixed config).
+	run("invariant", ModelConfig{Test: mustTest(t, "MP"), Locals: [2]string{"moesi", "mesif"},
+		Global: "hmesi", MCMs: [2]cpu.MCM{cpu.TSO, cpu.WMO}, Sync: litmus.SyncFull},
+		CheckerConfig{Workers: 4, MaxStates: 100_000})
+	// Truncation with a live frontier.
+	run("truncated", wmoCXL(t, "IRIW", litmus.SyncFull),
+		CheckerConfig{Workers: 4, MaxStates: 200})
+	// Livelock detector (depth bound).
+	run("livelock", wmoCXL(t, "MP", litmus.SyncFull),
+		CheckerConfig{Workers: 1, MaxStates: 100_000, MaxDepth: 4})
+	// Deadline already expired: immediate partial return.
+	run("deadline", wmoCXL(t, "MP", litmus.SyncFull),
+		CheckerConfig{Workers: 1, MaxStates: 100_000, Deadline: time.Now().Add(-time.Second)})
+	// Replay-from-root mode (kids carry rebuilt models that must release).
+	run("replay-from-root", wmoCXL(t, "MP", litmus.SyncFull),
+		CheckerConfig{Workers: 4, MaxStates: 100_000, ReplayFromRoot: true})
+	run("replay-truncated", wmoCXL(t, "MP", litmus.SyncFull),
+		CheckerConfig{Workers: 4, MaxStates: 50, ReplayFromRoot: true})
+}
+
+func mustTest(t *testing.T, name string) litmus.Test {
+	t.Helper()
+	lt, ok := litmus.ByName(name)
+	if !ok {
+		t.Fatalf("no %s test", name)
+	}
+	return lt
+}
+
+// TestOutcomeConflictIsInvariantNotPanic: a terminal state whose caches
+// hold irreconcilable copies (here: two shared-state frames with
+// different data, which passes SWMR) must surface as a VInvariant
+// counterexample with a replayable path — the Outcome computation used
+// to panic on it and take the whole checker process down.
+func TestOutcomeConflictIsInvariantNotPanic(t *testing.T) {
+	lt := litmus.Test{
+		Name:    "terminal-conflict",
+		Vars:    []litmus.Var{"x"},
+		Threads: []litmus.Thread{{}, {}},
+	}
+	mcfg := ModelConfig{Test: lt, Locals: [2]string{"mesi", "mesi"}, Global: "cxl",
+		MCMs: [2]cpu.MCM{cpu.WMO, cpu.WMO}, Sync: litmus.SyncFull}
+	addr := mem.LineAddr(0x40000)
+	setRootMutate(t, func(m *Model) {
+		for i := 0; i < 2; i++ {
+			e := m.l1s[i].cache.Install(addr)
+			e.State = 1 // stS: two shared copies keep SWMR happy...
+			e.Data = mem.Data{uint64(i + 1)}
+			e.DataValid = true // ...but their payloads disagree.
+		}
+	})
+
+	_, err := Check(mcfg, CheckerConfig{Workers: 1, MaxStates: 1000})
+	cex := asCex(t, err)
+	if cex.Kind != VInvariant {
+		t.Fatalf("kind = %v, want VInvariant", cex.Kind)
+	}
+	if want := "shared copies"; !contains(cex.Msg, want) {
+		t.Fatalf("message %q does not mention %q", cex.Msg, want)
+	}
+
+	// The minimized witness must replay to the same verdict.
+	res, err := Replay(mcfg, cex.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != VInvariant || res.Msg != cex.Msg {
+		t.Fatalf("replay = (%v, %q), want (VInvariant, %q)", res.Kind, res.Msg, cex.Msg)
+	}
+	if n := ModelsLive(); n != 0 {
+		t.Errorf("%d models leaked through the Outcome-error path", n)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -2,10 +2,21 @@ package verif
 
 import (
 	"io"
+	"sync/atomic"
 
 	"c3/internal/core"
 	"c3/internal/cpu"
 )
+
+// modelsLive counts models built or cloned and not yet released — the
+// pool-accounting signal behind the leak regression tests: after a
+// checker run returns (on any path, including violations and aborts),
+// every model it created must have been released.
+var modelsLive atomic.Int64
+
+// ModelsLive reports the number of live (unreleased) models in the
+// process. Test instrumentation.
+func ModelsLive() int64 { return modelsLive.Load() }
 
 // Clone returns a deep copy of a quiescent model: an independent system
 // whose every component — kernel clock, cores, store buffers, host
@@ -81,6 +92,7 @@ func (m *Model) Clone() *Model {
 		n.dumpers = append(n.dumpers, n.hdir)
 	}
 	n.dumpers = append(n.dumpers, n.dram)
+	modelsLive.Add(1)
 	return n
 }
 
@@ -91,6 +103,11 @@ func (m *Model) Clone() *Model {
 // checker releases expanded bases, duplicate successors, and
 // budget-dropped snapshots to keep the clone hot path allocation-free.
 func (m *Model) Release() {
+	if m.released {
+		return
+	}
+	m.released = true
+	modelsLive.Add(-1)
 	for _, l := range m.l1s {
 		l.cache.Release()
 	}

@@ -104,7 +104,7 @@ const minimizeBudget = 600
 // the way, which truncates the tail for free), and is never longer than
 // the original. On any budget exhaustion or non-reproduction the
 // original path is kept.
-func minimizeWitness(mcfg ModelConfig, cex *Counterexample, rep *Report) {
+func minimizeWitness(mcfg ModelConfig, sym *symmetry, cex *Counterexample, rep *Report) {
 	if len(cex.Path) == 0 {
 		return
 	}
@@ -115,7 +115,7 @@ func minimizeWitness(mcfg ModelConfig, cex *Counterexample, rep *Report) {
 	}
 	// Sanity: replaying the full key sequence must reproduce the failure
 	// (it re-executes the original path by identity).
-	best, ok := reproduces(mcfg, keys, cex, rep, &budget)
+	best, ok := reproduces(mcfg, sym, keys, cex, rep, &budget)
 	if !ok {
 		return
 	}
@@ -130,7 +130,7 @@ func minimizeWitness(mcfg ModelConfig, cex *Counterexample, rep *Report) {
 			cand := make([]string, 0, len(keys)-sz)
 			cand = append(cand, keys[:start]...)
 			cand = append(cand, keys[start+sz:]...)
-			if p, ok := reproduces(mcfg, cand, cex, rep, &budget); ok {
+			if p, ok := reproduces(mcfg, sym, cand, cex, rep, &budget); ok {
 				keys, best, removed = cand, p, true
 			} else {
 				start += sz
@@ -154,6 +154,7 @@ func pathKeys(mcfg ModelConfig, path []uint16, rep *Report) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer m.Release()
 	rep.Builds++
 	keys := make([]string, 0, len(path))
 	for i, ai := range path {
@@ -172,7 +173,7 @@ func pathKeys(mcfg ModelConfig, path []uint16, rep *Report) ([]string, error) {
 // the same violation fires, returning the corresponding index path.
 // Invariant violations may fire before all keys are consumed; the
 // shorter prefix is returned.
-func reproduces(mcfg ModelConfig, keys []string, cex *Counterexample, rep *Report, budget *int) ([]uint16, bool) {
+func reproduces(mcfg ModelConfig, sym *symmetry, keys []string, cex *Counterexample, rep *Report, budget *int) ([]uint16, bool) {
 	if *budget <= 0 {
 		return nil, false
 	}
@@ -181,6 +182,7 @@ func reproduces(mcfg ModelConfig, keys []string, cex *Counterexample, rep *Repor
 	if err != nil {
 		return nil, false
 	}
+	defer m.Release()
 	rep.Builds++
 	path := make([]uint16, 0, len(keys))
 	for _, key := range keys {
@@ -204,13 +206,39 @@ func reproduces(mcfg ModelConfig, keys []string, cex *Counterexample, rep *Repor
 		}
 	}
 	switch cex.Kind {
+	case VInvariant:
+		// Not reproduced mid-path above: the remaining VInvariant source
+		// is an incoherent terminal outcome (Model.Outcome error).
+		if len(m.Fabric.Enabled()) == 0 && m.AllFinished() {
+			if _, oerr := m.Outcome(); oerr != nil && oerr.Error() == cex.Msg {
+				return path, true
+			}
+		}
+		return nil, false
 	case VDeadlock:
 		return path, len(m.Fabric.Enabled()) == 0 && !m.AllFinished()
 	case VForbidden:
 		if len(m.Fabric.Enabled()) != 0 || !m.AllFinished() {
 			return nil, false
 		}
-		return path, m.Outcome().String() == cex.Msg
+		o, oerr := m.Outcome()
+		if oerr != nil {
+			return nil, false
+		}
+		// The recorded outcome may be an orbit image of the one this
+		// path concretely produces (the checker records all images of a
+		// merged terminal), so match up to the symmetry group.
+		if o.String() == cex.Msg {
+			return path, true
+		}
+		if sym != nil {
+			for _, oo := range sym.outcomeOrbit(o) {
+				if oo.String() == cex.Msg {
+					return path, true
+				}
+			}
+		}
+		return nil, false
 	}
 	return nil, false
 }
@@ -245,6 +273,7 @@ func Replay(mcfg ModelConfig, path []uint16) (*ReplayResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer m.Release()
 	res := &ReplayResult{}
 	if err := m.checkInvariants(); err != nil {
 		res.Kind, res.Msg = VInvariant, err.Error()
@@ -270,8 +299,13 @@ func Replay(mcfg ModelConfig, path []uint16) (*ReplayResult, error) {
 			res.Kind, res.Msg = VDeadlock, "cores stuck with empty fabric"
 			return res, nil
 		}
+		o, oerr := m.Outcome()
+		if oerr != nil {
+			res.Kind, res.Msg, res.FailedAt = VInvariant, oerr.Error(), len(res.Steps)
+			return res, nil
+		}
 		res.Terminal = true
-		res.Outcome = m.Outcome()
+		res.Outcome = o
 		if mcfg.Test.Forbidden != nil && mcfg.Test.Forbidden(res.Outcome) {
 			res.Kind, res.Msg = VForbidden, res.Outcome.String()
 		}
