@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"c3"
+	"c3/internal/campaign"
 	"c3/internal/litmus"
 	"c3/internal/obs"
 	"c3/internal/trace"
@@ -86,6 +87,7 @@ func main() {
 	statusz := flag.String("statusz", "", "serve live introspection (/statusz JSON, /metricsz, pprof, expvar) on this address, e.g. :8080 or 127.0.0.1:0")
 	heartbeat := flag.Duration("heartbeat", 0, "print a progress line to stderr at this interval (0 = off)")
 	ledger := flag.String("ledger", obs.DefaultLedgerPath(), "append JSONL run and row-checkpoint records to this file (empty = off)")
+	compact := flag.Bool("compact-ledger", false, "rewrite the ledger keeping only the latest record per row key, then exit (resume output is unchanged)")
 	flag.Parse()
 
 	if *listPlans {
@@ -93,6 +95,21 @@ func main() {
 			p, _ := c3.ParseFaultPlan(n)
 			fmt.Printf("%-12s %s\n", n, p.String())
 		}
+		return
+	}
+
+	if *compact {
+		if *ledger == "" {
+			fmt.Fprintln(os.Stderr, "c3soak: -compact-ledger needs a ledger (-ledger)")
+			os.Exit(obs.ExitUsage)
+		}
+		stats, err := obs.CompactLedger(*ledger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c3soak: compact:", err)
+			os.Exit(obs.ExitFail)
+		}
+		fmt.Fprintf(os.Stderr, "c3soak: compact: %s: %d records -> %d (%d superseded row checkpoints dropped, %d torn)\n",
+			*ledger, stats.In, stats.Out, stats.DroppedRows, stats.Torn)
 		return
 	}
 
@@ -146,11 +163,13 @@ func main() {
 		cfg.Seeds = append(cfg.Seeds, v)
 	}
 
-	// rowSuffix scopes checkpoint keys to everything that shapes a row's
-	// result: the run configuration and the code version. A resumed sweep
-	// only trusts rows whose suffix matches its own, so changing a flag or
-	// rebuilding at a different revision invalidates the cache naturally.
-	suffix := rowSuffix(cfg)
+	// The row-checkpoint suffix scopes checkpoint keys to everything that
+	// shapes a row's result: the run configuration and the code version.
+	// A resumed sweep only trusts rows whose suffix matches its own, so
+	// changing a flag or rebuilding at a different revision invalidates
+	// the cache naturally. Shared with c3serve so coordinator journals
+	// and c3soak checkpoint ledgers resume each other.
+	suffix := campaign.RowSuffix(cfg.Locals, cfg.Global, cfg.MCMs, cfg.Iters)
 
 	// Graceful shutdown: the first SIGINT/SIGTERM closes the interrupt
 	// channel — in-flight campaigns stop at their next poll, the partial
@@ -171,10 +190,20 @@ func main() {
 	cfg.Interrupt = interrupt
 
 	if *resume {
-		completed, err := loadCheckpoint(*ledger, suffix)
+		completed, stats, err := campaign.LoadCheckpoints(*ledger, suffix)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "c3soak: -resume: %v\n", err)
-			os.Exit(obs.ExitUsage)
+			if os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "c3soak: resume: no ledger at %s, starting fresh\n", *ledger)
+			} else {
+				fmt.Fprintf(os.Stderr, "c3soak: -resume: %v\n", err)
+				os.Exit(obs.ExitUsage)
+			}
+		}
+		for _, w := range stats.Warnings {
+			fmt.Fprintln(os.Stderr, "c3soak: resume:", w)
+		}
+		if stats.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "c3soak: resume: %d torn/corrupt ledger record(s) skipped\n", stats.Skipped)
 		}
 		fmt.Fprintf(os.Stderr, "c3soak: resume: %d completed rows loaded from %s\n", len(completed), *ledger)
 		cfg.Completed = completed
@@ -242,58 +271,6 @@ func main() {
 	os.Exit(exit)
 }
 
-// rowSuffix renders the configuration-and-code fingerprint appended to
-// every row checkpoint key. Flags that cannot change a row's bytes
-// (workers, timeouts, observability) are deliberately absent.
-func rowSuffix(cfg c3.SoakConfig) string {
-	v := obs.Version()
-	dirty := ""
-	if v.Dirty {
-		dirty = "+dirty"
-	}
-	return fmt.Sprintf("locals=%s,%s global=%s mcms=%s,%s iters=%d %s/%s%s",
-		cfg.Locals[0], cfg.Locals[1], cfg.Global, cfg.MCMs[0], cfg.MCMs[1],
-		cfg.Iters, v.Go, v.Revision, dirty)
-}
-
-// loadCheckpoint replays the ledger and returns the completed rows whose
-// checkpoint key matches suffix — the resume cache. The lenient reader
-// tolerates a torn final line (the crash that motivated the resume);
-// TIMEOUT/ERROR/interrupted rows are left out so they re-run.
-func loadCheckpoint(path, suffix string) (map[string]c3.SoakRun, error) {
-	recs, warnings, err := obs.ReadLedgerLenient(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			fmt.Fprintf(os.Stderr, "c3soak: resume: no ledger at %s, starting fresh\n", path)
-			return nil, nil
-		}
-		return nil, err
-	}
-	for _, w := range warnings {
-		fmt.Fprintln(os.Stderr, "c3soak: resume:", w)
-	}
-	completed := make(map[string]c3.SoakRun)
-	for _, rec := range recs {
-		if rec.Tool != "c3soak" || rec.RowKey == "" || len(rec.Row) == 0 {
-			continue
-		}
-		label, recSuffix, ok := strings.Cut(rec.RowKey, "|")
-		if !ok || recSuffix != suffix {
-			continue
-		}
-		var row c3.SoakRun
-		if err := json.Unmarshal(rec.Row, &row); err != nil {
-			fmt.Fprintf(os.Stderr, "c3soak: resume: skipping undecodable row %s: %v\n", rec.RowKey, err)
-			continue
-		}
-		if row.Err != "" || row.Interrupted {
-			continue // no verdict: re-run
-		}
-		completed[label] = row
-	}
-	return completed, nil
-}
-
 // soakObserver aggregates the sweep live: the embedded Tracker follows
 // pool scheduling, and the atomic tallies (fed by CampaignDone, read by
 // the statusz registry) expose the robustness counters — including the
@@ -347,28 +324,8 @@ func (o *soakObserver) CampaignDone(_ int, row litmus.SoakRun) {
 	if o.ledgerPath == "" || row.Resumed || row.Interrupted {
 		return
 	}
-	payload, err := json.Marshal(row)
-	if err != nil {
-		return
-	}
-	verdict := obs.VerdictPass
-	switch {
-	case row.TimedOut:
-		verdict = obs.VerdictTimeout
-	case row.Err != "":
-		verdict = obs.VerdictError
-	case row.Forbidden > 0:
-		verdict = obs.VerdictFail
-	}
-	rec := &obs.Record{
-		Tool:    "c3soak",
-		RowKey:  litmus.RowLabel(row.Test, row.Plan, row.Seed) + "|" + o.rowSuffix,
-		Row:     json.RawMessage(payload),
-		Seeds:   []int64{row.Seed},
-		Version: obs.Version(),
-		Verdict: verdict,
-	}
-	if err := obs.AppendLedger(o.ledgerPath, rec); err != nil {
+	rowKey := litmus.RowLabel(row.Test, row.Plan, row.Seed) + "|" + o.rowSuffix
+	if err := campaign.AppendRowRecord(o.ledgerPath, "c3soak", rowKey, row); err != nil {
 		fmt.Fprintf(os.Stderr, "c3soak: checkpoint: %v\n", err)
 	}
 }

@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"c3/internal/litmus"
+	"c3/internal/obs"
+)
+
+// RowVerdict maps a completed soak row onto the ledger verdict
+// vocabulary — shared by the c3soak checkpoint writer and the
+// coordinator journal so the same row always records the same verdict.
+func RowVerdict(row litmus.SoakRun) string {
+	switch {
+	case row.TimedOut:
+		return obs.VerdictTimeout
+	case row.Err != "":
+		return obs.VerdictError
+	case row.Forbidden > 0:
+		return obs.VerdictFail
+	}
+	return obs.VerdictPass
+}
+
+// AppendRowRecord journals one completed shard row to the ledger at
+// path as a c3-run/v1 row-checkpoint record — the exact format c3soak
+// -resume replays, so coordinator journals and single-process
+// checkpoint ledgers are interchangeable.
+func AppendRowRecord(path, tool, rowKey string, row litmus.SoakRun) error {
+	payload, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("campaign: row marshal: %w", err)
+	}
+	return obs.AppendLedger(path, &obs.Record{
+		Tool:    tool,
+		RowKey:  rowKey,
+		Row:     json.RawMessage(payload),
+		Seeds:   []int64{row.Seed},
+		Version: obs.Version(),
+		Verdict: RowVerdict(row),
+	})
+}
+
+// LoadCheckpoints replays the ledger at path and returns every
+// completed row whose checkpoint-key suffix matches suffix, keyed by
+// row label — the resume cache for both `c3soak -resume` and the
+// coordinator's journal replay. Records from any tool qualify (a
+// coordinator can finish a sweep c3soak started and vice versa); rows
+// without a verdict (TIMEOUT/ERROR/INTERRUPTED) are left out so they
+// re-run. The returned stats carry the torn/corrupt line count, which
+// callers must surface (a resume that silently dropped records would
+// claim rows re-ran for no reason).
+func LoadCheckpoints(path, suffix string) (map[string]litmus.SoakRun, obs.LedgerStats, error) {
+	recs, stats, err := obs.ReadLedgerLenient(path)
+	if err != nil {
+		return nil, stats, err
+	}
+	completed := make(map[string]litmus.SoakRun)
+	for _, rec := range recs {
+		if rec.RowKey == "" || len(rec.Row) == 0 {
+			continue
+		}
+		label, recSuffix, ok := strings.Cut(rec.RowKey, "|")
+		if !ok || recSuffix != suffix {
+			continue
+		}
+		var row litmus.SoakRun
+		if err := json.Unmarshal(rec.Row, &row); err != nil {
+			stats.Skipped++
+			stats.Warnings = append(stats.Warnings,
+				fmt.Sprintf("campaign: ledger %s: skipping undecodable row %s: %v", path, rec.RowKey, err))
+			continue
+		}
+		if row.Err != "" || row.Interrupted {
+			continue // no verdict: re-run
+		}
+		completed[label] = row
+	}
+	return completed, stats, nil
+}

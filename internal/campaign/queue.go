@@ -1,0 +1,393 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"c3/internal/litmus"
+)
+
+// Queue defaults; ServerConfig overrides them.
+const (
+	DefaultLeaseTTL    = 30 * time.Second
+	DefaultMaxFailures = 3
+
+	// Requeue backoff after a lease failure: base << (failures-1), capped.
+	// The backoff gates when an unhealthy shard may be leased again; it
+	// never delays healthy shards (the queue hands out the lowest eligible
+	// job ID, skipping gated ones).
+	requeueBackoffBase = 250 * time.Millisecond
+	requeueBackoffCap  = 30 * time.Second
+)
+
+// jobState is the lease state machine:
+//
+//	Pending ──lease──▶ Leased ──result──▶ Done            (terminal)
+//	   ▲                  │
+//	   │   expiry/release │ failures ≤ max: backoff gate
+//	   └──────────────────┤
+//	                      │ failures > max
+//	                      ▼
+//	                 Quarantined                          (terminal)
+//
+// Done is absorbing: a late result for an already-Done job (the lease
+// expired but the worker finished anyway — at-least-once) is
+// acknowledged and dropped; seed determinism makes the duplicate row
+// byte-identical, so which submission wins is unobservable.
+type jobState uint8
+
+const (
+	statePending jobState = iota
+	stateLeased
+	stateDone
+	stateQuarantined
+)
+
+func (s jobState) String() string {
+	switch s {
+	case statePending:
+		return "pending"
+	case stateLeased:
+		return "leased"
+	case stateDone:
+		return "done"
+	case stateQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// slot is one job's queue entry.
+type slot struct {
+	job      Job
+	state    jobState
+	failures int       // lease expiries + penalized releases
+	gate     time.Time // not leasable before this (requeue backoff)
+
+	leaseID string
+	worker  string
+	expiry  time.Time
+
+	row *litmus.SoakRun // set when Done (nil row for quarantined)
+	// quarantine detail, for the report's error row
+	lastWorker string
+}
+
+// Queue is the coordinator's shard queue: jobs, leases, and completed
+// rows, with all transitions under one lock. It is deliberately free of
+// I/O — journaling and HTTP live in Server — so the state machine is
+// directly unit-testable with a fake clock.
+type Queue struct {
+	mu    sync.Mutex
+	slots []*slot
+	now   func() time.Time
+
+	leaseTTL    time.Duration
+	maxFailures int
+
+	leaseSeq  uint64
+	doneCount int // Done + Quarantined
+	expiries  uint64
+	requeues  uint64
+
+	// doneCh closes when every job is terminal.
+	doneCh    chan struct{}
+	closeOnce sync.Once
+	// shutdown marks the owning server closing: result waiters unblock
+	// even though the campaign is unfinished.
+	shutdown bool
+
+	// resultSeq bumps on every accepted result; waiters (the /results
+	// stream) block on cond.
+	cond      *sync.Cond
+	resultSeq uint64
+}
+
+// NewQueue builds the queue for jobs. completed seeds terminal rows
+// replayed from the journal (keyed by job label); those shards are born
+// Done and never leased.
+func NewQueue(jobs []Job, completed map[string]litmus.SoakRun, leaseTTL time.Duration, maxFailures int, now func() time.Time) *Queue {
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTTL
+	}
+	if maxFailures <= 0 {
+		maxFailures = DefaultMaxFailures
+	}
+	if now == nil {
+		now = time.Now
+	}
+	q := &Queue{
+		now:         now,
+		leaseTTL:    leaseTTL,
+		maxFailures: maxFailures,
+		doneCh:      make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for _, j := range jobs {
+		s := &slot{job: j}
+		if row, ok := completed[j.Label()]; ok {
+			r := row
+			r.Resumed = true
+			s.state = stateDone
+			s.row = &r
+			q.doneCount++
+		}
+		q.slots = append(q.slots, s)
+	}
+	if q.doneCount == len(q.slots) {
+		q.closeDone()
+	}
+	return q
+}
+
+func (q *Queue) closeDone() {
+	q.closeOnce.Do(func() { close(q.doneCh) })
+	q.cond.Broadcast()
+}
+
+// Lease hands worker the lowest-ID eligible shard under a fresh lease,
+// or reports (zero, false, done) when nothing is leasable right now.
+// done distinguishes "come back later" (backoff gates, all leased) from
+// "the campaign is over" — workers exit on done.
+func (q *Queue) Lease(worker string) (Job, Lease, bool, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	now := q.now()
+	for _, s := range q.slots {
+		if s.state != statePending || now.Before(s.gate) {
+			continue
+		}
+		q.leaseSeq++
+		s.state = stateLeased
+		s.leaseID = fmt.Sprintf("L%d", q.leaseSeq)
+		s.worker = worker
+		s.expiry = now.Add(q.leaseTTL)
+		return s.job, Lease{ID: s.leaseID, TTL: q.leaseTTL}, true, false
+	}
+	return Job{}, Lease{}, false, q.doneCount == len(q.slots)
+}
+
+// Lease is the worker's claim on a shard: renew it via Heartbeat before
+// TTL elapses or the shard is requeued.
+type Lease struct {
+	ID  string        `json:"id"`
+	TTL time.Duration `json:"ttl"`
+}
+
+// Heartbeat renews worker's listed leases and returns the IDs still
+// valid. A lease that already expired (and was requeued, possibly to
+// another worker) is not resurrected — its absence from the reply tells
+// the worker its result may be redundant, though submitting it anyway
+// is harmless.
+func (q *Queue) Heartbeat(worker string, leaseIDs []string) []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	now := q.now()
+	var valid []string
+	for _, id := range leaseIDs {
+		for _, s := range q.slots {
+			if s.state == stateLeased && s.leaseID == id && s.worker == worker {
+				s.expiry = now.Add(q.leaseTTL)
+				valid = append(valid, id)
+				break
+			}
+		}
+	}
+	return valid
+}
+
+// Complete records a shard's result row. It reports whether this was
+// the first completion (callers journal exactly the first). Late and
+// duplicate submissions are acknowledged and dropped; results for
+// quarantined shards un-quarantine them (the work did finish — the row
+// is better than an error). The lease need not still be valid:
+// at-least-once means "whoever finishes, finishes".
+func (q *Queue) Complete(jobID int, row litmus.SoakRun) (first bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if jobID < 0 || jobID >= len(q.slots) {
+		return false, fmt.Errorf("campaign: result for unknown job %d", jobID)
+	}
+	s := q.slots[jobID]
+	if s.state == stateDone {
+		return false, nil
+	}
+	if s.state != stateQuarantined {
+		// Pending or Leased count toward doneCount now; Quarantined
+		// already did.
+		q.doneCount++
+	}
+	s.state = stateDone
+	r := row
+	s.row = &r
+	s.leaseID, s.worker = "", ""
+	q.resultSeq++
+	q.cond.Broadcast()
+	if q.doneCount == len(q.slots) {
+		q.closeDone()
+	}
+	return true, nil
+}
+
+// Release returns a leased shard to the queue before its lease expires:
+// a worker shutting down gracefully (penalty=false, immediate requeue)
+// or one that hit an internal error (penalty=true, counts toward
+// quarantine like an expiry).
+func (q *Queue) Release(leaseID string, penalty bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, s := range q.slots {
+		if s.state == stateLeased && s.leaseID == leaseID {
+			if penalty {
+				q.failLocked(s)
+			} else {
+				s.state = statePending
+				s.gate = time.Time{}
+				s.leaseID, s.worker = "", ""
+				q.requeues++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// ExpireStale requeues every lease past its deadline (normally driven
+// by the janitor ticker; also run lazily inside Lease/Heartbeat so a
+// quiet queue still makes progress).
+func (q *Queue) ExpireStale() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expireLocked()
+}
+
+func (q *Queue) expireLocked() int {
+	now := q.now()
+	n := 0
+	for _, s := range q.slots {
+		if s.state == stateLeased && now.After(s.expiry) {
+			q.expiries++
+			q.failLocked(s)
+			n++
+		}
+	}
+	return n
+}
+
+// failLocked applies one lease failure to s: requeue under backoff, or
+// quarantine past the budget.
+func (q *Queue) failLocked(s *slot) {
+	s.failures++
+	s.lastWorker = s.worker
+	s.leaseID, s.worker = "", ""
+	if s.failures > q.maxFailures {
+		s.state = stateQuarantined
+		q.doneCount++
+		q.resultSeq++
+		q.cond.Broadcast()
+		if q.doneCount == len(q.slots) {
+			q.closeDone()
+		}
+		return
+	}
+	backoff := requeueBackoffBase << (s.failures - 1)
+	if backoff > requeueBackoffCap {
+		backoff = requeueBackoffCap
+	}
+	s.state = statePending
+	s.gate = q.now().Add(backoff)
+	q.requeues++
+}
+
+// Done reports the channel closed when every shard is terminal.
+func (q *Queue) Done() <-chan struct{} { return q.doneCh }
+
+// Rows assembles the merged report rows in canonical job order: result
+// rows verbatim, quarantined shards as loud error rows, and — when the
+// campaign was cut short (coordinator interrupt) — unfinished shards as
+// INTERRUPTED rows, mirroring the single-process partial report.
+func (q *Queue) Rows() []litmus.SoakRun {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rows := make([]litmus.SoakRun, len(q.slots))
+	for i, s := range q.slots {
+		switch {
+		case s.row != nil:
+			rows[i] = *s.row
+		case s.state == stateQuarantined:
+			rows[i] = litmus.SoakRun{
+				Test: s.job.Test, Plan: s.job.Plan.Name, Seed: s.job.Seed,
+				Err: fmt.Sprintf("quarantined: %d lease failures (last worker %q)", s.failures, s.lastWorker),
+			}
+		default:
+			rows[i] = litmus.SoakRun{
+				Test: s.job.Test, Plan: s.job.Plan.Name, Seed: s.job.Seed,
+				Interrupted: true,
+				Err:         "interrupted before shard completed",
+			}
+		}
+	}
+	return rows
+}
+
+// ResultSeq returns the current accepted-result sequence number;
+// WaitResult blocks until the sequence passes seq or the queue is
+// fully terminal, returning the new sequence and whether the campaign
+// is over. The /results stream drives on this.
+func (q *Queue) ResultSeq() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.resultSeq
+}
+
+func (q *Queue) WaitResult(seq uint64) (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.resultSeq <= seq && q.doneCount != len(q.slots) && !q.shutdown {
+		q.cond.Wait()
+	}
+	return q.resultSeq, q.doneCount == len(q.slots) || q.shutdown
+}
+
+// Shutdown unblocks every result waiter (server close with the campaign
+// unfinished); the queue's job state is untouched.
+func (q *Queue) Shutdown() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.shutdown = true
+	q.cond.Broadcast()
+}
+
+// QueueSnapshot is the wire form of queue state for /statusz.
+type QueueSnapshot struct {
+	Total       int    `json:"total"`
+	Pending     int    `json:"pending"`
+	Leased      int    `json:"leased"`
+	Done        int    `json:"done"`
+	Quarantined int    `json:"quarantined"`
+	Expiries    uint64 `json:"lease_expiries"`
+	Requeues    uint64 `json:"requeues"`
+}
+
+// Snapshot captures current queue counts.
+func (q *Queue) Snapshot() QueueSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	snap := QueueSnapshot{Total: len(q.slots), Expiries: q.expiries, Requeues: q.requeues}
+	for _, s := range q.slots {
+		switch s.state {
+		case statePending:
+			snap.Pending++
+		case stateLeased:
+			snap.Leased++
+		case stateDone:
+			snap.Done++
+		case stateQuarantined:
+			snap.Quarantined++
+		}
+	}
+	return snap
+}

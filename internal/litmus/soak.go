@@ -333,11 +333,11 @@ func classesString(m map[string]int) string {
 	return strings.Join(parts, " ")
 }
 
-// RunSoak executes the soak sweep. Campaign-level failures (wedges,
-// captured panics) become report rows, never process crashes; the
-// returned error is reserved for configuration mistakes (unknown test
-// names).
-func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+// WithDefaults returns cfg with the sweep-shape defaults applied (Table
+// IV tests, all default plans, seed 1, 25 iterations, mesi/mesi under
+// cxl). Both RunSoak and the distributed coordinator normalize through
+// it, so "the default sweep" means the same job list everywhere.
+func (cfg SoakConfig) WithDefaults() SoakConfig {
 	if len(cfg.Tests) == 0 {
 		cfg.Tests = TableIVNames()
 	}
@@ -356,13 +356,30 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if cfg.Global == "" {
 		cfg.Global = "cxl"
 	}
+	return cfg
+}
 
-	type campaign struct {
-		test Test
-		plan NamedPlan
-		seed int64
-	}
-	var jobs []campaign
+// Campaign identifies one shard of a soak sweep: a (test, plan, seed)
+// cell, the unit the worker pool — and the distributed campaign
+// service's job queue — schedules.
+type Campaign struct {
+	Test Test
+	Plan NamedPlan
+	Seed int64
+}
+
+// Label renders the shard's stable identity ("MP/light/seed1").
+func (c Campaign) Label() string { return RowLabel(c.Test.Name, c.Plan.Name, c.Seed) }
+
+// Campaigns expands a (defaults-applied) config into the sweep's job
+// list in canonical report order: tests outermost, then plans, then
+// seeds. Every consumer of the sweep — the in-process pool, the
+// distributed coordinator's queue, the report merge — must share this
+// order; it is what makes a merged distributed report byte-identical to
+// a single-process run.
+func Campaigns(cfg SoakConfig) ([]Campaign, error) {
+	cfg = cfg.WithDefaults()
+	var jobs []Campaign
 	for _, name := range cfg.Tests {
 		t, ok := ByName(name)
 		if !ok {
@@ -370,9 +387,22 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 		for _, p := range cfg.Plans {
 			for _, s := range cfg.Seeds {
-				jobs = append(jobs, campaign{test: t, plan: p, seed: s})
+				jobs = append(jobs, Campaign{Test: t, Plan: p, Seed: s})
 			}
 		}
+	}
+	return jobs, nil
+}
+
+// RunSoak executes the soak sweep. Campaign-level failures (wedges,
+// captured panics) become report rows, never process crashes; the
+// returned error is reserved for configuration mistakes (unknown test
+// names).
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	cfg = cfg.WithDefaults()
+	jobs, err := Campaigns(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	var deadline time.Time
@@ -387,7 +417,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	if cfg.Observer != nil {
 		labels := make([]string, len(jobs))
 		for i, j := range jobs {
-			labels[i] = RowLabel(j.test.Name, j.plan.Name, j.seed)
+			labels[i] = RowLabel(j.Test.Name, j.Plan.Name, j.Seed)
 		}
 		cfg.Observer.Plan(labels)
 		ctx = parallel.WithObserver(ctx, cfg.Observer)
@@ -443,8 +473,8 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	// to a first-try success.
 	runCampaign := func(i int) SoakRun {
 		job := jobs[i]
-		label := RowLabel(job.test.Name, job.plan.Name, job.seed)
-		row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
+		label := RowLabel(job.Test.Name, job.Plan.Name, job.Seed)
+		row := SoakRun{Test: job.Test.Name, Plan: job.Plan.Name, Seed: job.Seed}
 		if cached, ok := cfg.Completed[label]; ok {
 			// Checkpointed by a previous run: the ledger row is the
 			// verdict; nothing executes.
@@ -475,16 +505,16 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 					MCMs:      cfg.MCMs,
 					Iters:     cfg.Iters,
 					Sync:      SyncFull,
-					BaseSeed:  job.seed,
+					BaseSeed:  job.Seed,
 					Workers:   1,
-					Faults:    &job.plan.Plan,
+					Faults:    &job.Plan.Plan,
 					HangWatch: true,
 					Interrupt: cfg.Interrupt,
 				}
 				if cfg.TaskTimeout > 0 {
 					rcfg.Deadline = time.Now().Add(cfg.TaskTimeout)
 				}
-				res, err = runSoakCampaign(job.test, rcfg)
+				res, err = runSoakCampaign(job.Test, rcfg)
 			}
 			if err == nil {
 				row.Iters = res.Iters
@@ -567,7 +597,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 				continue
 			}
 			job := jobs[i]
-			row := SoakRun{Test: job.test.Name, Plan: job.plan.Name, Seed: job.seed}
+			row := SoakRun{Test: job.Test.Name, Plan: job.Plan.Name, Seed: job.Seed}
 			if errors.Is(err, context.Canceled) {
 				row.Interrupted = true
 				row.Err = "interrupted before campaign started"

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CompactStats reports what a CompactLedger pass did.
+type CompactStats struct {
+	// In / Out count intact records before and after compaction.
+	In, Out int
+	// DroppedRows counts superseded row-checkpoint records (older
+	// records sharing a row_key with a later one).
+	DroppedRows int
+	// Torn counts unparseable lines dropped (a SIGKILL tail).
+	Torn int
+}
+
+// CompactLedger rewrites the JSONL ledger at path keeping, for each
+// row_key, only the latest checkpoint record — a long-lived ledger
+// otherwise accretes one superseded row per re-run forever. Records
+// without a row_key (whole-run history) are kept untouched, as are
+// relative record orders: survivors appear in their original order, a
+// row-key survivor at its *last* occurrence's position, so replays that
+// take the last record per key read identically before and after.
+// Torn/corrupt lines are dropped (counted in Torn).
+//
+// The rewrite is atomic: records stream to a temp file in the ledger's
+// directory, which is fsynced and renamed over the original — a crash
+// mid-compaction leaves either the old ledger or the new one, never a
+// half-written file. Concurrent appenders can still race the rename
+// itself (their record lands in the old inode and is lost), so compact
+// quiescent ledgers only; the single-line records a live sweep appends
+// are exactly what compaction preserves anyway.
+func CompactLedger(path string) (CompactStats, error) {
+	var stats CompactStats
+	recs, rstats, err := ReadLedgerLenient(path)
+	if err != nil {
+		return stats, err
+	}
+	stats.In = len(recs)
+	stats.Torn = rstats.Skipped
+
+	// Keep the last record per row_key, at its last position.
+	lastByKey := make(map[string]int, len(recs))
+	for i, r := range recs {
+		if r.RowKey != "" {
+			lastByKey[r.RowKey] = i
+		}
+	}
+	keep := recs[:0]
+	for i, r := range recs {
+		if r.RowKey != "" && lastByKey[r.RowKey] != i {
+			stats.DroppedRows++
+			continue
+		}
+		keep = append(keep, r)
+	}
+	stats.Out = len(keep)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".compact-*")
+	if err != nil {
+		return stats, fmt.Errorf("obs: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	for i := range keep {
+		line, err := json.Marshal(&keep[i])
+		if err != nil {
+			tmp.Close()
+			return stats, fmt.Errorf("obs: compact marshal: %w", err)
+		}
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return stats, fmt.Errorf("obs: compact write: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return stats, fmt.Errorf("obs: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return stats, fmt.Errorf("obs: compact close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return stats, fmt.Errorf("obs: compact rename: %w", err)
+	}
+	return stats, nil
+}

@@ -147,23 +147,39 @@ func ReadLedger(path string) ([]Record, error) {
 	return recs, err
 }
 
+// LedgerStats summarizes a lenient ledger read, so callers (resume,
+// coordinator journal replay) can report what the read dropped rather
+// than silently acting on a subset.
+type LedgerStats struct {
+	// Records is how many intact records parsed.
+	Records int
+	// Skipped is how many torn/corrupt lines were dropped — normally 0,
+	// or 1 after a SIGKILL mid-append. More than one final-line's worth
+	// suggests real corruption, which callers should surface loudly.
+	Skipped int
+	// Warnings holds one human-readable line per skipped record.
+	Warnings []string
+}
+
 // ReadLedgerLenient parses the ledger at path, skipping malformed lines
 // instead of failing. A process killed mid-append (SIGKILL, power loss)
 // leaves a torn final line — the O_APPEND whole-line write contract
 // guarantees every *earlier* line is intact, so a resume can trust what
-// parses and drop the tail. Each skipped line produces a warning.
-func ReadLedgerLenient(path string) (recs []Record, warnings []string, err error) {
+// parses and drop the tail. The returned stats carry the skipped-line
+// count and a warning per skipped line; callers that resume or replay
+// should print Skipped when it is non-zero.
+func ReadLedgerLenient(path string) (recs []Record, stats LedgerStats, err error) {
 	return readLedger(path, false)
 }
 
-func readLedger(path string, strict bool) ([]Record, []string, error) {
+func readLedger(path string, strict bool) ([]Record, LedgerStats, error) {
+	var stats LedgerStats
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, stats, err
 	}
 	defer f.Close()
 	var out []Record
-	var warnings []string
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for ln := 1; sc.Scan(); ln++ {
@@ -173,16 +189,18 @@ func readLedger(path string, strict bool) ([]Record, []string, error) {
 		var r Record
 		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
 			if strict {
-				return nil, nil, fmt.Errorf("obs: ledger %s line %d: %w", path, ln, err)
+				return nil, stats, fmt.Errorf("obs: ledger %s line %d: %w", path, ln, err)
 			}
-			warnings = append(warnings,
+			stats.Skipped++
+			stats.Warnings = append(stats.Warnings,
 				fmt.Sprintf("obs: ledger %s line %d: skipping torn/corrupt record: %v", path, ln, err))
 			continue
 		}
 		out = append(out, r)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, stats, err
 	}
-	return out, warnings, nil
+	stats.Records = len(out)
+	return out, stats, nil
 }

@@ -39,7 +39,7 @@ func TestLedgerTornWriteRecovery(t *testing.T) {
 	if _, err := ReadLedger(path); err == nil {
 		t.Fatal("strict ReadLedger accepted a torn final line")
 	}
-	recs, warnings, err := ReadLedgerLenient(path)
+	recs, stats, err := ReadLedgerLenient(path)
 	if err != nil {
 		t.Fatalf("lenient read failed on a torn final line: %v", err)
 	}
@@ -49,8 +49,11 @@ func TestLedgerTornWriteRecovery(t *testing.T) {
 	if recs[0].RowKey != "MP/light/seed1|v1" || recs[1].RowKey != "SB/light/seed1|v1" {
 		t.Fatalf("intact records corrupted: %+v / %+v", recs[0], recs[1])
 	}
-	if len(warnings) != 1 || !strings.Contains(warnings[0], "torn/corrupt") {
-		t.Fatalf("warnings = %v, want one torn-record warning", warnings)
+	if stats.Skipped != 1 || len(stats.Warnings) != 1 || !strings.Contains(stats.Warnings[0], "torn/corrupt") {
+		t.Fatalf("stats = %+v, want one torn-record warning and Skipped=1", stats)
+	}
+	if stats.Records != 2 {
+		t.Fatalf("stats.Records = %d, want 2", stats.Records)
 	}
 
 	// Appends after the torn line still parse: recovery does not require
@@ -58,15 +61,15 @@ func TestLedgerTornWriteRecovery(t *testing.T) {
 	if err := AppendLedger(path, &Record{Tool: "c3soak", RowKey: "R/light/seed1|v1", Verdict: VerdictPass}); err != nil {
 		t.Fatal(err)
 	}
-	recs, warnings, err = ReadLedgerLenient(path)
+	recs, stats, err = ReadLedgerLenient(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The torn fragment and the new record share a line (no trailing
 	// newline on the fragment), so that line is skipped too — but the
 	// earlier intact records always survive, which is what resume needs.
-	if len(recs) < 2 || len(warnings) == 0 {
-		t.Fatalf("post-crash append: %d records, warnings %v", len(recs), warnings)
+	if len(recs) < 2 || stats.Skipped == 0 {
+		t.Fatalf("post-crash append: %d records, stats %+v", len(recs), stats)
 	}
 }
 

@@ -30,10 +30,44 @@ type Snapshot struct {
 	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
+// Health is the JSON document served at /healthz: the cheap liveness
+// answer (distinct from /statusz, which is the expensive "what is it
+// doing" answer). Probes — load balancers, the campaign workers' probe
+// of their coordinator, CI wait loops — poll it at high frequency, so
+// it deliberately reads no locks, no registry, no progress state.
+type Health struct {
+	OK       bool        `json:"ok"`
+	Tool     string      `json:"tool"`
+	PID      int         `json:"pid"`
+	UptimeMS int64       `json:"uptime_ms"`
+	Version  VersionInfo `json:"version"`
+}
+
+// HealthzHandler returns the /healthz liveness handler for tool: a 200
+// with the Health document. The version is captured once, at handler
+// construction, so the per-probe cost is one time.Since and one small
+// JSON encode. Any server that wants to be probeable (obs.Server mounts
+// it; the campaign coordinator does too) should serve it at /healthz.
+func HealthzHandler(tool string, start time.Time) http.HandlerFunc {
+	version := Version()
+	pid := os.Getpid()
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(Health{ //nolint:errcheck
+			OK:       true,
+			Tool:     tool,
+			PID:      pid,
+			UptimeMS: time.Since(start).Milliseconds(),
+			Version:  version,
+		})
+	}
+}
+
 // Server is the opt-in live-introspection endpoint behind the commands'
 // -statusz flag. It serves:
 //
 //	/statusz      the Snapshot JSON document
+//	/healthz      the Health liveness document (cheap, probe-friendly)
 //	/metricsz     just the registry dump
 //	/debug/pprof  net/http/pprof (heap, cpu, goroutines, ...)
 //	/debug/vars   expvar
@@ -67,6 +101,7 @@ func StartStatusz(addr, tool string, t *Tracker) (*Server, error) {
 	s := &Server{tool: tool, tracker: t, start: time.Now(), ln: ln, served: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", HealthzHandler(tool, s.start))
 	mux.HandleFunc("/metricsz", s.handleMetricsz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
